@@ -1,0 +1,171 @@
+package feisu_test
+
+// One benchmark per table/figure of the paper's evaluation (§VI), wrapping
+// the same harness entry points that cmd/feisu-bench runs, plus
+// micro-benchmarks of the hot query path. Regenerate the full reports with:
+//
+//	go run ./cmd/feisu-bench
+//	go test -bench=. -benchmem
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	feisu "repro"
+	"repro/internal/experiments"
+	"repro/internal/sqlparser"
+	"repro/internal/workload"
+)
+
+func benchScale() experiments.Scale { return experiments.SmallScale() }
+
+func runExperiment(b *testing.B, fn func(experiments.Scale) (*experiments.Report, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := fn(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkTable1Datasets regenerates the Table I dataset inventory.
+func BenchmarkTable1Datasets(b *testing.B) { runExperiment(b, experiments.Table1) }
+
+// BenchmarkFig4Locality regenerates the repeated-column analysis.
+func BenchmarkFig4Locality(b *testing.B) { runExperiment(b, experiments.Fig4) }
+
+// BenchmarkFig5Similarity regenerates the predicate-sharing analysis.
+func BenchmarkFig5Similarity(b *testing.B) { runExperiment(b, experiments.Fig5) }
+
+// BenchmarkFig8Keywords regenerates the keyword histogram.
+func BenchmarkFig8Keywords(b *testing.B) { runExperiment(b, experiments.Fig8) }
+
+// BenchmarkFig9aSmartIndex regenerates the with/without-index series.
+func BenchmarkFig9aSmartIndex(b *testing.B) { runExperiment(b, experiments.Fig9a) }
+
+// BenchmarkFig9bBTree regenerates the SmartIndex-vs-B-tree comparison.
+func BenchmarkFig9bBTree(b *testing.B) { runExperiment(b, experiments.Fig9b) }
+
+// BenchmarkFig10Federated regenerates the two-storage throughput run.
+func BenchmarkFig10Federated(b *testing.B) { runExperiment(b, experiments.Fig10) }
+
+// BenchmarkFig11Memory regenerates the index-memory sensitivity sweep.
+func BenchmarkFig11Memory(b *testing.B) { runExperiment(b, experiments.Fig11) }
+
+// BenchmarkFig12Scalability regenerates the node-count scaling run.
+func BenchmarkFig12Scalability(b *testing.B) { runExperiment(b, experiments.Fig12) }
+
+// BenchmarkAblations regenerates the DESIGN.md §5 ablation studies.
+func BenchmarkAblations(b *testing.B) { runExperiment(b, experiments.Ablations) }
+
+// --- micro-benchmarks of the hot path ---
+
+func benchSystem(b *testing.B, mut func(*feisu.Config)) *feisu.System {
+	b.Helper()
+	cfg := feisu.Config{Leaves: 4}
+	if mut != nil {
+		mut(&cfg)
+	}
+	sys, err := feisu.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := workload.T1Spec()
+	spec.Partitions = 4
+	spec.RowsPerPart = 2048
+	meta, err := workload.Generate(context.Background(), sys.Router(), spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.RegisterTable(context.Background(), meta); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sys.Close)
+	return sys
+}
+
+// BenchmarkQueryWarmSmartIndex measures a repeated predicate query once the
+// index is warm (the paper's steady state).
+func BenchmarkQueryWarmSmartIndex(b *testing.B) {
+	sys := benchSystem(b, nil)
+	ctx := context.Background()
+	const q = "SELECT COUNT(*) FROM T1 WHERE clicks > 4 AND pos <= 6"
+	if _, err := sys.Query(ctx, q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Query(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryNoIndex measures the same query with indexing disabled.
+func BenchmarkQueryNoIndex(b *testing.B) {
+	sys := benchSystem(b, func(c *feisu.Config) { c.Index = feisu.IndexNone })
+	ctx := context.Background()
+	const q = "SELECT COUNT(*) FROM T1 WHERE clicks > 4 AND pos <= 6"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Query(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryGroupBy measures a grouped aggregation end to end.
+func BenchmarkQueryGroupBy(b *testing.B) {
+	sys := benchSystem(b, nil)
+	ctx := context.Background()
+	const q = "SELECT region, COUNT(*), AVG(dwell) FROM T1 GROUP BY region"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Query(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParse measures the SQL frontend alone.
+func BenchmarkParse(b *testing.B) {
+	const q = "SELECT url, COUNT(*) AS n FROM T1 WHERE clicks > 4 AND (pos <= 6 OR query CONTAINS 'maps') GROUP BY url ORDER BY n DESC LIMIT 10"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlparser.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoaderAppend measures ingest throughput into the columnar store.
+func BenchmarkLoaderAppend(b *testing.B) {
+	sys, err := feisu.New(feisu.Config{Leaves: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	schema := feisu.MustSchema(
+		feisu.Field{Name: "id", Type: feisu.Int64},
+		feisu.Field{Name: "s", Type: feisu.String},
+		feisu.Field{Name: "f", Type: feisu.Float64},
+	)
+	ld, err := sys.NewLoader("ingest", schema, "/hdfs/ingest")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ld.Append(feisu.Row{
+			feisu.Int(int64(i)), feisu.Str(fmt.Sprintf("row-%d", i)), feisu.Float(float64(i)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

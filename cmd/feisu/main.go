@@ -1,0 +1,115 @@
+// Command feisu runs ad-hoc queries against an in-process Feisu cluster
+// loaded with the scaled evaluation datasets (T1/T2/T3).
+//
+// Usage:
+//
+//	feisu -q "SELECT COUNT(*) FROM T1 WHERE clicks > 5"
+//	feisu            # interactive: one query per line, blank line to exit
+//	feisu -leaves 8 -stats -q "..."
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	feisu "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	query := flag.String("q", "", "query to run (omit for interactive mode)")
+	leaves := flag.Int("leaves", 4, "leaf servers")
+	rows := flag.Int("rows", 4096, "rows per partition of the demo datasets")
+	parts := flag.Int("parts", 4, "partitions per demo dataset")
+	stats := flag.Bool("stats", false, "print execution statistics")
+	explain := flag.Bool("explain", false, "print the physical plan instead of executing")
+	flag.Parse()
+
+	sys, err := feisu.New(feisu.Config{Leaves: *leaves})
+	if err != nil {
+		fatal(err)
+	}
+	defer sys.Close()
+
+	ctx := context.Background()
+	fmt.Fprintf(os.Stderr, "loading demo datasets T1, T2, T3 ...\n")
+	for _, spec := range []workload.DatasetSpec{workload.T1Spec(), workload.T2Spec(), workload.T3Spec()} {
+		spec.Partitions = *parts
+		spec.RowsPerPart = *rows
+		meta, err := workload.Generate(ctx, sys.Router(), spec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sys.RegisterTable(ctx, meta); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "  %s: %d rows, %d fields, %d partitions\n",
+			spec.Name, meta.Rows(), meta.Schema.Len(), len(meta.Partitions))
+	}
+
+	if *query != "" {
+		if *explain {
+			desc, err := sys.Explain(*query)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(desc)
+			return
+		}
+		if err := run(sys, *query, *stats); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Fprintln(os.Stderr, "feisu> enter queries, blank line to exit")
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Fprint(os.Stderr, "feisu> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			return
+		}
+		if err := run(sys, line, *stats); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+		fmt.Fprint(os.Stderr, "feisu> ")
+	}
+}
+
+func run(sys *feisu.System, sql string, withStats bool) error {
+	start := time.Now()
+	res, stats, err := sys.QueryStats(context.Background(), sql)
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	if withStats {
+		fmt.Printf("-- %d rows in %s (sim %s); tasks=%d reused=%d backups=%d; scan: %+v\n",
+			len(res.Rows), time.Since(start).Round(time.Millisecond),
+			stats.SimTime.Round(time.Microsecond),
+			stats.Tasks, stats.ReusedTasks, stats.BackupTasks, stats.Scan)
+	}
+	return nil
+}
+
+func printResult(res *feisu.Result) {
+	fmt.Println(strings.Join(res.Columns, "\t"))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "feisu: %v\n", err)
+	os.Exit(1)
+}

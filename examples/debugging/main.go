@@ -1,0 +1,127 @@
+// Debugging the search engine (paper §II, Case 1): a system engineer hunts
+// a malfunction whose evidence spans storage domains — service logs on the
+// online machines' local filesystems and the page index on HDFS. The
+// trial-and-error session narrows the problem by adding predicates one by
+// one; SmartIndex makes each refinement cheaper than the last because every
+// already-evaluated predicate is answered from cached bitmaps.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	feisu "repro"
+)
+
+func main() {
+	sys, err := feisu.New(feisu.Config{Leaves: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	loadServiceLogs(sys)
+	loadPageIndex(sys)
+
+	ctx := context.Background()
+	// The engineer's session, exactly the trial-and-error pattern of
+	// §IV-A: broad first, then predicates accumulate.
+	session := []string{
+		// 1. How bad is it overall? (local-FS logs)
+		"SELECT COUNT(*) FROM servicelog WHERE status != 200",
+		// 2. Same broad filter, narrowed to the retrieval service.
+		"SELECT COUNT(*) FROM servicelog WHERE status != 200 AND component = 'retrieval'",
+		// 3. Which shards? Note both prior predicates are index hits now.
+		"SELECT shard, COUNT(*) AS errs FROM servicelog WHERE status != 200 AND component = 'retrieval' GROUP BY shard ORDER BY errs DESC LIMIT 3",
+		// 4. Cross-domain join: do the failing shards hold stale pages?
+		//    (pageindex lives on the HDFS store, servicelog on local FS.)
+		"SELECT s.shard, MIN(p.crawl_ts) AS oldest FROM servicelog s JOIN pageindex p ON s.shard = p.shard WHERE s.status != 200 GROUP BY s.shard ORDER BY oldest LIMIT 3",
+	}
+	for i, q := range session {
+		res, stats, err := sys.QueryStats(ctx, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("step %d: %s\n", i+1, q)
+		for _, row := range res.Rows {
+			fmt.Print("   ")
+			for j, v := range row {
+				if j > 0 {
+					fmt.Print("\t")
+				}
+				fmt.Print(v.String())
+			}
+			fmt.Println()
+		}
+		fmt.Printf("   index hits=%d misses=%d column-reads=%d\n\n",
+			stats.Scan.IndexHits, stats.Scan.IndexMisses, stats.Scan.ColumnReads)
+	}
+
+	st := sys.IndexStats()
+	fmt.Printf("session total: %d predicates cached, %d reused\n", st.Entries, st.Hits+st.DerivedHits)
+}
+
+func loadServiceLogs(sys *feisu.System) {
+	schema := feisu.MustSchema(
+		feisu.Field{Name: "ts", Type: feisu.Int64},
+		feisu.Field{Name: "component", Type: feisu.String},
+		feisu.Field{Name: "shard", Type: feisu.Int64},
+		feisu.Field{Name: "status", Type: feisu.Int64},
+		feisu.Field{Name: "latency_ms", Type: feisu.Float64},
+	)
+	// Local filesystem domain: no /hdfs/ prefix.
+	ld, err := sys.NewLoader("servicelog", schema, "/var/log/search")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ld.SetPartitionRows(512)
+	components := []string{"retrieval", "ranking", "frontend"}
+	for i := 0; i < 2000; i++ {
+		status := int64(200)
+		// Shard 7's retrieval service is the planted malfunction.
+		if i%3 == 0 && i%16 == 7 {
+			status = 500
+		}
+		if err := ld.Append(feisu.Row{
+			feisu.Int(int64(1700000000 + i)),
+			feisu.Str(components[i%3]),
+			feisu.Int(int64(i % 16)),
+			feisu.Int(status),
+			feisu.Float(float64(i%40) * 2.5),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := ld.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func loadPageIndex(sys *feisu.System) {
+	schema := feisu.MustSchema(
+		feisu.Field{Name: "shard", Type: feisu.Int64},
+		feisu.Field{Name: "url", Type: feisu.String},
+		feisu.Field{Name: "crawl_ts", Type: feisu.Int64},
+	)
+	ld, err := sys.NewLoader("pageindex", schema, "/hdfs/pageindex")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for shard := 0; shard < 16; shard++ {
+		ts := int64(1699990000)
+		if shard == 7 {
+			ts = 1690000000 // the stale shard
+		}
+		if err := ld.Append(feisu.Row{
+			feisu.Int(int64(shard)),
+			feisu.Str(fmt.Sprintf("http://index/shard-%d", shard)),
+			feisu.Int(ts),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := ld.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

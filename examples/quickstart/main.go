@@ -1,0 +1,75 @@
+// Quickstart: boot an in-process Feisu cluster, load a small table onto the
+// simulated HDFS, and run aggregation queries through the full
+// master/stem/leaf pipeline.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	feisu "repro"
+)
+
+func main() {
+	sys, err := feisu.New(feisu.Config{Leaves: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	schema := feisu.MustSchema(
+		feisu.Field{Name: "id", Type: feisu.Int64},
+		feisu.Field{Name: "product", Type: feisu.String},
+		feisu.Field{Name: "revenue", Type: feisu.Float64},
+	)
+	ld, err := sys.NewLoader("sales", schema, "/hdfs/sales")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ld.SetPartitionRows(256)
+	products := []string{"web-search", "maps", "music", "encyclopedia"}
+	for i := 0; i < 1000; i++ {
+		if err := ld.Append(feisu.Row{
+			feisu.Int(int64(i)),
+			feisu.Str(products[i%len(products)]),
+			feisu.Float(float64(i%97) * 1.5),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := ld.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	queries := []string{
+		"SELECT COUNT(*) FROM sales",
+		"SELECT product, SUM(revenue) AS total FROM sales GROUP BY product ORDER BY total DESC",
+		"SELECT COUNT(*) FROM sales WHERE revenue > 100 AND product = 'maps'",
+	}
+	for _, q := range queries {
+		res, err := sys.Query(ctx, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", q)
+		for _, row := range res.Rows {
+			for i, v := range row {
+				if i > 0 {
+					fmt.Print("\t")
+				}
+				fmt.Print(v.String())
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	// The second run of a predicate is served from SmartIndex.
+	if _, err := sys.Query(ctx, "SELECT COUNT(*) FROM sales WHERE revenue > 100 AND product = 'maps'"); err != nil {
+		log.Fatal(err)
+	}
+	st := sys.IndexStats()
+	fmt.Printf("SmartIndex: %d entries, %d hits, %d misses\n", st.Entries, st.Hits, st.Misses)
+}

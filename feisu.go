@@ -1,0 +1,500 @@
+// Package feisu is a reproduction of Feisu, Baidu's columnar data
+// processing system for heterogeneous storage (Qin et al., "Feisu: Fast
+// Query Execution over Heterogeneous Data Sources on Large-Scale Clusters",
+// ICDE 2017).
+//
+// A System is an in-process Feisu deployment: a master, optional stem
+// servers, and leaf servers co-located with simulated heterogeneous storage
+// (local FS, an HDFS-like replicated DFS under /hdfs/..., and a Fatman-like
+// cold archive under /ffs/...). Queries use the paper's star-schema SQL
+// subset and are accelerated by SmartIndex, the paper's adaptive
+// predicate-result index.
+//
+// Quickstart:
+//
+//	sys, _ := feisu.New(feisu.Config{Leaves: 4})
+//	defer sys.Close()
+//	ld, _ := sys.NewLoader("visits", schema, "/hdfs/visits")
+//	ld.Append(feisu.Row{feisu.Int(1), feisu.Str("http://a")})
+//	ld.Close()
+//	res, _ := sys.Query(ctx, "SELECT COUNT(*) FROM visits WHERE id > 0")
+package feisu
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/ingest"
+	"repro/internal/plan"
+	"repro/internal/sim"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Re-exported data-model types, so applications only import feisu.
+type (
+	// Value is one scalar value.
+	Value = types.Value
+	// Row is one tuple.
+	Row = types.Row
+	// Field describes one column.
+	Field = types.Field
+	// Schema is an ordered field list.
+	Schema = types.Schema
+	// Result is a query result set.
+	Result = exec.Result
+	// QueryStats reports how a query executed.
+	QueryStats = cluster.QueryStats
+)
+
+// Scalar type tags for Field definitions.
+const (
+	Int64   = types.Int64
+	Float64 = types.Float64
+	Bool    = types.Bool
+	String  = types.String
+)
+
+// Int builds an Int64 value.
+func Int(v int64) Value { return types.NewInt(v) }
+
+// Float builds a Float64 value.
+func Float(v float64) Value { return types.NewFloat(v) }
+
+// Str builds a String value.
+func Str(v string) Value { return types.NewString(v) }
+
+// Boolean builds a Bool value.
+func Boolean(v bool) Value { return types.NewBool(v) }
+
+// Null builds the NULL value.
+func Null() Value { return types.NullValue() }
+
+// NewSchema builds a schema.
+func NewSchema(fields ...Field) (*Schema, error) { return types.NewSchema(fields...) }
+
+// MustSchema builds a schema, panicking on error.
+func MustSchema(fields ...Field) *Schema { return types.MustSchema(fields...) }
+
+// IndexKind selects the leaf servers' index.
+type IndexKind int
+
+// Index kinds.
+const (
+	// IndexSmart is the paper's SmartIndex (default).
+	IndexSmart IndexKind = iota
+	// IndexBTree is the Fig. 9(b) B-tree baseline.
+	IndexBTree
+	// IndexNone disables indexing.
+	IndexNone
+)
+
+// Config shapes a System.
+type Config struct {
+	// Leaves is the leaf-server count (default 4). Leaves double as
+	// datanodes of the simulated HDFS and Fatman stores.
+	Leaves int
+	// Stems is the stem-server count (default Leaves/4, min 1 when
+	// Leaves >= 4).
+	Stems int
+	// Index selects the leaf index implementation.
+	Index IndexKind
+	// IndexMemoryBytes budgets each leaf's SmartIndex (paper default:
+	// 512 MB per server; scaled deployments pass a smaller number).
+	// <=0 means unlimited.
+	IndexMemoryBytes int64
+	// IndexTTL overrides the 72-hour SmartIndex TTL.
+	IndexTTL time.Duration
+	// IndexCompress parks index bitmaps RLE-compressed.
+	IndexCompress bool
+	// IndexNoDerivation disables SmartIndex's complement/range derived
+	// answers (ablation of the paper's Fig. 7 rewriting).
+	IndexNoDerivation bool
+	// CacheBytes enables the SSD column cache per leaf; 0 disables.
+	CacheBytes int64
+	// CachePrefixes are the manually preferred paths admitted to the SSD
+	// cache (paper §IV-B).
+	CachePrefixes []string
+	// SpillThreshold routes leaf results bigger than this through global
+	// storage (paper §V-C); 0 disables.
+	SpillThreshold int64
+	// TaskTimeout is the straggler threshold for backup tasks.
+	TaskTimeout time.Duration
+	// EnableAuth turns on the entry guard; obtain tokens via Authority().
+	EnableAuth bool
+	// MaxConcurrentQueriesPerUser is the entry-guard quota (with auth).
+	MaxConcurrentQueriesPerUser int
+	// CostModel overrides the simulated-hardware model.
+	CostModel *sim.CostModel
+	// LocalityOff disables locality-aware scheduling (ablation).
+	LocalityOff bool
+	// PersonalizeThreshold enables client-history personalization: a
+	// predicate repeated this many times is pinned in SmartIndex as a
+	// private index (paper §III-C). 0 disables.
+	PersonalizeThreshold int
+	// Racks groups leaves into racks of this size for the topology and
+	// replica placement (default 4).
+	Racks int
+	// HeartbeatInterval paces the workers' liveness heartbeats (and the
+	// SmartIndex TTL sweeper). 0 uses 10s; negative disables background
+	// heartbeats entirely (tests drive them manually via Heartbeat).
+	HeartbeatInterval time.Duration
+	// StorageMaxConcurrentReads enforces the paper's resource-consumption
+	// agreement (§V-A) against each simulated storage system: at most this
+	// many Feisu reads in flight per store. 0 means unlimited.
+	StorageMaxConcurrentReads int
+}
+
+// System is an in-process Feisu deployment.
+type System struct {
+	cfg     Config
+	model   *sim.CostModel
+	fabric  *transport.Fabric
+	router  *storage.Router
+	hdfs    *storage.DFS
+	ffs     *storage.DFS
+	master  *cluster.Master
+	leaves  []*cluster.LeafServer
+	stems   []*cluster.StemServer
+	auth    *auth.Authority
+	caches  []*cache.Reader
+	smart   []*core.SmartIndex
+	history *History
+
+	convMu sync.Mutex
+	convs  map[string]*ingest.Converter
+
+	sweepStop chan struct{}
+}
+
+// New builds and starts a System.
+func New(cfg Config) (*System, error) {
+	if cfg.Leaves <= 0 {
+		cfg.Leaves = 4
+	}
+	if cfg.Stems == 0 && cfg.Leaves >= 4 {
+		cfg.Stems = cfg.Leaves / 4
+	}
+	if cfg.Stems < 0 { // explicit "no stems": master drives leaves directly
+		cfg.Stems = 0
+	}
+	if cfg.Racks <= 0 {
+		cfg.Racks = 4
+	}
+	model := cfg.CostModel
+	if model == nil {
+		model = sim.DefaultCostModel()
+	}
+
+	topo := transport.NewTopology()
+	fabric := transport.NewFabric(topo, transport.Options{Model: model})
+
+	hdfs := storage.NewHDFS("hdfs", model)
+	ffs := storage.NewFatman("ffs", model)
+	router := storage.NewRouter(storage.NewMemFS("", model))
+	if cfg.StorageMaxConcurrentReads > 0 {
+		// The paper's resource agreement: Feisu must not over-schedule
+		// reads against a business-critical storage system.
+		agreement := storage.Agreement{MaxConcurrentReads: cfg.StorageMaxConcurrentReads}
+		router.Register(storage.NewThrottled(hdfs, agreement))
+		router.Register(storage.NewThrottled(ffs, agreement))
+	} else {
+		router.Register(hdfs)
+		router.Register(ffs)
+	}
+
+	sys := &System{
+		cfg: cfg, model: model, fabric: fabric, router: router, hdfs: hdfs, ffs: ffs,
+	}
+
+	leafName := func(i int) string { return fmt.Sprintf("leaf%d", i) }
+	for i := 0; i < cfg.Leaves; i++ {
+		rack := fmt.Sprintf("rack%d", i/cfg.Racks)
+		topo.Place(leafName(i), rack, "dc1")
+		hdfs.AddNode(leafName(i), rack)
+		ffs.AddNode(leafName(i), rack)
+	}
+	topo.Place("master", "rack-master", "dc1")
+
+	var authority *auth.Authority
+	var quotas *auth.Quotas
+	if cfg.EnableAuth {
+		authority = auth.NewAuthority()
+		quotas = auth.NewQuotas(cfg.MaxConcurrentQueriesPerUser, 0)
+	}
+	sys.auth = authority
+
+	mcfg := cluster.MasterConfig{
+		Name:               "master",
+		Fabric:             fabric,
+		Router:             router,
+		Model:              model,
+		Authority:          authority,
+		Quotas:             quotas,
+		MaxQueryBytes:      1 << 20,
+		DefaultTaskTimeout: cfg.TaskTimeout,
+		LivenessWindow:     time.Minute,
+		LocalityOff:        cfg.LocalityOff,
+	}
+	if cfg.PersonalizeThreshold > 0 {
+		sys.history = &History{
+			sys:       sys,
+			threshold: cfg.PersonalizeThreshold,
+			counts:    make(map[string]map[string]int),
+			pinned:    make(map[string]bool),
+		}
+		mcfg.Observer = sys.history
+	}
+	sys.master = cluster.NewMaster(mcfg)
+
+	for i := 0; i < cfg.Leaves; i++ {
+		var reader exec.PartitionReader = exec.NewStoreReader(router)
+		if cfg.CacheBytes > 0 {
+			cr := cache.NewReader(reader, cache.Options{
+				CapacityBytes: cfg.CacheBytes,
+				Prefixes:      cfg.CachePrefixes,
+				Model:         model,
+			})
+			sys.caches = append(sys.caches, cr)
+			reader = cr
+		}
+		leaf := &cluster.LeafServer{
+			Name:           leafName(i),
+			Fabric:         fabric,
+			Reader:         reader,
+			Index:          sys.newIndex(),
+			Router:         router,
+			Model:          model,
+			SpillThreshold: cfg.SpillThreshold,
+			SpillPrefix:    "/hdfs/feisu-tmp",
+		}
+		leaf.Register()
+		sys.leaves = append(sys.leaves, leaf)
+	}
+	for i := 0; i < cfg.Stems; i++ {
+		stem := &cluster.StemServer{
+			Name:   fmt.Sprintf("stem%d", i),
+			Fabric: fabric,
+			Router: router,
+			Model:  model,
+		}
+		stem.Register()
+		sys.stems = append(sys.stems, stem)
+	}
+	if err := sys.Heartbeat(); err != nil {
+		return nil, err
+	}
+	// Keep the cluster manager's liveness view fresh without caller
+	// involvement; long-running query streams would otherwise outlive the
+	// liveness window and see "no available leaf server".
+	if cfg.HeartbeatInterval >= 0 {
+		interval := cfg.HeartbeatInterval
+		if interval == 0 {
+			interval = 10 * time.Second
+		}
+		sys.StartHeartbeats(interval)
+	}
+	return sys, nil
+}
+
+// newIndex builds one leaf's index per the config.
+func (s *System) newIndex() exec.IndexSource {
+	switch s.cfg.Index {
+	case IndexNone:
+		return nil
+	case IndexBTree:
+		return newBTreeIndex(s.model)
+	default:
+		si := core.New(core.Options{
+			MemoryBudget:      s.cfg.IndexMemoryBytes,
+			TTL:               s.cfg.IndexTTL,
+			Compress:          s.cfg.IndexCompress,
+			DisableDerivation: s.cfg.IndexNoDerivation,
+			Model:             s.model,
+		})
+		s.smart = append(s.smart, si)
+		return si
+	}
+}
+
+// Heartbeat delivers one heartbeat from every worker; New calls it once,
+// and long-running deployments call StartHeartbeats instead.
+func (s *System) Heartbeat() error {
+	ctx := context.Background()
+	for _, l := range s.leaves {
+		if err := l.HeartbeatOnce(ctx, "master"); err != nil {
+			return err
+		}
+	}
+	for _, st := range s.stems {
+		if err := st.HeartbeatOnce(ctx, "master"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StartHeartbeats runs periodic heartbeats until Close, and sweeps expired
+// SmartIndex entries on the same cadence (the TTL retirement of §IV-C2).
+func (s *System) StartHeartbeats(interval time.Duration) {
+	for _, l := range s.leaves {
+		l.Start("master", interval)
+	}
+	for _, st := range s.stems {
+		st.Start("master", interval)
+	}
+	if len(s.smart) > 0 && s.sweepStop == nil {
+		s.sweepStop = make(chan struct{})
+		go func(stop <-chan struct{}) {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					for _, si := range s.smart {
+						si.Sweep()
+					}
+				}
+			}
+		}(s.sweepStop)
+	}
+}
+
+// Close stops background loops.
+func (s *System) Close() {
+	for _, l := range s.leaves {
+		l.Stop()
+	}
+	for _, st := range s.stems {
+		st.Stop()
+	}
+	if s.sweepStop != nil {
+		close(s.sweepStop)
+		s.sweepStop = nil
+	}
+}
+
+// Router exposes the common storage layer (for loading data and advanced
+// setups).
+func (s *System) Router() *storage.Router { return s.router }
+
+// Authority returns the identity provider when auth is enabled, else nil.
+func (s *System) Authority() *auth.Authority { return s.auth }
+
+// Master exposes the master for advanced control (HA, scheduler tuning).
+func (s *System) Master() *cluster.Master { return s.master }
+
+// RegisterTable installs a catalog entry directly (NewLoader does this for
+// generated data).
+func (s *System) RegisterTable(ctx context.Context, meta *plan.TableMeta) error {
+	return s.master.RegisterTable(ctx, meta)
+}
+
+// Query runs one SQL statement.
+func (s *System) Query(ctx context.Context, sql string, opts ...QueryOption) (*Result, error) {
+	res, _, err := s.QueryStats(ctx, sql, opts...)
+	return res, err
+}
+
+// QueryStats runs one SQL statement and also returns execution statistics.
+func (s *System) QueryStats(ctx context.Context, sql string, opts ...QueryOption) (*Result, *QueryStats, error) {
+	var o cluster.QueryOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return s.master.Submit(ctx, sql, o)
+}
+
+// IndexStats aggregates SmartIndex counters across leaves (zero stats when
+// SmartIndex is not in use).
+func (s *System) IndexStats() core.Stats {
+	var total core.Stats
+	for _, si := range s.smart {
+		st := si.Stats()
+		total.Hits += st.Hits
+		total.DerivedHits += st.DerivedHits
+		total.Misses += st.Misses
+		total.Stored += st.Stored
+		total.EvictedLRU += st.EvictedLRU
+		total.EvictedTTL += st.EvictedTTL
+		total.Bytes += st.Bytes
+		total.Entries += st.Entries
+	}
+	return total
+}
+
+// ResetIndexCounters zeroes SmartIndex hit/miss counters (benchmark phases).
+func (s *System) ResetIndexCounters() {
+	for _, si := range s.smart {
+		si.ResetCounters()
+	}
+}
+
+// CacheMissRatio averages the SSD cache miss ratio across leaves; 0 when
+// the cache is off or untouched.
+func (s *System) CacheMissRatio() float64 {
+	if len(s.caches) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range s.caches {
+		sum += c.MissRatio()
+	}
+	return sum / float64(len(s.caches))
+}
+
+// QueryOption tunes one query.
+type QueryOption func(*cluster.QueryOptions)
+
+// WithToken authenticates the query (required when auth is enabled).
+func WithToken(token string) QueryOption {
+	return func(o *cluster.QueryOptions) { o.Token = token }
+}
+
+// WithTimeLimit bounds execution time; combine with WithMinProcessedRatio
+// to accept partial results (paper §III-B).
+func WithTimeLimit(d time.Duration) QueryOption {
+	return func(o *cluster.QueryOptions) { o.TimeLimit = d }
+}
+
+// WithMinProcessedRatio accepts a result once this task fraction finishes.
+func WithMinProcessedRatio(r float64) QueryOption {
+	return func(o *cluster.QueryOptions) { o.MinProcessedRatio = r }
+}
+
+// WithTaskTimeout sets the per-task straggler threshold.
+func WithTaskTimeout(d time.Duration) QueryOption {
+	return func(o *cluster.QueryOptions) { o.TaskTimeout = d }
+}
+
+// WithoutResultReuse disables identical-task result sharing (ablation).
+func WithoutResultReuse() QueryOption {
+	return func(o *cluster.QueryOptions) { o.DisableReuse = true }
+}
+
+// Explain plans the query without executing it and returns a human-readable
+// description: the pushed-down filter in conjunctive form with its
+// indexable atoms, the pruned column set, the broadcast joins, and the
+// sub-plan dissection.
+func (s *System) Explain(sql string) (string, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	p, err := plan.Plan(stmt, s.master.Jobs)
+	if err != nil {
+		return "", err
+	}
+	return p.Describe(), nil
+}

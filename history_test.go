@@ -1,0 +1,170 @@
+package feisu
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestPersonalizationPinsHotPredicates(t *testing.T) {
+	sys, err := New(Config{
+		Leaves:               2,
+		PersonalizeThreshold: 3,
+		IndexTTL:             time.Nanosecond, // everything expires instantly...
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	loadVisits(t, sys, "/hdfs/visits", 200)
+
+	ctx := context.Background()
+	const q = "SELECT COUNT(*) FROM visits WHERE clicks > 4"
+	// With a nanosecond TTL every entry expires before reuse...
+	for i := 0; i < 3; i++ {
+		if _, err := sys.Query(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist := sys.History()
+	if hist == nil {
+		t.Fatal("history should be enabled")
+	}
+	if got := hist.PinnedPredicates(); len(got) != 1 || got[0] != "clicks > 4" {
+		t.Fatalf("pinned = %v", got)
+	}
+	// ...but once the predicate is pinned, its entries survive the TTL:
+	// the next run stores pinned entries, and the one after hits them.
+	if _, err := sys.Query(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	sys.ResetIndexCounters()
+	if _, err := sys.Query(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.IndexStats(); st.Hits == 0 {
+		t.Errorf("pinned predicate should hit despite the TTL: %+v", st)
+	}
+}
+
+func TestHistoryHotPredicates(t *testing.T) {
+	sys, err := New(Config{Leaves: 1, PersonalizeThreshold: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	loadVisits(t, sys, "/hdfs/visits", 100)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := sys.Query(ctx, "SELECT COUNT(*) FROM visits WHERE clicks > 7"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.Query(ctx, "SELECT COUNT(*) FROM visits WHERE clicks > 1"); err != nil {
+		t.Fatal(err)
+	}
+	hot := sys.History().HotPredicates("", 2)
+	if len(hot) != 1 || hot[0] != "clicks > 7" {
+		t.Errorf("hot = %v", hot)
+	}
+	if got := sys.History().HotPredicates("", 1); len(got) != 2 || got[0] != "clicks > 7" {
+		t.Errorf("ordered hot = %v", got)
+	}
+}
+
+func TestHistoryDisabledByDefault(t *testing.T) {
+	sys, err := New(Config{Leaves: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if sys.History() != nil {
+		t.Error("history should be nil when personalization is off")
+	}
+}
+
+func TestIngestOnce(t *testing.T) {
+	sys, err := New(Config{Leaves: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ctx := context.Background()
+
+	schema := MustSchema(
+		Field{Name: "ts", Type: Int64},
+		Field{Name: "msg", Type: String},
+	)
+	write := func(path, content string) {
+		t.Helper()
+		if err := sys.Router().WriteFile(ctx, path, []byte(content)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("/raw/logs/a.json", "{\"ts\": 1, \"msg\": \"boot\"}\n{\"ts\": 2, \"msg\": \"ready\"}")
+
+	n, err := sys.IngestOnce(ctx, "applogs", schema, "/raw/logs", "/hdfs/applogs")
+	if err != nil || n != 2 {
+		t.Fatalf("ingest = %d, %v", n, err)
+	}
+	res, err := sys.Query(ctx, "SELECT COUNT(*) FROM applogs")
+	if err != nil || res.Rows[0][0].I != 2 {
+		t.Fatalf("count = %v, %v", res.Rows, err)
+	}
+
+	// A second file arrives; re-ingest extends the table without
+	// duplicating the first file.
+	write("/raw/logs/b.json", "{\"ts\": 3, \"msg\": \"warn\"}")
+	n, err = sys.IngestOnce(ctx, "applogs", schema, "/raw/logs", "/hdfs/applogs")
+	if err != nil || n != 1 {
+		t.Fatalf("second ingest = %d, %v", n, err)
+	}
+	res, err = sys.Query(ctx, "SELECT COUNT(*) FROM applogs")
+	if err != nil || res.Rows[0][0].I != 3 {
+		t.Fatalf("count after growth = %v, %v", res.Rows, err)
+	}
+}
+
+func TestWatchJSONGrowsTable(t *testing.T) {
+	sys, err := New(Config{Leaves: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ctx := context.Background()
+	schema := MustSchema(Field{Name: "ts", Type: Int64})
+
+	stop, err := sys.WatchJSON("stream", schema, "/raw/stream", "/hdfs/stream", 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	// Table exists (empty) from the start.
+	res, err := sys.Query(ctx, "SELECT COUNT(*) FROM stream")
+	if err != nil || res.Rows[0][0].I != 0 {
+		t.Fatalf("empty table = %v, %v", res.Rows, err)
+	}
+
+	for i := 0; i < 3; i++ {
+		path := fmt.Sprintf("/raw/stream/f%d.json", i)
+		if err := sys.Router().WriteFile(ctx, path, []byte(fmt.Sprintf("{\"ts\": %d}", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		res, err := sys.Query(ctx, "SELECT COUNT(*) FROM stream")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].I == 3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watcher never caught up: count = %v", res.Rows[0][0])
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,170 @@
+// Package auth implements Feisu's authentication and authorization layer
+// (paper §V-A): token-based single-sign-on standing in for the X.509/PAM
+// machinery of the production system, per-storage-domain access control
+// with credential mapping ("mapping their authentication information to
+// running job credential"), and the per-user quotas enforced by the
+// master's Entry Guard (§III-C: "checks user identity, accessed resource
+// right and quota before submitting a query").
+package auth
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by the authorization layer.
+var (
+	ErrBadToken      = errors.New("auth: unknown or revoked token")
+	ErrDenied        = errors.New("auth: access denied")
+	ErrQuotaExceeded = errors.New("auth: quota exceeded")
+)
+
+// Credential identifies an authenticated principal inside a running job.
+type Credential struct {
+	User string
+	// DomainUsers maps storage schemes to the identity Feisu assumes in
+	// that domain (the SSO credential mapping).
+	DomainUsers map[string]string
+}
+
+// Authority is the in-memory identity provider: it issues tokens, maps
+// users into storage domains, and evaluates per-domain ACLs.
+type Authority struct {
+	mu      sync.Mutex
+	tokens  map[string]string            // token -> user
+	domains map[string]map[string]string // user -> scheme -> domain identity
+	acls    map[string]map[string]bool   // scheme -> user -> allowed
+}
+
+// NewAuthority returns an empty identity provider.
+func NewAuthority() *Authority {
+	return &Authority{
+		tokens:  make(map[string]string),
+		domains: make(map[string]map[string]string),
+		acls:    make(map[string]map[string]bool),
+	}
+}
+
+// Register creates a user and returns a fresh token.
+func (a *Authority) Register(user string) (string, error) {
+	buf := make([]byte, 16)
+	if _, err := rand.Read(buf); err != nil {
+		return "", err
+	}
+	token := hex.EncodeToString(buf)
+	a.mu.Lock()
+	a.tokens[token] = user
+	a.mu.Unlock()
+	return token, nil
+}
+
+// Revoke invalidates a token.
+func (a *Authority) Revoke(token string) {
+	a.mu.Lock()
+	delete(a.tokens, token)
+	a.mu.Unlock()
+}
+
+// MapDomain records that user acts as domainUser in the given storage
+// scheme ("" is the local filesystem domain).
+func (a *Authority) MapDomain(user, scheme, domainUser string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m, ok := a.domains[user]
+	if !ok {
+		m = make(map[string]string)
+		a.domains[user] = m
+	}
+	m[scheme] = domainUser
+}
+
+// Grant allows user to read the given storage scheme's domain.
+func (a *Authority) Grant(user, scheme string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m, ok := a.acls[scheme]
+	if !ok {
+		m = make(map[string]bool)
+		a.acls[scheme] = m
+	}
+	m[user] = true
+}
+
+// Authenticate resolves a token to a job credential carrying the user's
+// domain mappings.
+func (a *Authority) Authenticate(token string) (Credential, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	user, ok := a.tokens[token]
+	if !ok {
+		return Credential{}, ErrBadToken
+	}
+	cred := Credential{User: user, DomainUsers: make(map[string]string)}
+	for scheme, du := range a.domains[user] {
+		cred.DomainUsers[scheme] = du
+	}
+	return cred, nil
+}
+
+// Authorize checks that the credential may read the storage scheme.
+func (a *Authority) Authorize(cred Credential, scheme string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.acls[scheme][cred.User] {
+		return nil
+	}
+	return fmt.Errorf("%w: user %q on domain %q", ErrDenied, cred.User, scheme)
+}
+
+// Quotas limits per-user concurrent queries and total admitted queries.
+type Quotas struct {
+	mu        sync.Mutex
+	maxActive int
+	maxTotal  int64
+	active    map[string]int
+	total     map[string]int64
+}
+
+// NewQuotas returns quotas; maxActive<=0 or maxTotal<=0 disable that limit.
+func NewQuotas(maxActive int, maxTotal int64) *Quotas {
+	return &Quotas{
+		maxActive: maxActive,
+		maxTotal:  maxTotal,
+		active:    make(map[string]int),
+		total:     make(map[string]int64),
+	}
+}
+
+// Acquire admits one query for the user; callers must Release it.
+func (q *Quotas) Acquire(user string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.maxActive > 0 && q.active[user] >= q.maxActive {
+		return fmt.Errorf("%w: user %q has %d active queries", ErrQuotaExceeded, user, q.active[user])
+	}
+	if q.maxTotal > 0 && q.total[user] >= q.maxTotal {
+		return fmt.Errorf("%w: user %q exhausted total quota", ErrQuotaExceeded, user)
+	}
+	q.active[user]++
+	q.total[user]++
+	return nil
+}
+
+// Release returns one admitted slot.
+func (q *Quotas) Release(user string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.active[user] > 0 {
+		q.active[user]--
+	}
+}
+
+// Active returns the user's in-flight query count.
+func (q *Quotas) Active(user string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.active[user]
+}

@@ -1,0 +1,106 @@
+package auth
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegisterAuthenticate(t *testing.T) {
+	a := NewAuthority()
+	tok, err := a.Register("li")
+	if err != nil || tok == "" {
+		t.Fatalf("register: %q, %v", tok, err)
+	}
+	cred, err := a.Authenticate(tok)
+	if err != nil || cred.User != "li" {
+		t.Fatalf("authenticate: %+v, %v", cred, err)
+	}
+	if _, err := a.Authenticate("bogus"); !errors.Is(err, ErrBadToken) {
+		t.Errorf("bad token err = %v", err)
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	a := NewAuthority()
+	tok, _ := a.Register("li")
+	a.Revoke(tok)
+	if _, err := a.Authenticate(tok); !errors.Is(err, ErrBadToken) {
+		t.Errorf("revoked token should fail, got %v", err)
+	}
+}
+
+func TestDomainMapping(t *testing.T) {
+	a := NewAuthority()
+	tok, _ := a.Register("li")
+	a.MapDomain("li", "hdfs", "hdfs-svc-li")
+	a.MapDomain("li", "ffs", "archive-li")
+	cred, _ := a.Authenticate(tok)
+	if cred.DomainUsers["hdfs"] != "hdfs-svc-li" || cred.DomainUsers["ffs"] != "archive-li" {
+		t.Errorf("domain users = %v", cred.DomainUsers)
+	}
+}
+
+func TestAuthorize(t *testing.T) {
+	a := NewAuthority()
+	tok, _ := a.Register("li")
+	a.Grant("li", "hdfs")
+	cred, _ := a.Authenticate(tok)
+	if err := a.Authorize(cred, "hdfs"); err != nil {
+		t.Errorf("granted domain: %v", err)
+	}
+	if err := a.Authorize(cred, "ffs"); !errors.Is(err, ErrDenied) {
+		t.Errorf("ungranted domain err = %v", err)
+	}
+}
+
+func TestQuotasActive(t *testing.T) {
+	q := NewQuotas(2, 0)
+	if err := q.Acquire("li"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Acquire("li"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Acquire("li"); !errors.Is(err, ErrQuotaExceeded) {
+		t.Errorf("third acquire = %v", err)
+	}
+	// Other users are independent.
+	if err := q.Acquire("zhang"); err != nil {
+		t.Errorf("other user: %v", err)
+	}
+	q.Release("li")
+	if err := q.Acquire("li"); err != nil {
+		t.Errorf("after release: %v", err)
+	}
+	if q.Active("li") != 2 {
+		t.Errorf("active = %d", q.Active("li"))
+	}
+}
+
+func TestQuotasTotal(t *testing.T) {
+	q := NewQuotas(0, 2)
+	_ = q.Acquire("li")
+	q.Release("li")
+	_ = q.Acquire("li")
+	q.Release("li")
+	if err := q.Acquire("li"); !errors.Is(err, ErrQuotaExceeded) {
+		t.Errorf("total quota = %v", err)
+	}
+}
+
+func TestQuotasUnlimited(t *testing.T) {
+	q := NewQuotas(0, 0)
+	for i := 0; i < 100; i++ {
+		if err := q.Acquire("li"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReleaseNeverNegative(t *testing.T) {
+	q := NewQuotas(1, 0)
+	q.Release("li")
+	if q.Active("li") != 0 {
+		t.Errorf("active = %d", q.Active("li"))
+	}
+}

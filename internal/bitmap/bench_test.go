@@ -1,0 +1,60 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchBitmap(n int, density float64, seed int64) *Bitmap {
+	rng := rand.New(rand.NewSource(seed))
+	b := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < density {
+			b.Set(i)
+		}
+	}
+	return b
+}
+
+func BenchmarkAnd64K(b *testing.B) {
+	x := benchBitmap(1<<16, 0.5, 1)
+	y := benchBitmap(1<<16, 0.5, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := x.Clone()
+		c.And(y)
+	}
+}
+
+func BenchmarkNot64K(b *testing.B) {
+	x := benchBitmap(1<<16, 0.5, 1)
+	for i := 0; i < b.N; i++ {
+		c := x.Clone()
+		c.Not()
+	}
+}
+
+func BenchmarkCount64K(b *testing.B) {
+	x := benchBitmap(1<<16, 0.5, 1)
+	for i := 0; i < b.N; i++ {
+		_ = x.Count()
+	}
+}
+
+func BenchmarkCompressSparse(b *testing.B) {
+	x := benchBitmap(1<<16, 0.01, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Compress(x)
+	}
+}
+
+func BenchmarkDecompressSparse(b *testing.B) {
+	c := Compress(benchBitmap(1<<16, 0.01, 1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decompress(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

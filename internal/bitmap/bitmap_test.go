@@ -1,0 +1,325 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndBasicOps(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if b.Count() != 0 || b.Any() {
+		t.Error("new bitmap should be empty")
+	}
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if b.Count() != 3 {
+		t.Errorf("Count = %d, want 3", b.Count())
+	}
+	if !b.Get(0) || !b.Get(64) || !b.Get(129) || b.Get(1) {
+		t.Error("Get wrong")
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count() != 2 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) should panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestIndexOutOfRangePanics(t *testing.T) {
+	b := New(10)
+	for _, i := range []int{-1, 10, 100} {
+		func(i int) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) should panic", i)
+				}
+			}()
+			b.Get(i)
+		}(i)
+	}
+}
+
+func TestNewFull(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 200} {
+		b := NewFull(n)
+		if b.Count() != n {
+			t.Errorf("NewFull(%d).Count = %d", n, b.Count())
+		}
+		if n > 0 && !b.All() {
+			t.Errorf("NewFull(%d) not All", n)
+		}
+	}
+}
+
+func TestFromBools(t *testing.T) {
+	vals := []bool{true, false, true, true, false}
+	b := FromBools(vals)
+	for i, v := range vals {
+		if b.Get(i) != v {
+			t.Errorf("bit %d = %v, want %v", i, b.Get(i), v)
+		}
+	}
+}
+
+func TestAndOrNotXorAndNot(t *testing.T) {
+	a := FromBools([]bool{true, true, false, false, true})
+	b := FromBools([]bool{true, false, true, false, true})
+
+	x := a.Clone()
+	x.And(b)
+	if got := x.Selected(); len(got) != 2 || got[0] != 0 || got[1] != 4 {
+		t.Errorf("And = %v", got)
+	}
+
+	x = a.Clone()
+	x.Or(b)
+	if x.Count() != 4 {
+		t.Errorf("Or count = %d", x.Count())
+	}
+
+	x = a.Clone()
+	x.Not()
+	if got := x.Selected(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("Not = %v", got)
+	}
+
+	x = a.Clone()
+	x.Xor(b)
+	if got := x.Selected(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Xor = %v", got)
+	}
+
+	x = a.Clone()
+	x.AndNot(b)
+	if got := x.Selected(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("AndNot = %v", got)
+	}
+}
+
+func TestNotClearsTail(t *testing.T) {
+	// Not on a 65-bit bitmap must not set bits beyond 65.
+	b := New(65)
+	b.Not()
+	if b.Count() != 65 {
+		t.Errorf("Not count = %d, want 65", b.Count())
+	}
+	b.Not()
+	if b.Count() != 0 {
+		t.Errorf("double Not count = %d, want 0", b.Count())
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("And with mismatched length should panic")
+		}
+	}()
+	New(10).And(New(11))
+}
+
+func TestEqual(t *testing.T) {
+	a := FromBools([]bool{true, false, true})
+	b := FromBools([]bool{true, false, true})
+	c := FromBools([]bool{true, true, true})
+	if !a.Equal(b) {
+		t.Error("equal bitmaps not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different bitmaps Equal")
+	}
+	if a.Equal(New(4)) {
+		t.Error("different lengths Equal")
+	}
+}
+
+func TestForEachSetOrder(t *testing.T) {
+	b := New(200)
+	want := []int{0, 63, 64, 65, 127, 128, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	got := b.Selected()
+	if len(got) != len(want) {
+		t.Fatalf("Selected = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Selected[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 64, 65, 1000} {
+		b := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				b.Set(i)
+			}
+		}
+		got, err := Unmarshal(b.Marshal())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !got.Equal(b) {
+			t.Errorf("n=%d: round trip mismatch", n)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	b := New(128)
+	data := b.Marshal()
+	if _, err := Unmarshal(data[:len(data)-1]); err == nil {
+		t.Error("truncated input should fail")
+	}
+}
+
+func TestCompressRoundTripDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 63, 64, 65, 512, 4096} {
+		b := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		c := Compress(b)
+		got, err := c.Decompress()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !got.Equal(b) {
+			t.Errorf("n=%d: compress round trip mismatch", n)
+		}
+	}
+}
+
+func TestCompressSkewedSavesSpace(t *testing.T) {
+	// A sparse selection (the common SmartIndex case) must compress well.
+	b := New(1 << 16)
+	for i := 0; i < 10; i++ {
+		b.Set(i * 1000)
+	}
+	c := Compress(b)
+	if c.SizeBytes() >= b.SizeBytes()/4 {
+		t.Errorf("sparse compressed size %d not < dense/4 (%d)", c.SizeBytes(), b.SizeBytes()/4)
+	}
+	got, err := c.Decompress()
+	if err != nil || !got.Equal(b) {
+		t.Fatalf("round trip: %v", err)
+	}
+
+	full := NewFull(1 << 16)
+	cf := Compress(full)
+	if cf.SizeBytes() >= 64 {
+		t.Errorf("all-ones compressed size %d too large", cf.SizeBytes())
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	c := &Compressed{n: 128, data: []byte{0xff}} // bad varint / overflow
+	if _, err := c.Decompress(); err == nil {
+		t.Error("corrupt run should fail")
+	}
+	// Run overflowing word count.
+	c2 := &Compressed{n: 64, data: []byte{(10 << 2) | runZeros}}
+	if _, err := c2.Decompress(); err == nil {
+		t.Error("overflowing run should fail")
+	}
+	// Truncated coverage.
+	c3 := &Compressed{n: 128, data: []byte{(1 << 2) | runZeros}}
+	if _, err := c3.Decompress(); err == nil {
+		t.Error("short coverage should fail")
+	}
+	// Truncated literal payload.
+	c4 := &Compressed{n: 64, data: []byte{(1 << 2) | runLiteral, 1, 2}}
+	if _, err := c4.Decompress(); err == nil {
+		t.Error("truncated literal should fail")
+	}
+}
+
+func TestCompressRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)
+		rng := rand.New(rand.NewSource(seed))
+		b := New(n)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(10) {
+			case 0:
+				b.Set(i)
+			}
+		}
+		got, err := Compress(b).Decompress()
+		return err == nil && got.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	// NOT(a AND b) == NOT(a) OR NOT(b) — the identity the SmartIndex
+	// rewriter relies on when deriving indices from negations.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 300
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		lhs := a.Clone()
+		lhs.And(b)
+		lhs.Not()
+		na, nb := a.Clone(), b.Clone()
+		na.Not()
+		nb.Not()
+		na.Or(nb)
+		return lhs.Equal(na)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoubleNegationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := New(777)
+		for i := 0; i < 777; i++ {
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		c := b.Clone()
+		c.Not()
+		c.Not()
+		return c.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

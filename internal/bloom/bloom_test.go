@@ -1,0 +1,103 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.MayContain([]byte(fmt.Sprintf("key-%d", i))) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.MayContain([]byte(fmt.Sprintf("absent-%d", i))) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.05 {
+		t.Errorf("false positive rate = %v, want <= 0.05", rate)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := New(100, 0.01)
+	if f.MayContain([]byte("anything")) {
+		t.Error("empty filter should reject")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := New(64, 0.01)
+	for i := 0; i < 64; i++ {
+		f.Add([]byte{byte(i), byte(i * 3)})
+	}
+	got, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if !got.MayContain([]byte{byte(i), byte(i * 3)}) {
+			t.Fatalf("round trip lost key %d", i)
+		}
+	}
+	if got.SizeBytes() != f.SizeBytes() {
+		t.Errorf("size changed: %d vs %d", got.SizeBytes(), f.SizeBytes())
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := Unmarshal([]byte{63}); err == nil { // m not multiple of 64
+		t.Error("bad m should fail")
+	}
+	f := New(10, 0.01)
+	data := f.Marshal()
+	if _, err := Unmarshal(data[:len(data)-2]); err == nil {
+		t.Error("truncated should fail")
+	}
+}
+
+func TestDegenerateParams(t *testing.T) {
+	for _, f := range []*Filter{New(0, 0.01), New(10, 0), New(10, 2)} {
+		f.Add([]byte("x"))
+		if !f.MayContain([]byte("x")) {
+			t.Error("degenerate params must still work")
+		}
+	}
+}
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	fn := func(keys [][]byte) bool {
+		f := New(len(keys)+1, 0.01)
+		for _, k := range keys {
+			f.Add(k)
+		}
+		for _, k := range keys {
+			if !f.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,37 @@
+package btree
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/sqlparser"
+	"repro/internal/types"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(types.NewInt(rng.Int63n(1<<20)), int32(i))
+	}
+}
+
+func BenchmarkIndexLookupRange(b *testing.B) {
+	x := NewIndex()
+	c := colOf()
+	for i := int64(0); i < 4096; i++ {
+		_ = c.Append(types.NewInt(i % 97))
+	}
+	x.ObserveColumn("b0", "c", c, 4096)
+	a := plan.Atom{Col: "c", Op: sqlparser.OpGt, Val: types.NewInt(50)}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := x.Lookup(ctx, "b0", a, 4096); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package btree implements the B-tree secondary index Feisu is compared
+// against in the paper's Fig. 9(b). Each indexed (block, column) pair gets
+// an in-memory B-tree mapping column values to row ids; predicate atoms are
+// answered by range scans. Unlike SmartIndex, the B-tree avoids re-reading
+// the column but still pays tree traversal and row-id materialization per
+// query, which is why its curve is flat while SmartIndex keeps improving.
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// degree is the minimum fan-out; nodes hold [degree-1, 2*degree-1] keys.
+const degree = 32
+
+// Tree is a B-tree from types.Value keys to row-id lists (duplicates are
+// folded into one key's list).
+type Tree struct {
+	root *node
+	size int // distinct keys
+}
+
+type item struct {
+	key  types.Value
+	rows []int32
+}
+
+type node struct {
+	items    []item
+	children []*node // nil for leaves
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{root: &node{}} }
+
+// Len returns the number of distinct keys.
+func (t *Tree) Len() int { return t.size }
+
+func (n *node) leaf() bool { return len(n.children) == 0 }
+
+// find returns the position of key in n.items and whether it is present.
+func (n *node) find(key types.Value) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		cmp, err := types.Compare(n.items[mid].key, key)
+		if err != nil {
+			// Mixed incomparable types cannot occur in one column; order
+			// them by type tag for safety.
+			cmp = int(n.items[mid].key.T) - int(key.T)
+		}
+		if cmp < 0 {
+			lo = mid + 1
+		} else if cmp > 0 {
+			hi = mid
+		} else {
+			return mid, true
+		}
+	}
+	return lo, false
+}
+
+// Insert adds row to key's list.
+func (t *Tree) Insert(key types.Value, row int32) {
+	if len(t.root.items) == 2*degree-1 {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.root.splitChild(0)
+	}
+	if t.insertNonFull(t.root, key, row) {
+		t.size++
+	}
+}
+
+// insertNonFull inserts into a node known to have room; it reports whether
+// a new distinct key was created.
+func (t *Tree) insertNonFull(n *node, key types.Value, row int32) bool {
+	for {
+		i, found := n.find(key)
+		if found {
+			n.items[i].rows = append(n.items[i].rows, row)
+			return false
+		}
+		if n.leaf() {
+			n.items = append(n.items, item{})
+			copy(n.items[i+1:], n.items[i:])
+			n.items[i] = item{key: key, rows: []int32{row}}
+			return true
+		}
+		if len(n.children[i].items) == 2*degree-1 {
+			n.splitChild(i)
+			cmp, err := types.Compare(key, n.items[i].key)
+			if err == nil && cmp == 0 {
+				n.items[i].rows = append(n.items[i].rows, row)
+				return false
+			}
+			if err == nil && cmp > 0 {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// splitChild splits the full child at index i.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	mid := degree - 1
+	up := child.items[mid]
+	right := &node{items: append([]item(nil), child.items[mid+1:]...)}
+	if !child.leaf() {
+		right.children = append([]*node(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.items = child.items[:mid]
+
+	n.items = append(n.items, item{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = up
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Lookup returns the row ids for an exact key.
+func (t *Tree) Lookup(key types.Value) []int32 {
+	n := t.root
+	for {
+		i, found := n.find(key)
+		if found {
+			return n.items[i].rows
+		}
+		if n.leaf() {
+			return nil
+		}
+		n = n.children[i]
+	}
+}
+
+// Range calls fn for every (key, rows) with min <= key <= max, ascending.
+// A NULL min means unbounded below; a NULL max unbounded above. fn may
+// return false to stop early.
+func (t *Tree) Range(min, max types.Value, fn func(key types.Value, rows []int32) bool) {
+	t.rangeNode(t.root, min, max, fn)
+}
+
+func (t *Tree) rangeNode(n *node, min, max types.Value, fn func(types.Value, []int32) bool) bool {
+	start := 0
+	if !min.IsNull() {
+		start, _ = n.find(min)
+	}
+	for i := start; i <= len(n.items); i++ {
+		if !n.leaf() {
+			if !t.rangeNode(n.children[i], min, max, fn) {
+				return false
+			}
+		}
+		if i == len(n.items) {
+			break
+		}
+		it := n.items[i]
+		if !min.IsNull() {
+			if cmp, err := types.Compare(it.key, min); err != nil || cmp < 0 {
+				continue
+			}
+		}
+		if !max.IsNull() {
+			if cmp, err := types.Compare(it.key, max); err != nil || cmp > 0 {
+				return false
+			}
+		}
+		if !fn(it.key, it.rows) {
+			return false
+		}
+	}
+	return true
+}
+
+// Walk visits every key ascending (testing helper).
+func (t *Tree) Walk(fn func(key types.Value, rows []int32) bool) {
+	t.Range(types.NullValue(), types.NullValue(), fn)
+}
+
+// check validates B-tree invariants (testing helper).
+func (t *Tree) check() error {
+	_, err := t.checkNode(t.root, true)
+	return err
+}
+
+func (t *Tree) checkNode(n *node, root bool) (int, error) {
+	if !root && len(n.items) < degree-1 {
+		return 0, fmt.Errorf("btree: underfull node (%d items)", len(n.items))
+	}
+	if len(n.items) > 2*degree-1 {
+		return 0, fmt.Errorf("btree: overfull node (%d items)", len(n.items))
+	}
+	for i := 1; i < len(n.items); i++ {
+		cmp, err := types.Compare(n.items[i-1].key, n.items[i].key)
+		if err == nil && cmp >= 0 {
+			return 0, fmt.Errorf("btree: unsorted keys at %d", i)
+		}
+	}
+	if n.leaf() {
+		return 1, nil
+	}
+	if len(n.children) != len(n.items)+1 {
+		return 0, fmt.Errorf("btree: %d children for %d items", len(n.children), len(n.items))
+	}
+	depth := -1
+	for _, c := range n.children {
+		d, err := t.checkNode(c, false)
+		if err != nil {
+			return 0, err
+		}
+		if depth == -1 {
+			depth = d
+		} else if d != depth {
+			return 0, fmt.Errorf("btree: uneven leaf depth")
+		}
+	}
+	return depth + 1, nil
+}

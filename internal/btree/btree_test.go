@@ -1,0 +1,235 @@
+package btree
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/colstore"
+	"repro/internal/plan"
+	"repro/internal/sqlparser"
+	"repro/internal/types"
+)
+
+func TestInsertLookup(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 500; i++ {
+		tr.Insert(types.NewInt(i%100), int32(i))
+	}
+	if tr.Len() != 100 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	rows := tr.Lookup(types.NewInt(7))
+	if len(rows) != 5 {
+		t.Errorf("Lookup(7) = %v", rows)
+	}
+	if got := tr.Lookup(types.NewInt(1000)); got != nil {
+		t.Errorf("missing key = %v", got)
+	}
+	if err := tr.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(types.NewInt(i), int32(i))
+	}
+	var got []int64
+	tr.Range(types.NewInt(10), types.NewInt(20), func(k types.Value, rows []int32) bool {
+		got = append(got, k.I)
+		return true
+	})
+	if len(got) != 11 || got[0] != 10 || got[10] != 20 {
+		t.Errorf("range = %v", got)
+	}
+	// Unbounded below.
+	got = got[:0]
+	tr.Range(types.NullValue(), types.NewInt(3), func(k types.Value, rows []int32) bool {
+		got = append(got, k.I)
+		return true
+	})
+	if len(got) != 4 {
+		t.Errorf("unbounded-low range = %v", got)
+	}
+	// Early stop.
+	count := 0
+	tr.Range(types.NullValue(), types.NullValue(), func(types.Value, []int32) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop count = %d", count)
+	}
+}
+
+func TestWalkSorted(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		tr.Insert(types.NewInt(rng.Int63n(500)), int32(i))
+	}
+	prev := int64(-1)
+	tr.Walk(func(k types.Value, rows []int32) bool {
+		if k.I <= prev {
+			t.Fatalf("unsorted walk: %d after %d", k.I, prev)
+		}
+		prev = k.I
+		return true
+	})
+	if err := tr.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := New()
+	words := []string{"pear", "apple", "mango", "fig", "banana"}
+	for i, w := range words {
+		tr.Insert(types.NewString(w), int32(i))
+	}
+	var got []string
+	tr.Range(types.NewString("b"), types.NewString("n"), func(k types.Value, _ []int32) bool {
+		got = append(got, k.S)
+		return true
+	})
+	want := []string{"banana", "fig", "mango"}
+	if len(got) != len(want) {
+		t.Fatalf("range = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("range[%d] = %q", i, got[i])
+		}
+	}
+}
+
+func TestTreeInvariantProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%3000 + 1
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		counts := map[int64]int{}
+		for i := 0; i < n; i++ {
+			k := rng.Int63n(200)
+			counts[k]++
+			tr.Insert(types.NewInt(k), int32(i))
+		}
+		if tr.check() != nil || tr.Len() != len(counts) {
+			return false
+		}
+		for k, c := range counts {
+			if len(tr.Lookup(types.NewInt(k))) != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func colOf(vals ...int64) *colstore.Column {
+	c := colstore.NewColumn(types.Int64)
+	for _, v := range vals {
+		_ = c.Append(types.NewInt(v))
+	}
+	return c
+}
+
+func TestIndexObserveAndLookup(t *testing.T) {
+	x := NewIndex()
+	col := colOf(5, 1, 9, 1, 7)
+	x.ObserveColumn("b0", "c", col, 5)
+	if x.Builds != 1 {
+		t.Errorf("builds = %d", x.Builds)
+	}
+	x.ObserveColumn("b0", "c", col, 5) // idempotent
+	if x.Builds != 1 {
+		t.Error("re-observe should not rebuild")
+	}
+
+	cases := []struct {
+		op   sqlparser.BinaryOp
+		val  int64
+		want []int
+	}{
+		{sqlparser.OpEq, 1, []int{1, 3}},
+		{sqlparser.OpNe, 1, []int{0, 2, 4}},
+		{sqlparser.OpGt, 5, []int{2, 4}},
+		{sqlparser.OpGe, 5, []int{0, 2, 4}},
+		{sqlparser.OpLt, 5, []int{1, 3}},
+		{sqlparser.OpLe, 5, []int{0, 1, 3}},
+	}
+	for _, c := range cases {
+		bm, ok := x.Lookup(context.Background(), "b0", plan.Atom{Col: "c", Op: c.op, Val: types.NewInt(c.val)}, 5)
+		if !ok {
+			t.Fatalf("%v %d should hit", c.op, c.val)
+		}
+		got := bm.Selected()
+		if len(got) != len(c.want) {
+			t.Errorf("%v %d = %v, want %v", c.op, c.val, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%v %d = %v, want %v", c.op, c.val, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestIndexMisses(t *testing.T) {
+	x := NewIndex()
+	a := plan.Atom{Col: "c", Op: sqlparser.OpGt, Val: types.NewInt(1)}
+	if _, ok := x.Lookup(context.Background(), "b0", a, 5); ok {
+		t.Error("unobserved column should miss")
+	}
+	x.ObserveColumn("b0", "c", colOf(1, 2, 3), 3)
+	if _, ok := x.Lookup(context.Background(), "b0", a, 5); ok {
+		t.Error("row-count mismatch should miss")
+	}
+	cont := plan.Atom{Col: "c", Op: sqlparser.OpContains, Val: types.NewString("x")}
+	if _, ok := x.Lookup(context.Background(), "b0", cont, 3); ok {
+		t.Error("CONTAINS should miss")
+	}
+}
+
+func TestIndexRepeatedColumn(t *testing.T) {
+	x := NewIndex()
+	c := colstore.NewColumn(types.Int64)
+	// record 0: [1, 9]; record 1: []; record 2: [4].
+	_ = c.Append(types.NewInt(1))
+	_ = c.Append(types.NewInt(9))
+	_ = c.Append(types.NewInt(4))
+	c.Offsets = []int32{0, 2, 2, 3}
+	x.ObserveColumn("b0", "pos", c, 3)
+	bm, ok := x.Lookup(context.Background(), "b0", plan.Atom{Col: "pos", Op: sqlparser.OpGt, Val: types.NewInt(3)}, 3)
+	if !ok {
+		t.Fatal("should hit")
+	}
+	got := bm.Selected()
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("repeated lookup = %v", got)
+	}
+}
+
+func TestIndexNullsExcluded(t *testing.T) {
+	x := NewIndex()
+	c := colstore.NewColumn(types.Int64)
+	_ = c.Append(types.NewInt(1))
+	_ = c.Append(types.NullValue())
+	_ = c.Append(types.NewInt(3))
+	x.ObserveColumn("b0", "c", c, 3)
+	bm, ok := x.Lookup(context.Background(), "b0", plan.Atom{Col: "c", Op: sqlparser.OpNe, Val: types.NewInt(99)}, 3)
+	if !ok {
+		t.Fatal("should hit")
+	}
+	if bm.Get(1) {
+		t.Error("NULL row must not satisfy any predicate")
+	}
+}

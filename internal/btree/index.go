@@ -1,0 +1,137 @@
+package btree
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/bitmap"
+	"repro/internal/colstore"
+	"repro/internal/plan"
+	"repro/internal/sim"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Index adapts per-(block, column) B-trees to the executor's IndexSource
+// interface: once a column has been observed, comparison atoms over it are
+// answered by tree range scans instead of column re-reads. It implements
+// both exec.IndexSource and exec.ColumnObserver.
+type Index struct {
+	// Model prices lookups: unlike SmartIndex's cached vectors, a B-tree
+	// must traverse the tree and materialize matching row ids on every
+	// query — the computation the paper credits SmartIndex with avoiding.
+	Model *sim.CostModel
+
+	mu    sync.Mutex
+	trees map[string]*colTree // blockID + "|" + column
+	// Builds counts trees constructed; Lookups counts tree-served atoms.
+	Builds  int64
+	Lookups int64
+}
+
+type colTree struct {
+	tree    *Tree
+	numRows int
+}
+
+// NewIndex returns an empty B-tree index manager.
+func NewIndex() *Index { return &Index{trees: make(map[string]*colTree)} }
+
+// ObserveColumn builds (once) the B-tree for a column the executor just
+// read. Repeated columns index their flattened values per record.
+func (x *Index) ObserveColumn(blockID, colName string, c *colstore.Column, numRows int) {
+	k := blockID + "|" + colName
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, ok := x.trees[k]; ok {
+		return
+	}
+	t := New()
+	if c.Offsets != nil {
+		for r := 0; r < numRows; r++ {
+			for i := c.Offsets[r]; i < c.Offsets[r+1]; i++ {
+				if v := c.Value(int(i)); !v.IsNull() {
+					t.Insert(v, int32(r))
+				}
+			}
+		}
+	} else {
+		for r := 0; r < c.Len(); r++ {
+			if v := c.Value(r); !v.IsNull() {
+				t.Insert(v, int32(r))
+			}
+		}
+	}
+	x.trees[k] = &colTree{tree: t, numRows: numRows}
+	x.Builds++
+}
+
+// Lookup implements exec.IndexSource by range-scanning the column's tree.
+// CONTAINS atoms cannot be answered by a B-tree and miss.
+func (x *Index) Lookup(ctx context.Context, blockID string, a plan.Atom, n int) (*bitmap.Bitmap, bool) {
+	if a.Op == sqlparser.OpContains || a.Negated {
+		return nil, false
+	}
+	x.mu.Lock()
+	ct, ok := x.trees[blockID+"|"+a.Col]
+	x.mu.Unlock()
+	if !ok || ct.numRows != n {
+		return nil, false
+	}
+	out := bitmap.New(n)
+	set := func(rows []int32) {
+		for _, r := range rows {
+			out.Set(int(r))
+		}
+	}
+	t := ct.tree
+	switch a.Op {
+	case sqlparser.OpEq:
+		set(t.Lookup(a.Val))
+	case sqlparser.OpNe:
+		t.Walk(func(k types.Value, rows []int32) bool {
+			if cmp, err := types.Compare(k, a.Val); err != nil || cmp != 0 {
+				set(rows)
+			}
+			return true
+		})
+	case sqlparser.OpLt, sqlparser.OpLe:
+		t.Range(types.NullValue(), a.Val, func(k types.Value, rows []int32) bool {
+			if a.Op == sqlparser.OpLt {
+				if cmp, err := types.Compare(k, a.Val); err == nil && cmp == 0 {
+					return true
+				}
+			}
+			set(rows)
+			return true
+		})
+	case sqlparser.OpGt, sqlparser.OpGe:
+		t.Range(a.Val, types.NullValue(), func(k types.Value, rows []int32) bool {
+			if a.Op == sqlparser.OpGt {
+				if cmp, err := types.Compare(k, a.Val); err == nil && cmp == 0 {
+					return true
+				}
+			}
+			set(rows)
+			return true
+		})
+	default:
+		return nil, false
+	}
+	x.mu.Lock()
+	x.Lookups++
+	x.mu.Unlock()
+	if x.Model != nil {
+		if b := storage.BillFrom(ctx); b != nil {
+			// Traversal plus per-matched-row materialization, priced as
+			// CPU work over the touched bytes.
+			b.ChargeScan(x.Model, int64(out.Count())*16+int64(n))
+		}
+	}
+	return out, true
+}
+
+// Store implements exec.IndexSource as a no-op: the B-tree baseline indexes
+// columns, not predicate results.
+func (x *Index) Store(string, plan.Atom, *bitmap.Bitmap, colstore.Stats) {}

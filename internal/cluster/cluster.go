@@ -1,0 +1,140 @@
+// Package cluster implements Feisu's tree-structured server organization
+// (paper §III-B, Fig. 3): a master that plans, schedules and finalizes
+// queries; stem servers that dispatch sub-plans and aggregate partial
+// results; and leaf servers co-located with storage that execute sub-plans
+// with SmartIndex assistance. The master is composed of the paper's four
+// separable services — job manager, cluster manager, job scheduler and
+// entry guard — plus primary/backup failover via checkpoint and op log
+// (§III-C), backup tasks for stragglers, and the processed-ratio /
+// time-limit early return.
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sim"
+)
+
+// WorkerKind distinguishes stem and leaf servers.
+type WorkerKind int
+
+// Worker kinds.
+const (
+	KindLeaf WorkerKind = iota
+	KindStem
+)
+
+// String names the kind.
+func (k WorkerKind) String() string {
+	if k == KindStem {
+		return "stem"
+	}
+	return "leaf"
+}
+
+// QueryOptions tune one query submission.
+type QueryOptions struct {
+	// Token authenticates the caller with the entry guard.
+	Token string
+	// TimeLimit bounds wall-clock execution; expired queries return the
+	// partial result accumulated so far when MinProcessedRatio is met
+	// (paper §III-B: "directly limit the total elapse time").
+	TimeLimit time.Duration
+	// MinProcessedRatio (0..1] accepts a result once this fraction of
+	// tasks has completed; 0 means all tasks are required.
+	MinProcessedRatio float64
+	// TaskTimeout is the per-task straggler threshold that triggers a
+	// backup task; 0 uses the cluster default.
+	TaskTimeout time.Duration
+	// DisableReuse turns off identical-task result reuse (ablation).
+	DisableReuse bool
+}
+
+// QueryStats reports how a query executed.
+type QueryStats struct {
+	Tasks       int
+	TasksFailed int
+	BackupTasks int
+	ReusedTasks int
+	Scan        exec.ScanStats
+	// SimTime is the cost-model response time: the critical path through
+	// leaves and stems plus result transfers (DESIGN.md §2).
+	SimTime time.Duration
+	// WallTime is the real in-process execution time.
+	WallTime time.Duration
+	// BytesByDevice reports simulated bytes read per device class.
+	BytesByDevice map[string]int64
+}
+
+// taskMsg dispatches one sub-plan to a leaf.
+type taskMsg struct {
+	Task plan.TaskSpec
+}
+
+// taskReply is a leaf's answer.
+type taskReply struct {
+	Result *exec.TaskResult
+	// SpillPath is set instead of Result when the payload exceeded the
+	// spill threshold and was written to global storage (paper §V-C's
+	// write flow: "it will be dumped to global storage and only the
+	// location information is passed").
+	SpillPath string
+	Size      int64
+	// SimTime is the leaf-side simulated execution time for the task.
+	SimTime time.Duration
+	// DevBytes reports simulated bytes read per device class on the leaf.
+	DevBytes map[string]int64
+}
+
+// stemJobMsg asks a stem to run and merge a set of tasks.
+type stemJobMsg struct {
+	Plan   *plan.PhysicalPlan
+	Tasks  []plan.TaskSpec
+	Assign map[int]string // task ordinal -> leaf node
+	// TaskTimeout bounds each leaf call.
+	TaskTimeout time.Duration
+	// PerTask asks the stem to return per-task results instead of a
+	// merged partial, so the master's identical-task futures hold exact
+	// payloads (result sharing, §III-C).
+	PerTask bool
+}
+
+// taskStatus reports one task's outcome inside a stem reply.
+type taskStatus struct {
+	OK       bool
+	Err      string
+	Leaf     string
+	SimTime  time.Duration
+	Size     int64
+	DevBytes map[string]int64
+}
+
+// stemReply is a stem's answer: merged bottom-up, or per task when the
+// job asked for PerTask granularity.
+type stemReply struct {
+	Merged  *exec.TaskResult
+	PerTask map[int]*exec.TaskResult
+	Status  map[int]taskStatus
+}
+
+// pingMsg checks liveness and reports load.
+type pingMsg struct{}
+
+// pingReply carries a worker's heartbeat payload.
+type pingReply struct {
+	Kind        WorkerKind
+	ActiveTasks int
+}
+
+// deviceBytes extracts per-device byte counters from a bill.
+func deviceBytes(b *sim.Bill) map[string]int64 {
+	out := make(map[string]int64)
+	for _, d := range []sim.DeviceClass{sim.DeviceHDD, sim.DeviceSSD, sim.DeviceMemory, sim.DeviceNetwork, sim.DeviceCold} {
+		if n := b.Bytes(d); n != 0 {
+			out[d.String()] = n
+		}
+	}
+	return out
+}

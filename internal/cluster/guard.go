@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/auth"
+	"repro/internal/metrics"
+)
+
+// EntryGuard is the system's entry point (paper §III-C): it authenticates
+// the caller, enforces quotas, and rejects oversized/malformed traffic
+// before the job manager sees it ("capability protection to avoid
+// malicious attacks").
+type EntryGuard struct {
+	Authority *auth.Authority
+	Quotas    *auth.Quotas
+	// MaxQueryBytes rejects queries longer than this; <=0 disables.
+	MaxQueryBytes int
+
+	Admitted metrics.Counter
+	Rejected metrics.Counter
+}
+
+// Admit validates a submission. On success it returns the job credential
+// and a release function that must be called when the query finishes.
+func (g *EntryGuard) Admit(token, sql string) (auth.Credential, func(), error) {
+	if g.MaxQueryBytes > 0 && len(sql) > g.MaxQueryBytes {
+		g.Rejected.Inc()
+		return auth.Credential{}, nil, fmt.Errorf("cluster: query of %d bytes exceeds the %d-byte limit", len(sql), g.MaxQueryBytes)
+	}
+	cred, err := g.Authority.Authenticate(token)
+	if err != nil {
+		g.Rejected.Inc()
+		return auth.Credential{}, nil, err
+	}
+	if g.Quotas != nil {
+		if err := g.Quotas.Acquire(cred.User); err != nil {
+			g.Rejected.Inc()
+			return auth.Credential{}, nil, err
+		}
+	}
+	g.Admitted.Inc()
+	release := func() {
+		if g.Quotas != nil {
+			g.Quotas.Release(cred.User)
+		}
+	}
+	return cred, release, nil
+}

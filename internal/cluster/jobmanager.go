@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// JobManager owns the catalog and running-job state, and deduplicates
+// identical tasks across concurrent jobs (paper §III-C: "job manager tries
+// to reuse other running job's task result if tasks are identical").
+type JobManager struct {
+	mu      sync.Mutex
+	catalog plan.MapCatalog
+	// inflight maps task keys to shared futures.
+	inflight map[string]*taskFuture
+	nextJob  int64
+
+	Reused metrics.Counter
+}
+
+// taskFuture is one running task shared across identical submissions.
+type taskFuture struct {
+	done   chan struct{}
+	result *exec.TaskResult
+	err    error
+}
+
+// NewJobManager returns an empty manager.
+func NewJobManager() *JobManager {
+	return &JobManager{catalog: plan.MapCatalog{}, inflight: make(map[string]*taskFuture)}
+}
+
+// RegisterTable installs or replaces a catalog entry and returns the op for
+// replication to backup masters.
+func (j *JobManager) RegisterTable(meta *plan.TableMeta) catalogOp {
+	j.mu.Lock()
+	j.catalog[meta.Name] = meta
+	j.mu.Unlock()
+	return catalogOp{Table: meta}
+}
+
+// Lookup implements plan.Catalog.
+func (j *JobManager) Lookup(name string) (*plan.TableMeta, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if t, ok := j.catalog[name]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown table %q", name)
+}
+
+// Tables lists catalog entries.
+func (j *JobManager) Tables() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.catalog.Tables()
+}
+
+// NewJobID allocates a job identifier.
+func (j *JobManager) NewJobID() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.nextJob++
+	return fmt.Sprintf("job-%d", j.nextJob)
+}
+
+// claimTask either registers a new future for the task (owner=true: the
+// caller must run it and complete the future) or returns the future of an
+// identical running task (owner=false: the caller waits on it).
+func (j *JobManager) claimTask(key string) (*taskFuture, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if f, ok := j.inflight[key]; ok {
+		j.Reused.Inc()
+		return f, false
+	}
+	f := &taskFuture{done: make(chan struct{})}
+	j.inflight[key] = f
+	return f, true
+}
+
+// completeTask publishes a task result and retires the future.
+func (j *JobManager) completeTask(key string, f *taskFuture, res *exec.TaskResult, err error) {
+	f.result, f.err = res, err
+	close(f.done)
+	j.mu.Lock()
+	delete(j.inflight, key)
+	j.mu.Unlock()
+}
+
+// catalogOp is the replicated operation-log entry for master HA.
+type catalogOp struct {
+	Table *plan.TableMeta
+}
+
+// catalogSnapshot is the checkpoint shipped to a fresh backup.
+type catalogSnapshot struct {
+	Tables []*plan.TableMeta
+}
+
+// Snapshot captures the catalog for checkpoint shipping.
+func (j *JobManager) Snapshot() catalogSnapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	snap := catalogSnapshot{}
+	for _, name := range j.catalog.Tables() {
+		snap.Tables = append(snap.Tables, j.catalog[name])
+	}
+	return snap
+}
+
+// Restore applies a checkpoint.
+func (j *JobManager) Restore(snap catalogSnapshot) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.catalog = plan.MapCatalog{}
+	for _, t := range snap.Tables {
+		j.catalog[t.Name] = t
+	}
+}
+
+// cloneResult deep-copies a task result so shared (reused) results cannot
+// be mutated by one consumer's merge while another reads it.
+func cloneResult(r *exec.TaskResult) *exec.TaskResult {
+	if r == nil {
+		return nil
+	}
+	out := &exec.TaskResult{Stats: r.Stats}
+	if r.Rows != nil {
+		out.Rows = make([][]types.Value, len(r.Rows))
+		for i, row := range r.Rows {
+			cp := make([]types.Value, len(row))
+			copy(cp, row)
+			out.Rows[i] = cp
+		}
+	}
+	if r.Groups != nil {
+		out.Groups = exec.NewGroups(r.Groups.NumAggs)
+		for k, g := range r.Groups.M {
+			keys := make([]types.Value, len(g.Keys))
+			copy(keys, g.Keys)
+			cells := make([]exec.Cell, len(g.Cells))
+			copy(cells, g.Cells)
+			out.Groups.M[k] = &exec.Group{Keys: keys, Cells: cells}
+		}
+	}
+	return out
+}

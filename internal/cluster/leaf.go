@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// LeafServer executes sub-plans against the storage it sits next to (paper
+// §III-B: "each storage node ... acts as a leaf server in Feisu"). It owns
+// the node's SmartIndex (or B-tree baseline), its SSD-cache-wrapped reader,
+// and reports load through heartbeats.
+type LeafServer struct {
+	Name   string
+	Fabric *transport.Fabric
+	Reader exec.PartitionReader
+	// Index is the node's SmartIndex / B-tree; nil disables indexing.
+	Index exec.IndexSource
+	// Router performs spill writes and resolves data locality; nil
+	// disables spilling and the remote-read penalty.
+	Router *storage.Router
+	// Model prices remote reads; nil disables the penalty.
+	Model *sim.CostModel
+	// SpillThreshold sends results above this size via global storage
+	// instead of inline; <=0 disables spilling.
+	SpillThreshold int64
+	// SpillPrefix is where spilled results go (e.g. "/hdfs/feisu-tmp").
+	SpillPrefix string
+	// Delay injects a fixed pause per task (straggler fault injection).
+	Delay time.Duration
+
+	active   atomic.Int32
+	spillSeq atomic.Int64
+	stop     chan struct{}
+}
+
+// Register attaches the leaf to the fabric.
+func (l *LeafServer) Register() {
+	l.Fabric.Register(l.Name, l.handle)
+}
+
+// handle dispatches incoming messages.
+func (l *LeafServer) handle(ctx context.Context, from string, payload any) (any, error) {
+	switch msg := payload.(type) {
+	case pingMsg:
+		return pingReply{Kind: KindLeaf, ActiveTasks: int(l.active.Load())}, nil
+	case taskMsg:
+		return l.runTask(ctx, msg)
+	default:
+		return nil, fmt.Errorf("cluster: leaf %s: unknown message %T", l.Name, payload)
+	}
+}
+
+// runTask executes one sub-plan, billing simulated I/O to a private bill.
+func (l *LeafServer) runTask(ctx context.Context, msg taskMsg) (any, error) {
+	l.active.Add(1)
+	defer l.active.Add(-1)
+	if l.Delay > 0 {
+		select {
+		case <-time.After(l.Delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	bill := sim.NewBill()
+	res, err := exec.RunTask(storage.WithBill(ctx, bill), msg.Task, l.Reader, l.Index)
+	if err != nil {
+		return nil, err
+	}
+	l.chargeRemoteRead(bill, msg.Task.Partition.Path)
+	reply := taskReply{Result: res, Size: res.EstimateBytes(), SimTime: bill.Time(), DevBytes: deviceBytes(bill)}
+	if l.SpillThreshold > 0 && reply.Size > l.SpillThreshold && l.Router != nil {
+		data, err := encodeResult(res)
+		if err != nil {
+			return nil, err
+		}
+		path := fmt.Sprintf("%s/%s-%d", l.SpillPrefix, l.Name, l.spillSeq.Add(1))
+		// Spilling is write-flow traffic to global storage (§V-C).
+		if err := l.Router.WriteFile(ctx, path, data); err != nil {
+			return nil, fmt.Errorf("cluster: spill to %s: %w", path, err)
+		}
+		l.Fabric.Msgs[transport.Write].Inc()
+		l.Fabric.Bytes[transport.Write].Add(int64(len(data)))
+		reply.Result = nil
+		reply.SpillPath = path
+		reply.Size = int64(len(data))
+	}
+	return reply, nil
+}
+
+// chargeRemoteRead models the network cost of scheduling a task away from
+// its data: when this leaf holds no replica of the partition, every byte it
+// read crossed the network from the nearest holder (the overhead the
+// paper's locality-aware scheduler avoids, §III-B).
+func (l *LeafServer) chargeRemoteRead(bill *sim.Bill, path string) {
+	if l.Router == nil || l.Model == nil {
+		return
+	}
+	holders := l.Router.Locations(path)
+	if len(holders) == 0 {
+		return
+	}
+	hops := 1 << 30
+	topo := l.Fabric.Topology()
+	for _, h := range holders {
+		if h == l.Name {
+			return // local read
+		}
+		if hp := topo.Hops(l.Name, h); hp < hops {
+			hops = hp
+		}
+	}
+	var moved int64
+	for _, d := range []sim.DeviceClass{sim.DeviceHDD, sim.DeviceCold, sim.DeviceSSD, sim.DeviceMemory} {
+		moved += bill.Bytes(d)
+	}
+	if moved > 0 && hops > 0 && hops < 1<<30 {
+		bill.ChargeTransfer(l.Model, moved, hops)
+	}
+}
+
+// HeartbeatOnce sends one heartbeat to the master.
+func (l *LeafServer) HeartbeatOnce(ctx context.Context, master string) error {
+	_, err := l.Fabric.Call(ctx, l.Name, master, transport.Control,
+		heartbeatMsg{Name: l.Name, Kind: KindLeaf, Active: int(l.active.Load())}, 64)
+	return err
+}
+
+// Start launches the heartbeat loop; Stop ends it. A second Start while
+// running is a no-op.
+func (l *LeafServer) Start(master string, interval time.Duration) {
+	if l.stop != nil {
+		return
+	}
+	l.stop = make(chan struct{})
+	go heartbeatLoop(l.stop, interval, func() {
+		_ = l.HeartbeatOnce(context.Background(), master)
+	})
+}
+
+// Stop ends the heartbeat loop.
+func (l *LeafServer) Stop() {
+	if l.stop != nil {
+		close(l.stop)
+		l.stop = nil
+	}
+}
+
+// heartbeatMsg reports liveness and load to the master's cluster manager.
+type heartbeatMsg struct {
+	Name   string
+	Kind   WorkerKind
+	Active int
+}
+
+func heartbeatLoop(stop <-chan struct{}, interval time.Duration, beat func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	beat()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			beat()
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// ClusterManager tracks worker liveness and load. The paper deliberately
+// avoids ZooKeeper-style coordination ("the number of workers is too large
+// and the workers are geographically distributed", §III-C) in favor of
+// periodic heartbeats into a horizontally-scalable manager; this is that
+// manager for one master.
+type ClusterManager struct {
+	// Now is injectable for tests.
+	Now func() time.Time
+	// LivenessWindow marks a worker dead when no heartbeat arrives within
+	// it.
+	LivenessWindow time.Duration
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+}
+
+type workerState struct {
+	kind     WorkerKind
+	lastBeat time.Time
+	active   int // tasks reported by the last heartbeat
+	inflight int // tasks dispatched by this master and not yet finished
+}
+
+// NewClusterManager returns a manager with the given liveness window.
+func NewClusterManager(window time.Duration) *ClusterManager {
+	if window <= 0 {
+		window = 5 * time.Second
+	}
+	return &ClusterManager{Now: time.Now, LivenessWindow: window, workers: make(map[string]*workerState)}
+}
+
+// Heartbeat records a beat from a worker.
+func (m *ClusterManager) Heartbeat(name string, kind WorkerKind, activeTasks int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.workers[name]
+	if !ok {
+		w = &workerState{}
+		m.workers[name] = w
+	}
+	w.kind = kind
+	w.lastBeat = m.Now()
+	w.active = activeTasks
+}
+
+// Forget removes a worker (decommission).
+func (m *ClusterManager) Forget(name string) {
+	m.mu.Lock()
+	delete(m.workers, name)
+	m.mu.Unlock()
+}
+
+// Alive reports whether a worker's heartbeat is fresh.
+func (m *ClusterManager) Alive(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.workers[name]
+	return ok && m.Now().Sub(w.lastBeat) <= m.LivenessWindow
+}
+
+// AliveWorkers returns the fresh workers of a kind, sorted by name.
+func (m *ClusterManager) AliveWorkers(kind WorkerKind) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.Now()
+	var out []string
+	for name, w := range m.workers {
+		if w.kind == kind && now.Sub(w.lastBeat) <= m.LivenessWindow {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load returns the worker's known load (heartbeat-reported plus tasks this
+// master has in flight).
+func (m *ClusterManager) Load(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.workers[name]
+	if !ok {
+		return 0
+	}
+	return w.active + w.inflight
+}
+
+// AddInflight adjusts the dispatch-side load tracker.
+func (m *ClusterManager) AddInflight(name string, delta int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if w, ok := m.workers[name]; ok {
+		w.inflight += delta
+		if w.inflight < 0 {
+			w.inflight = 0
+		}
+	}
+}

@@ -1,0 +1,632 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/colstore"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sim"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// ErrStandby is returned when a query is submitted to a backup master.
+var ErrStandby = errors.New("cluster: master is in standby (backup) mode")
+
+// ErrDeadline is returned when the time limit expires before the minimum
+// processed ratio is reached.
+var ErrDeadline = errors.New("cluster: time limit expired before enough tasks completed")
+
+// MasterConfig wires a master.
+type MasterConfig struct {
+	Name   string
+	Fabric *transport.Fabric
+	Router *storage.Router
+	Model  *sim.CostModel
+	// Authority enables the entry guard; nil runs the cluster open.
+	Authority *auth.Authority
+	Quotas    *auth.Quotas
+	// MaxQueryBytes caps query text size at the entry guard.
+	MaxQueryBytes int
+	// DefaultTaskTimeout triggers backup tasks; 0 disables.
+	DefaultTaskTimeout time.Duration
+	// MaxTaskRetries bounds backup attempts per task.
+	MaxTaskRetries int
+	// LivenessWindow configures the cluster manager.
+	LivenessWindow time.Duration
+	// LocalityOff disables locality-aware placement (ablation).
+	LocalityOff bool
+	// Standby starts the master as a backup.
+	Standby bool
+	// Observer, when set, receives every query's predicate atoms per
+	// user — the client-side query-history collection that personalizes
+	// SmartIndex (paper §III-C).
+	Observer PredicateObserver
+}
+
+// PredicateObserver collects per-user predicate usage.
+type PredicateObserver interface {
+	ObserveQuery(user string, atomKeys []string)
+}
+
+// Master is the root of the execution tree.
+type Master struct {
+	cfg       MasterConfig
+	Jobs      *JobManager
+	Manager   *ClusterManager
+	Scheduler *JobScheduler
+	Guard     *EntryGuard
+	reader    *exec.StoreReader
+	localStem *StemServer
+
+	mu      sync.Mutex
+	standby bool
+	backups []string
+	oplog   []catalogOp
+}
+
+// NewMaster builds and registers a master on the fabric.
+func NewMaster(cfg MasterConfig) *Master {
+	if cfg.MaxTaskRetries <= 0 {
+		cfg.MaxTaskRetries = 2
+	}
+	m := &Master{
+		cfg:     cfg,
+		Jobs:    NewJobManager(),
+		Manager: NewClusterManager(cfg.LivenessWindow),
+		standby: cfg.Standby,
+		reader:  exec.NewStoreReader(cfg.Router),
+	}
+	m.Scheduler = &JobScheduler{
+		Manager:     m.Manager,
+		Router:      cfg.Router,
+		Topo:        cfg.Fabric.Topology(),
+		LocalityOff: cfg.LocalityOff,
+	}
+	if cfg.Authority != nil {
+		m.Guard = &EntryGuard{Authority: cfg.Authority, Quotas: cfg.Quotas, MaxQueryBytes: cfg.MaxQueryBytes}
+	}
+	// The local stem lets a master without registered stem servers drive
+	// leaves directly, and serves single-task backup dispatches.
+	m.localStem = &StemServer{Name: cfg.Name, Fabric: cfg.Fabric, Router: cfg.Router, Model: cfg.Model}
+	cfg.Fabric.Register(cfg.Name, m.handle)
+	return m
+}
+
+// handle processes fabric messages addressed to the master.
+func (m *Master) handle(ctx context.Context, from string, payload any) (any, error) {
+	switch msg := payload.(type) {
+	case heartbeatMsg:
+		m.Manager.Heartbeat(msg.Name, msg.Kind, msg.Active)
+		return nil, nil
+	case catalogOp:
+		m.Jobs.RegisterTable(msg.Table)
+		m.mu.Lock()
+		m.oplog = append(m.oplog, msg)
+		m.mu.Unlock()
+		return nil, nil
+	case catalogSnapshot:
+		m.Jobs.Restore(msg)
+		return nil, nil
+	case pingMsg:
+		return pingReply{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: master %s: unknown message %T", m.cfg.Name, payload)
+	}
+}
+
+// Standby reports whether the master is a backup.
+func (m *Master) Standby() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.standby
+}
+
+// Promote turns a backup master into the primary (failover).
+func (m *Master) Promote() {
+	m.mu.Lock()
+	m.standby = false
+	m.mu.Unlock()
+}
+
+// AddBackup ships a checkpoint to a backup master and starts replicating
+// the op log to it (paper §III-C: "the backup components get checkpoint
+// and operations log from the primary in realtime").
+func (m *Master) AddBackup(ctx context.Context, name string) error {
+	snap := m.Jobs.Snapshot()
+	if _, err := m.cfg.Fabric.Call(ctx, m.cfg.Name, name, transport.Control, snap, 1024); err != nil {
+		return fmt.Errorf("cluster: checkpoint to backup %s: %w", name, err)
+	}
+	m.mu.Lock()
+	m.backups = append(m.backups, name)
+	m.mu.Unlock()
+	return nil
+}
+
+// RegisterTable installs a table and replicates the op to backups.
+func (m *Master) RegisterTable(ctx context.Context, meta *plan.TableMeta) error {
+	if m.Standby() {
+		return ErrStandby
+	}
+	op := m.Jobs.RegisterTable(meta)
+	m.mu.Lock()
+	m.oplog = append(m.oplog, op)
+	backups := append([]string(nil), m.backups...)
+	m.mu.Unlock()
+	for _, b := range backups {
+		if _, err := m.cfg.Fabric.Call(ctx, m.cfg.Name, b, transport.Control, op, 256); err != nil {
+			return fmt.Errorf("cluster: replicate catalog op to %s: %w", b, err)
+		}
+	}
+	return nil
+}
+
+// Submit plans, schedules, executes and finalizes one query.
+func (m *Master) Submit(ctx context.Context, sql string, opts QueryOptions) (*exec.Result, *QueryStats, error) {
+	if m.Standby() {
+		return nil, nil, ErrStandby
+	}
+	start := time.Now()
+	stats := &QueryStats{}
+
+	// Entry guard (§III-C).
+	var cred auth.Credential
+	if m.Guard != nil {
+		var release func()
+		var err error
+		cred, release, err = m.Guard.Admit(opts.Token, sql)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer release()
+	}
+
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := plan.Plan(stmt, m.Jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Cross-domain authorization: the job credential must map into every
+	// storage domain the query touches (§V-A).
+	if m.Guard != nil {
+		if err := m.authorize(cred, p); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	if m.cfg.Observer != nil {
+		var keys []string
+		for _, cl := range p.Filter.Clauses {
+			for _, a := range cl.Atoms {
+				keys = append(keys, a.Key())
+			}
+		}
+		m.cfg.Observer.ObserveQuery(cred.User, keys)
+	}
+
+	if opts.TimeLimit > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.TimeLimit)
+		defer cancel()
+	}
+
+	masterBill := sim.NewBill()
+	if err := m.loadDims(storage.WithBill(ctx, masterBill), p); err != nil {
+		return nil, nil, err
+	}
+
+	tasks := p.Tasks()
+	stats.Tasks = len(tasks)
+	merged, err := m.runAll(ctx, p, tasks, opts, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	res, err := exec.Finalize(p, merged)
+	if err != nil {
+		return nil, nil, err
+	}
+	if merged != nil {
+		stats.Scan = merged.Stats
+	}
+	completed := stats.Tasks - stats.TasksFailed
+	if stats.Tasks > 0 {
+		res.ProcessedRatio = float64(completed) / float64(stats.Tasks)
+	} else {
+		res.ProcessedRatio = 1
+	}
+	res.Partial = stats.TasksFailed > 0
+	stats.WallTime = time.Since(start)
+	stats.SimTime += masterBill.Time() + 2*m.rpcLatency()
+	if stats.BytesByDevice == nil {
+		stats.BytesByDevice = make(map[string]int64)
+	}
+	for dev, n := range deviceBytes(masterBill) {
+		stats.BytesByDevice[dev] += n
+	}
+	return res, stats, nil
+}
+
+func (m *Master) rpcLatency() time.Duration {
+	if m.cfg.Model == nil {
+		return 0
+	}
+	return m.cfg.Model.RPCLatency
+}
+
+// authorize checks every storage domain the plan reads.
+func (m *Master) authorize(cred auth.Credential, p *plan.PhysicalPlan) error {
+	seen := make(map[string]bool)
+	checkTable := func(t *plan.TableMeta) error {
+		for _, part := range t.Partitions {
+			store, _ := m.cfg.Router.Resolve(part.Path)
+			scheme := store.Scheme()
+			if seen[scheme] {
+				continue
+			}
+			seen[scheme] = true
+			if err := m.cfg.Authority.Authorize(cred, scheme); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := checkTable(p.Fact().Meta); err != nil {
+		return err
+	}
+	for _, d := range p.Dims {
+		if err := checkTable(d.Table.Meta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadDims materializes the broadcast dimension tables at the master.
+func (m *Master) loadDims(ctx context.Context, p *plan.PhysicalPlan) error {
+	for _, d := range p.Dims {
+		cols := d.Needed
+		if len(cols) == 0 {
+			d.Data = nil
+			continue
+		}
+		var rows [][]types.Value
+		for _, part := range d.Table.Meta.Partitions {
+			meta, err := m.reader.Meta(ctx, part.Path)
+			if err != nil {
+				return fmt.Errorf("cluster: dimension %s: %w", d.Table.Meta.Name, err)
+			}
+			ords := make([]int, len(cols))
+			for i, c := range cols {
+				ord := meta.Schema.Index(c)
+				if ord < 0 {
+					return fmt.Errorf("cluster: dimension %s lacks column %q", d.Table.Meta.Name, c)
+				}
+				ords[i] = ord
+			}
+			for bi := range meta.Blocks {
+				colData := make([]*colColumn, len(cols))
+				for i, ord := range ords {
+					c, err := m.reader.Column(ctx, part.Path, meta, bi, ord)
+					if err != nil {
+						return err
+					}
+					colData[i] = &colColumn{c: c}
+				}
+				n := meta.Blocks[bi].Stats.NumRows
+				for r := 0; r < n; r++ {
+					row := make([]types.Value, len(cols))
+					for i := range cols {
+						row[i] = colData[i].value(r)
+					}
+					rows = append(rows, row)
+				}
+			}
+		}
+		d.Data = rows
+	}
+	return nil
+}
+
+// taskDone is one task's terminal outcome inside runAll.
+type taskDone struct {
+	ordinal  int
+	res      *exec.TaskResult
+	simTime  time.Duration
+	leaf     string
+	err      error
+	reused   bool
+	backups  int
+	devBytes map[string]int64
+}
+
+// runAll executes the task set with dedup, backup tasks and the early
+// return policy, and merges the results.
+func (m *Master) runAll(ctx context.Context, p *plan.PhysicalPlan, tasks []plan.TaskSpec, opts QueryOptions, stats *QueryStats) (*exec.TaskResult, error) {
+	results := make(chan taskDone, len(tasks))
+
+	// Split into owned tasks (we execute) and reused tasks (an identical
+	// task is already running in another job).
+	var owned []plan.TaskSpec
+	futures := make(map[int]*taskFuture, len(tasks))
+	owner := make(map[int]*taskFuture)
+	for _, t := range tasks {
+		if opts.DisableReuse {
+			f := &taskFuture{done: make(chan struct{})}
+			owner[t.Ordinal] = f
+			futures[t.Ordinal] = f
+			owned = append(owned, t)
+			continue
+		}
+		f, isOwner := m.Jobs.claimTask(t.Key())
+		futures[t.Ordinal] = f
+		if isOwner {
+			owner[t.Ordinal] = f
+			owned = append(owned, t)
+		} else {
+			stats.ReusedTasks++
+			go func(t plan.TaskSpec, f *taskFuture) {
+				select {
+				case <-f.done:
+					results <- taskDone{ordinal: t.Ordinal, res: f.result, err: f.err, reused: true}
+				case <-ctx.Done():
+					results <- taskDone{ordinal: t.Ordinal, err: ctx.Err(), reused: true}
+				}
+			}(t, f)
+		}
+	}
+
+	timeout := opts.TaskTimeout
+	if timeout == 0 {
+		timeout = m.cfg.DefaultTaskTimeout
+	}
+
+	// Dispatch owned tasks grouped per stem; fall back to direct leaf
+	// calls when no stem servers are alive.
+	if len(owned) > 0 {
+		assign, err := m.Scheduler.PlanAll(owned)
+		if err != nil {
+			// Complete owned futures so concurrent sharers unblock.
+			for _, t := range owned {
+				if f := owner[t.Ordinal]; f != nil {
+					m.completeOwned(opts, t, f, nil, err)
+				}
+			}
+			return nil, err
+		}
+		byStem := m.groupByStem(owned, assign)
+		var wg sync.WaitGroup
+		for stemName, group := range byStem {
+			wg.Add(1)
+			go func(stemName string, group []plan.TaskSpec) {
+				defer wg.Done()
+				job := stemJobMsg{Plan: p, Tasks: group, Assign: assign, TaskTimeout: timeout, PerTask: !opts.DisableReuse}
+				reply, err := m.callStem(ctx, stemName, job)
+				for _, t := range group {
+					d := taskDone{ordinal: t.Ordinal, leaf: assign[t.Ordinal]}
+					if err != nil {
+						d.err = err
+					} else if st, ok := reply.Status[t.Ordinal]; ok && st.OK {
+						d.simTime = st.SimTime
+						d.devBytes = st.DevBytes
+						d.res = reply.PerTask[t.Ordinal]
+					} else if ok {
+						d.err = errors.New(st.Err)
+					} else {
+						d.err = fmt.Errorf("cluster: stem %s lost task %d", stemName, t.Ordinal)
+					}
+					// Backup tasks: reschedule failures on other leaves.
+					if d.err != nil {
+						d = m.retryTask(ctx, p, t, assign[t.Ordinal], timeout, d)
+					}
+					if f := owner[t.Ordinal]; f != nil {
+						m.completeOwned(opts, t, f, d.res, d.err)
+					}
+					results <- d
+				}
+			}(stemName, group)
+		}
+		go func() { wg.Wait() }()
+	}
+
+	// Collect.
+	var merged *exec.TaskResult
+	completed := 0
+	leafBusy := make(map[string]time.Duration)
+	devBytes := make(map[string]int64)
+	deadlineHit := false
+	for i := 0; i < len(tasks); i++ {
+		select {
+		case d := <-results:
+			if d.err != nil {
+				stats.TasksFailed++
+				continue
+			}
+			completed++
+			stats.BackupTasks += d.backups
+			if d.leaf != "" {
+				leafBusy[d.leaf] += d.simTime
+			}
+			for dev, n := range d.devBytes {
+				devBytes[dev] += n
+			}
+			merged = exec.MergeResults(p, merged, cloneResult(d.res))
+		case <-ctx.Done():
+			deadlineHit = true
+			stats.TasksFailed = len(tasks) - completed
+			i = len(tasks) // drain no further
+		}
+		if deadlineHit {
+			break
+		}
+	}
+
+	var busiest time.Duration
+	for _, b := range leafBusy {
+		if b > busiest {
+			busiest = b
+		}
+	}
+	stats.SimTime = busiest
+	stats.BytesByDevice = devBytes
+
+	if stats.TasksFailed > 0 {
+		ratio := float64(completed) / float64(len(tasks))
+		if opts.MinProcessedRatio > 0 && ratio >= opts.MinProcessedRatio {
+			return merged, nil // partial result accepted (§III-B)
+		}
+		if deadlineHit {
+			return nil, fmt.Errorf("%w: %d/%d tasks", ErrDeadline, completed, len(tasks))
+		}
+		return nil, fmt.Errorf("cluster: %d of %d tasks failed permanently", stats.TasksFailed, len(tasks))
+	}
+	return merged, nil
+}
+
+// completeOwned publishes an owned task's outcome to sharers.
+func (m *Master) completeOwned(opts QueryOptions, t plan.TaskSpec, f *taskFuture, res *exec.TaskResult, err error) {
+	if opts.DisableReuse {
+		f.result, f.err = res, err
+		close(f.done)
+		return
+	}
+	m.Jobs.completeTask(t.Key(), f, res, err)
+}
+
+// retryTask issues backup tasks on other leaves until one succeeds or the
+// retry budget runs out.
+func (m *Master) retryTask(ctx context.Context, p *plan.PhysicalPlan, t plan.TaskSpec, firstLeaf string, timeout time.Duration, d taskDone) taskDone {
+	exclude := map[string]bool{firstLeaf: true}
+	for attempt := 0; attempt < m.cfg.MaxTaskRetries; attempt++ {
+		if ctx.Err() != nil {
+			return d
+		}
+		leaf, err := m.Scheduler.Place(t, exclude)
+		if err != nil {
+			return d
+		}
+		d.backups++
+		res, st := m.localStem.runOne(ctx, stemJobMsg{Plan: p, TaskTimeout: timeout}, t, leaf)
+		if st.OK {
+			d.res, d.err, d.leaf, d.simTime = res, nil, leaf, st.SimTime
+			d.devBytes = st.DevBytes
+			return d
+		}
+		d.err = errors.New(st.Err)
+		exclude[leaf] = true
+	}
+	return d
+}
+
+// groupByStem maps each owned task to a stem server (by its assigned
+// leaf), or to the master itself when no stems are alive.
+func (m *Master) groupByStem(tasks []plan.TaskSpec, assign map[int]string) map[string][]plan.TaskSpec {
+	stems := m.Manager.AliveWorkers(KindStem)
+	out := make(map[string][]plan.TaskSpec)
+	if len(stems) == 0 {
+		out[m.cfg.Name] = tasks
+		return out
+	}
+	// Stable leaf->stem mapping: hash by sorted-leaf index.
+	leaves := make([]string, 0, len(assign))
+	seen := make(map[string]bool)
+	for _, l := range assign {
+		if !seen[l] {
+			seen[l] = true
+			leaves = append(leaves, l)
+		}
+	}
+	sort.Strings(leaves)
+	stemOf := make(map[string]string, len(leaves))
+	for i, l := range leaves {
+		stemOf[l] = stems[i%len(stems)]
+	}
+	for _, t := range tasks {
+		s := stemOf[assign[t.Ordinal]]
+		out[s] = append(out[s], t)
+	}
+	return out
+}
+
+// stemCallReply wraps a stem's reply with per-task results split out.
+type stemCallReply struct {
+	Status  map[int]taskStatus
+	PerTask map[int]*exec.TaskResult
+}
+
+// callStem runs a stem job remotely, or locally when addressed to the
+// master itself. With result sharing on, stems return per-task results so
+// identical-task futures hold exact payloads; with sharing off, stems merge
+// bottom-up and the merged result is attributed to the first successful
+// ordinal (correct under the master's final merge).
+func (m *Master) callStem(ctx context.Context, stemName string, job stemJobMsg) (stemCallReply, error) {
+	var raw any
+	var err error
+	if stemName == m.cfg.Name {
+		raw, err = m.localStem.runJob(ctx, job)
+	} else {
+		raw, err = m.cfg.Fabric.Call(ctx, m.cfg.Name, stemName, transport.Control, job, 512)
+	}
+	if err != nil {
+		return stemCallReply{}, err
+	}
+	reply, ok := raw.(stemReply)
+	if !ok {
+		return stemCallReply{}, fmt.Errorf("cluster: unexpected stem reply %T", raw)
+	}
+	out := stemCallReply{Status: reply.Status, PerTask: reply.PerTask}
+	if job.PerTask {
+		return out, nil
+	}
+	out.PerTask = make(map[int]*exec.TaskResult, len(job.Tasks))
+	attributed := false
+	for _, t := range job.Tasks {
+		st := reply.Status[t.Ordinal]
+		if !st.OK {
+			continue
+		}
+		if !attributed {
+			out.PerTask[t.Ordinal] = reply.Merged
+			attributed = true
+		} else {
+			out.PerTask[t.Ordinal] = emptyResult(job.Plan)
+		}
+	}
+	return out, nil
+}
+
+func emptyResult(p *plan.PhysicalPlan) *exec.TaskResult {
+	r := &exec.TaskResult{}
+	if p.Mode == plan.ModeAgg {
+		r.Groups = exec.NewGroups(len(p.Aggs))
+	}
+	return r
+}
+
+// colColumn wraps a column chunk for dimension materialization, exposing
+// record-level values (repeated columns surface their first element).
+type colColumn struct{ c *colstore.Column }
+
+func (cc *colColumn) value(r int) types.Value {
+	if cc.c.Offsets != nil {
+		start, end := cc.c.Offsets[r], cc.c.Offsets[r+1]
+		if start == end {
+			return types.NullValue()
+		}
+		return cc.c.Value(int(start))
+	}
+	return cc.c.Value(r)
+}

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// JobScheduler creates scheduling plans: it places each sub-plan on the
+// leaf that holds the data when available, otherwise on a replica holder,
+// otherwise on the alive leaf with the lowest network distance to the data
+// and the lightest load (paper §III-B: "Feisu always schedules a task to
+// the leaf server that contains the data if the server is available ...
+// otherwise to an available server that has a low network transfer
+// overhead").
+type JobScheduler struct {
+	Manager *ClusterManager
+	Router  *storage.Router
+	Topo    *transport.Topology
+	// LocalityOff disables data-locality placement (ablation benchmark):
+	// tasks land on uniformly random alive leaves.
+	LocalityOff bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// Place picks a leaf for the task, excluding the given nodes (used when
+// issuing backup tasks). It returns an error when no leaf is alive.
+func (s *JobScheduler) Place(task plan.TaskSpec, exclude map[string]bool) (string, error) {
+	alive := s.Manager.AliveWorkers(KindLeaf)
+	candidates := make([]string, 0, len(alive))
+	for _, l := range alive {
+		if !exclude[l] {
+			candidates = append(candidates, l)
+		}
+	}
+	if len(candidates) == 0 {
+		return "", fmt.Errorf("cluster: no available leaf server for %s", task.Partition.Path)
+	}
+	if s.LocalityOff {
+		s.rngMu.Lock()
+		if s.rng == nil {
+			s.rng = rand.New(rand.NewSource(1))
+		}
+		pick := candidates[s.rng.Intn(len(candidates))]
+		s.rngMu.Unlock()
+		return pick, nil
+	}
+
+	holders := s.Router.Locations(task.Partition.Path)
+	{
+		// First choice: a live data holder, least loaded.
+		best := ""
+		for _, h := range holders {
+			if !contains(candidates, h) {
+				continue
+			}
+			if best == "" || s.Manager.Load(h) < s.Manager.Load(best) {
+				best = h
+			}
+		}
+		if best != "" {
+			return best, nil
+		}
+	}
+
+	// Fallback: minimize (network distance to nearest holder, load).
+	best := candidates[0]
+	bestDist, bestLoad := s.distance(best, holders), s.Manager.Load(best)
+	for _, c := range candidates[1:] {
+		d, l := s.distance(c, holders), s.Manager.Load(c)
+		if d < bestDist || (d == bestDist && l < bestLoad) {
+			best, bestDist, bestLoad = c, d, l
+		}
+	}
+	return best, nil
+}
+
+// distance returns the smallest topology distance from node to any holder;
+// location-free data (no holders) is distance 0 from everyone.
+func (s *JobScheduler) distance(node string, holders []string) int {
+	if len(holders) == 0 {
+		return 0
+	}
+	best := 1 << 30
+	for _, h := range holders {
+		if d := s.Topo.Distance(node, h); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func contains(list []string, s string) bool {
+	for _, e := range list {
+		if e == s {
+			return true
+		}
+	}
+	return false
+}
+
+// PlanAll assigns every task, spreading load as it goes.
+func (s *JobScheduler) PlanAll(tasks []plan.TaskSpec) (map[int]string, error) {
+	assign := make(map[int]string, len(tasks))
+	bumped := make([]string, 0, len(tasks))
+	for _, t := range tasks {
+		leaf, err := s.Place(t, nil)
+		if err != nil {
+			for _, b := range bumped {
+				s.Manager.AddInflight(b, -1)
+			}
+			return nil, err
+		}
+		assign[t.Ordinal] = leaf
+		// Count the pending dispatch so subsequent placements spread.
+		s.Manager.AddInflight(leaf, 1)
+		bumped = append(bumped, leaf)
+	}
+	// The caller dispatches immediately; release the provisional counts
+	// (the stems re-report real load via heartbeats).
+	for _, b := range bumped {
+		s.Manager.AddInflight(b, -1)
+	}
+	return assign, nil
+}

@@ -1,0 +1,31 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/exec"
+)
+
+// Oversized task results are not returned inline: the leaf dumps them to
+// global storage over the write flow and passes only the location (paper
+// §V-C). These helpers encode results for that path.
+
+// encodeResult serializes a task result for spilling.
+func encodeResult(r *exec.TaskResult) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, fmt.Errorf("cluster: encode spill: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeResult parses a spilled task result.
+func decodeResult(data []byte) (*exec.TaskResult, error) {
+	var r exec.TaskResult
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&r); err != nil {
+		return nil, fmt.Errorf("cluster: decode spill: %w", err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// StemServer is an internal node of the execution tree: it dispatches
+// sub-plans to leaves, pulls results (reading spilled payloads from global
+// storage when needed) and merges them bottom-up (paper §III-B).
+type StemServer struct {
+	Name   string
+	Fabric *transport.Fabric
+	// Router reads spilled results.
+	Router *storage.Router
+	// Model prices reply transfers into per-task sim times.
+	Model *sim.CostModel
+	// Parallelism bounds concurrent leaf calls; <=0 means one per task.
+	Parallelism int
+
+	active atomic.Int32
+	stop   chan struct{}
+}
+
+// Register attaches the stem to the fabric.
+func (s *StemServer) Register() {
+	s.Fabric.Register(s.Name, s.handle)
+}
+
+func (s *StemServer) handle(ctx context.Context, from string, payload any) (any, error) {
+	switch msg := payload.(type) {
+	case pingMsg:
+		return pingReply{Kind: KindStem, ActiveTasks: int(s.active.Load())}, nil
+	case stemJobMsg:
+		return s.runJob(ctx, msg)
+	default:
+		return nil, fmt.Errorf("cluster: stem %s: unknown message %T", s.Name, payload)
+	}
+}
+
+// runJob fans the tasks out to their assigned leaves and merges what comes
+// back. Failed or timed-out tasks are reported per ordinal; the master's
+// scheduler issues backup tasks for them.
+func (s *StemServer) runJob(ctx context.Context, job stemJobMsg) (any, error) {
+	s.active.Add(int32(len(job.Tasks)))
+	defer s.active.Add(-int32(len(job.Tasks)))
+
+	par := s.Parallelism
+	if par <= 0 || par > len(job.Tasks) {
+		par = len(job.Tasks)
+	}
+	if par == 0 {
+		return stemReply{Status: map[int]taskStatus{}}, nil
+	}
+	sem := make(chan struct{}, par)
+	var (
+		mu      sync.Mutex
+		merged  *exec.TaskResult
+		perTask map[int]*exec.TaskResult
+		status  = make(map[int]taskStatus, len(job.Tasks))
+		wg      sync.WaitGroup
+	)
+	if job.PerTask {
+		perTask = make(map[int]*exec.TaskResult, len(job.Tasks))
+	}
+	for _, task := range job.Tasks {
+		leaf := job.Assign[task.Ordinal]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(task plan.TaskSpec, leaf string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, st := s.runOne(ctx, job, task, leaf)
+			mu.Lock()
+			status[task.Ordinal] = st
+			if st.OK {
+				if job.PerTask {
+					perTask[task.Ordinal] = res
+				} else {
+					merged = exec.MergeResults(job.Plan, merged, res)
+				}
+			}
+			mu.Unlock()
+		}(task, leaf)
+	}
+	wg.Wait()
+	return stemReply{Merged: merged, PerTask: perTask, Status: status}, nil
+}
+
+// runOne executes a single task on its leaf with the per-task timeout.
+func (s *StemServer) runOne(ctx context.Context, job stemJobMsg, task plan.TaskSpec, leaf string) (*exec.TaskResult, taskStatus) {
+	st := taskStatus{Leaf: leaf}
+	tctx := ctx
+	if job.TaskTimeout > 0 {
+		var cancel context.CancelFunc
+		tctx, cancel = context.WithTimeout(ctx, job.TaskTimeout)
+		defer cancel()
+	}
+	raw, err := s.Fabric.Call(tctx, s.Name, leaf, transport.Control, taskMsg{Task: task}, 256)
+	if err != nil {
+		st.Err = err.Error()
+		return nil, st
+	}
+	reply, ok := raw.(taskReply)
+	if !ok {
+		st.Err = fmt.Sprintf("unexpected reply %T", raw)
+		return nil, st
+	}
+	res := reply.Result
+	if reply.SpillPath != "" {
+		bill := sim.NewBill()
+		data, err := s.Router.ReadFile(storage.WithBill(ctx, bill), reply.SpillPath)
+		if err != nil {
+			st.Err = fmt.Sprintf("fetch spill %s: %v", reply.SpillPath, err)
+			return nil, st
+		}
+		res, err = decodeResult(data)
+		if err != nil {
+			st.Err = err.Error()
+			return nil, st
+		}
+		reply.SimTime += bill.Time()
+	}
+	// The result rides the read flow back up the tree; charge its
+	// transfer into the task's simulated time.
+	s.Fabric.Msgs[transport.Read].Inc()
+	s.Fabric.Bytes[transport.Read].Add(reply.Size)
+	if s.Model != nil {
+		if hops := s.Fabric.Topology().Hops(leaf, s.Name); hops > 0 {
+			reply.SimTime += s.Model.TransferCost(reply.Size, hops)
+		}
+	}
+	st.OK = true
+	st.SimTime = reply.SimTime
+	st.Size = reply.Size
+	st.DevBytes = reply.DevBytes
+	return res, st
+}
+
+// HeartbeatOnce sends one heartbeat to the master.
+func (s *StemServer) HeartbeatOnce(ctx context.Context, master string) error {
+	_, err := s.Fabric.Call(ctx, s.Name, master, transport.Control,
+		heartbeatMsg{Name: s.Name, Kind: KindStem, Active: int(s.active.Load())}, 64)
+	return err
+}
+
+// Start launches the heartbeat loop. A second Start while running is a
+// no-op.
+func (s *StemServer) Start(master string, interval time.Duration) {
+	if s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	go heartbeatLoop(s.stop, interval, func() {
+		_ = s.HeartbeatOnce(context.Background(), master)
+	})
+}
+
+// Stop ends the heartbeat loop.
+func (s *StemServer) Stop() {
+	if s.stop != nil {
+		close(s.stop)
+		s.stop = nil
+	}
+}

@@ -1,0 +1,329 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bitmap"
+	"repro/internal/encoding"
+	"repro/internal/types"
+)
+
+// Block is one row group: a fixed set of records stored column-wise.
+// NumRows counts *records*; repeated columns may hold more flattened values
+// than NumRows.
+type Block struct {
+	Schema  *types.Schema
+	NumRows int
+	Columns []*Column
+}
+
+// NewBlock returns an empty block for the schema.
+func NewBlock(schema *types.Schema) *Block {
+	cols := make([]*Column, schema.Len())
+	for i, f := range schema.Fields {
+		cols[i] = NewColumn(f.Type)
+		if f.Repeated {
+			cols[i].Offsets = []int32{0}
+		}
+	}
+	return &Block{Schema: schema, Columns: cols}
+}
+
+// AppendRow adds one record. For repeated fields the row carries a single
+// types.Value per flattened element via AppendRepeated; AppendRow expects
+// scalar fields only and appends one NULL element slot to repeated fields,
+// so use AppendRecord for mixed schemas.
+func (b *Block) AppendRow(row types.Row) error {
+	if len(row) != b.Schema.Len() {
+		return fmt.Errorf("colstore: row has %d values, schema has %d", len(row), b.Schema.Len())
+	}
+	rec := make([][]types.Value, len(row))
+	for i, v := range row {
+		if b.Schema.Fields[i].Repeated {
+			if v.IsNull() {
+				rec[i] = nil
+			} else {
+				rec[i] = []types.Value{v}
+			}
+		} else {
+			rec[i] = []types.Value{v}
+		}
+	}
+	return b.AppendRecord(rec)
+}
+
+// AppendRecord adds one record where each field carries zero or more values.
+// Scalar fields must carry exactly one value; repeated fields may carry any
+// number (including zero).
+func (b *Block) AppendRecord(rec [][]types.Value) error {
+	if len(rec) != b.Schema.Len() {
+		return fmt.Errorf("colstore: record has %d fields, schema has %d", len(rec), b.Schema.Len())
+	}
+	for i, vals := range rec {
+		f := b.Schema.Fields[i]
+		col := b.Columns[i]
+		if !f.Repeated {
+			if len(vals) != 1 {
+				return fmt.Errorf("colstore: scalar field %q got %d values", f.Name, len(vals))
+			}
+			if err := col.Append(vals[0]); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, v := range vals {
+			if err := col.Append(v); err != nil {
+				return err
+			}
+		}
+		col.Offsets = append(col.Offsets, int32(col.Len()))
+	}
+	b.NumRows++
+	return nil
+}
+
+// Row materialises record r as a row. Repeated fields yield their first
+// element (or NULL when empty); use RepeatedValues for the full list.
+func (b *Block) Row(r int) types.Row {
+	row := make(types.Row, len(b.Columns))
+	for i, col := range b.Columns {
+		if col.Offsets != nil {
+			start, end := col.Offsets[r], col.Offsets[r+1]
+			if start == end {
+				row[i] = types.NullValue()
+			} else {
+				row[i] = col.Value(int(start))
+			}
+			continue
+		}
+		row[i] = col.Value(r)
+	}
+	return row
+}
+
+// RepeatedValues returns all flattened values of repeated column ci for
+// record r.
+func (b *Block) RepeatedValues(ci, r int) []types.Value {
+	col := b.Columns[ci]
+	if col.Offsets == nil {
+		return []types.Value{col.Value(r)}
+	}
+	start, end := col.Offsets[r], col.Offsets[r+1]
+	out := make([]types.Value, 0, end-start)
+	for i := start; i < end; i++ {
+		out = append(out, col.Value(int(i)))
+	}
+	return out
+}
+
+// finish trims the lazily grown bookkeeping before the block is sealed.
+func (b *Block) finish() {
+	for _, col := range b.Columns {
+		col.finishNulls(col.Len())
+	}
+}
+
+// BlockStats is the per-column statistics of a sealed block, stored in the
+// file footer for block pruning.
+type BlockStats struct {
+	NumRows int
+	Columns []Stats
+}
+
+// ComputeStats builds footer statistics for the block.
+func (b *Block) ComputeStats() BlockStats {
+	st := BlockStats{NumRows: b.NumRows, Columns: make([]Stats, len(b.Columns))}
+	for i, col := range b.Columns {
+		st.Columns[i] = col.ComputeStats()
+	}
+	return st
+}
+
+// --- block (de)serialization ---
+//
+// Layout:
+//   uvarint numRows
+//   uvarint numCols
+//   per column directory entry: uvarint payloadSize
+//   per column payload:
+//     byte hasNulls; if 1: uvarint len + null bitmap (bitmap.Marshal)
+//     byte hasOffsets; if 1: encoded int64 offsets (encoding.EncodeInt64s)
+//     encoded values (encoding.Encode*)
+
+// ColExtent locates one column's payload inside a serialized block,
+// relative to the block start. The file footer records absolute extents so
+// leaves can read exactly the columns a query needs — the I/O saving that
+// SmartIndex and column pruning deliver in the paper.
+type ColExtent struct {
+	Off int64
+	Len int64
+}
+
+// Marshal serializes the block. It returns the bytes together with the
+// per-column extents inside them.
+func (b *Block) Marshal() ([]byte, []ColExtent, error) {
+	b.finish()
+	payloads := make([][]byte, len(b.Columns))
+	for i, col := range b.Columns {
+		var p []byte
+		if col.Nulls != nil {
+			nb := col.Nulls.Marshal()
+			p = append(p, 1)
+			p = binary.AppendUvarint(p, uint64(len(nb)))
+			p = append(p, nb...)
+		} else {
+			p = append(p, 0)
+		}
+		if col.Offsets != nil {
+			offs := make([]int64, len(col.Offsets))
+			for j, o := range col.Offsets {
+				offs[j] = int64(o)
+			}
+			p = append(p, 1)
+			enc := encoding.EncodeInt64s(offs)
+			p = binary.AppendUvarint(p, uint64(len(enc)))
+			p = append(p, enc...)
+		} else {
+			p = append(p, 0)
+		}
+		switch col.Type {
+		case types.Int64:
+			p = append(p, encoding.EncodeInt64s(col.Ints)...)
+		case types.Float64:
+			p = append(p, encoding.EncodeFloat64s(col.Floats)...)
+		case types.Bool:
+			p = append(p, encoding.EncodeBools(col.Bools)...)
+		case types.String:
+			p = append(p, encoding.EncodeStrings(col.Strs)...)
+		default:
+			return nil, nil, fmt.Errorf("colstore: cannot serialize column type %s", col.Type)
+		}
+		payloads[i] = p
+	}
+	out := binary.AppendUvarint(nil, uint64(b.NumRows))
+	out = binary.AppendUvarint(out, uint64(len(b.Columns)))
+	for _, p := range payloads {
+		out = binary.AppendUvarint(out, uint64(len(p)))
+	}
+	extents := make([]ColExtent, len(payloads))
+	for i, p := range payloads {
+		extents[i] = ColExtent{Off: int64(len(out)), Len: int64(len(p))}
+		out = append(out, p...)
+	}
+	return out, extents, nil
+}
+
+// UnmarshalBlock parses a serialized block. When wantCols is non-nil, only
+// the listed column ordinals are decoded (column pruning); other columns are
+// left as empty placeholders of the right type.
+func UnmarshalBlock(schema *types.Schema, data []byte, wantCols []int) (*Block, error) {
+	numRows, off := binary.Uvarint(data)
+	if off <= 0 {
+		return nil, fmt.Errorf("colstore: bad block header")
+	}
+	data = data[off:]
+	numCols, off := binary.Uvarint(data)
+	if off <= 0 {
+		return nil, fmt.Errorf("colstore: bad block column count")
+	}
+	data = data[off:]
+	if int(numCols) != schema.Len() {
+		return nil, fmt.Errorf("colstore: block has %d columns, schema has %d", numCols, schema.Len())
+	}
+	sizes := make([]int, numCols)
+	for i := range sizes {
+		s, off := binary.Uvarint(data)
+		if off <= 0 {
+			return nil, fmt.Errorf("colstore: bad block directory")
+		}
+		sizes[i] = int(s)
+		data = data[off:]
+	}
+	want := make(map[int]bool, len(wantCols))
+	for _, c := range wantCols {
+		want[c] = true
+	}
+	b := &Block{Schema: schema, NumRows: int(numRows), Columns: make([]*Column, numCols)}
+	for i := 0; i < int(numCols); i++ {
+		if len(data) < sizes[i] {
+			return nil, fmt.Errorf("colstore: truncated column %d", i)
+		}
+		payload := data[:sizes[i]]
+		data = data[sizes[i]:]
+		if wantCols != nil && !want[i] {
+			b.Columns[i] = NewColumn(schema.Fields[i].Type)
+			continue
+		}
+		col, err := unmarshalColumn(schema.Fields[i].Type, payload)
+		if err != nil {
+			return nil, fmt.Errorf("colstore: column %d (%s): %w", i, schema.Fields[i].Name, err)
+		}
+		b.Columns[i] = col
+	}
+	return b, nil
+}
+
+// DecodeColumn parses one column payload (located by its footer extent)
+// without touching the rest of the block.
+func DecodeColumn(t types.Type, payload []byte) (*Column, error) {
+	return unmarshalColumn(t, payload)
+}
+
+func unmarshalColumn(t types.Type, p []byte) (*Column, error) {
+	col := NewColumn(t)
+	if len(p) == 0 {
+		return nil, fmt.Errorf("empty payload")
+	}
+	hasNulls := p[0]
+	p = p[1:]
+	if hasNulls == 1 {
+		l, off := binary.Uvarint(p)
+		if off <= 0 || len(p)-off < int(l) {
+			return nil, fmt.Errorf("truncated null bitmap")
+		}
+		nb, err := bitmap.Unmarshal(p[off : off+int(l)])
+		if err != nil {
+			return nil, err
+		}
+		col.Nulls = nb
+		p = p[off+int(l):]
+	}
+	if len(p) == 0 {
+		return nil, fmt.Errorf("missing offsets flag")
+	}
+	hasOffsets := p[0]
+	p = p[1:]
+	if hasOffsets == 1 {
+		l, off := binary.Uvarint(p)
+		if off <= 0 || len(p)-off < int(l) {
+			return nil, fmt.Errorf("truncated offsets")
+		}
+		offs, err := encoding.DecodeInt64s(p[off : off+int(l)])
+		if err != nil {
+			return nil, err
+		}
+		col.Offsets = make([]int32, len(offs))
+		for i, o := range offs {
+			col.Offsets[i] = int32(o)
+		}
+		p = p[off+int(l):]
+	}
+	var err error
+	switch t {
+	case types.Int64:
+		col.Ints, err = encoding.DecodeInt64s(p)
+	case types.Float64:
+		col.Floats, err = encoding.DecodeFloat64s(p)
+	case types.Bool:
+		col.Bools, err = encoding.DecodeBools(p)
+	case types.String:
+		col.Strs, err = encoding.DecodeStrings(p)
+	default:
+		err = fmt.Errorf("unsupported type %s", t)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return col, nil
+}

@@ -1,0 +1,372 @@
+package colstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/bloom"
+	"repro/internal/types"
+)
+
+// File format:
+//
+//	magic "FEISU1\n"
+//	block payloads, back to back
+//	footer:
+//	  schema: uvarint nFields, per field: name, type byte, repeated byte
+//	  uvarint nBlocks, per block: uvarint offset, size, numRows,
+//	    per column: stats (min value, max value, uvarint nullCount)
+//	uint32 footerLen (little-endian)
+//	magic tail "FSU1"
+//
+// Values in stats are serialized as: type byte + payload.
+
+var (
+	fileMagic = []byte("FEISU1\n")
+	tailMagic = []byte("FSU1")
+)
+
+// BlockMeta locates one block inside a partition file and carries its
+// pruning statistics.
+type BlockMeta struct {
+	Ordinal int
+	Offset  int64
+	Size    int64
+	Stats   BlockStats
+	// ColExtents are the absolute per-column payload locations in the
+	// file, enabling column-granular range reads.
+	ColExtents []ColExtent
+}
+
+// FileMeta is the parsed footer of a partition file.
+type FileMeta struct {
+	Schema *types.Schema
+	Blocks []BlockMeta
+}
+
+func appendValue(dst []byte, v types.Value) []byte {
+	dst = append(dst, byte(v.T))
+	switch v.T {
+	case types.Null:
+	case types.Int64:
+		dst = binary.AppendUvarint(dst, uint64(v.I))
+	case types.Float64:
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F))
+	case types.Bool:
+		if v.B {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case types.String:
+		dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+		dst = append(dst, v.S...)
+	}
+	return dst
+}
+
+func readValue(p []byte) (types.Value, []byte, error) {
+	if len(p) == 0 {
+		return types.Value{}, nil, fmt.Errorf("colstore: truncated value")
+	}
+	t := types.Type(p[0])
+	p = p[1:]
+	switch t {
+	case types.Null:
+		return types.NullValue(), p, nil
+	case types.Int64:
+		u, off := binary.Uvarint(p)
+		if off <= 0 {
+			return types.Value{}, nil, fmt.Errorf("colstore: truncated int value")
+		}
+		return types.NewInt(int64(u)), p[off:], nil
+	case types.Float64:
+		if len(p) < 8 {
+			return types.Value{}, nil, fmt.Errorf("colstore: truncated float value")
+		}
+		return types.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(p))), p[8:], nil
+	case types.Bool:
+		if len(p) < 1 {
+			return types.Value{}, nil, fmt.Errorf("colstore: truncated bool value")
+		}
+		return types.NewBool(p[0] == 1), p[1:], nil
+	case types.String:
+		l, off := binary.Uvarint(p)
+		if off <= 0 || uint64(len(p)-off) < l {
+			return types.Value{}, nil, fmt.Errorf("colstore: truncated string value")
+		}
+		return types.NewString(string(p[off : off+int(l)])), p[off+int(l):], nil
+	default:
+		return types.Value{}, nil, fmt.Errorf("colstore: bad value type %d", t)
+	}
+}
+
+// Writer accumulates rows into blocks and produces a serialized partition
+// file. The zero value is not usable; call NewWriter.
+type Writer struct {
+	schema       *types.Schema
+	rowsPerBlock int
+	cur          *Block
+	buf          bytes.Buffer
+	blocks       []BlockMeta
+}
+
+// NewWriter returns a writer producing blocks of rowsPerBlock records.
+func NewWriter(schema *types.Schema, rowsPerBlock int) *Writer {
+	if rowsPerBlock <= 0 {
+		rowsPerBlock = 4096
+	}
+	w := &Writer{schema: schema, rowsPerBlock: rowsPerBlock, cur: NewBlock(schema)}
+	w.buf.Write(fileMagic)
+	return w
+}
+
+// Append adds one record of scalar values (see Block.AppendRow).
+func (w *Writer) Append(row types.Row) error {
+	if err := w.cur.AppendRow(row); err != nil {
+		return err
+	}
+	return w.maybeFlush()
+}
+
+// AppendRecord adds one record with per-field value lists (repeated fields).
+func (w *Writer) AppendRecord(rec [][]types.Value) error {
+	if err := w.cur.AppendRecord(rec); err != nil {
+		return err
+	}
+	return w.maybeFlush()
+}
+
+func (w *Writer) maybeFlush() error {
+	if w.cur.NumRows >= w.rowsPerBlock {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+func (w *Writer) flushBlock() error {
+	if w.cur.NumRows == 0 {
+		return nil
+	}
+	payload, extents, err := w.cur.Marshal()
+	if err != nil {
+		return err
+	}
+	meta := BlockMeta{
+		Ordinal: len(w.blocks),
+		Offset:  int64(w.buf.Len()),
+		Size:    int64(len(payload)),
+		Stats:   w.cur.ComputeStats(),
+	}
+	meta.ColExtents = make([]ColExtent, len(extents))
+	for i, e := range extents {
+		meta.ColExtents[i] = ColExtent{Off: meta.Offset + e.Off, Len: e.Len}
+	}
+	w.buf.Write(payload)
+	w.blocks = append(w.blocks, meta)
+	w.cur = NewBlock(w.schema)
+	return nil
+}
+
+// Finish flushes the last block, appends the footer and returns the complete
+// file contents. The writer must not be reused afterwards.
+func (w *Writer) Finish() ([]byte, error) {
+	if err := w.flushBlock(); err != nil {
+		return nil, err
+	}
+	footer := w.marshalFooter()
+	w.buf.Write(footer)
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(footer)))
+	w.buf.Write(lenBuf[:])
+	w.buf.Write(tailMagic)
+	return w.buf.Bytes(), nil
+}
+
+func (w *Writer) marshalFooter() []byte {
+	var f []byte
+	f = binary.AppendUvarint(f, uint64(w.schema.Len()))
+	for _, fd := range w.schema.Fields {
+		f = binary.AppendUvarint(f, uint64(len(fd.Name)))
+		f = append(f, fd.Name...)
+		f = append(f, byte(fd.Type))
+		if fd.Repeated {
+			f = append(f, 1)
+		} else {
+			f = append(f, 0)
+		}
+	}
+	f = binary.AppendUvarint(f, uint64(len(w.blocks)))
+	for _, bm := range w.blocks {
+		f = binary.AppendUvarint(f, uint64(bm.Offset))
+		f = binary.AppendUvarint(f, uint64(bm.Size))
+		f = binary.AppendUvarint(f, uint64(bm.Stats.NumRows))
+		for ci, cs := range bm.Stats.Columns {
+			f = appendValue(f, cs.Min)
+			f = appendValue(f, cs.Max)
+			f = binary.AppendUvarint(f, uint64(cs.NullCount))
+			f = binary.AppendUvarint(f, uint64(bm.ColExtents[ci].Off))
+			f = binary.AppendUvarint(f, uint64(bm.ColExtents[ci].Len))
+			if cs.Bloom != nil {
+				bf := cs.Bloom.Marshal()
+				f = append(f, 1)
+				f = binary.AppendUvarint(f, uint64(len(bf)))
+				f = append(f, bf...)
+			} else {
+				f = append(f, 0)
+			}
+		}
+	}
+	return f
+}
+
+// ReadMeta parses the footer of a partition file.
+func ReadMeta(data []byte) (*FileMeta, error) {
+	if len(data) < len(fileMagic)+4+len(tailMagic) {
+		return nil, fmt.Errorf("colstore: file too small")
+	}
+	if !bytes.HasPrefix(data, fileMagic) {
+		return nil, fmt.Errorf("colstore: bad file magic")
+	}
+	if !bytes.Equal(data[len(data)-len(tailMagic):], tailMagic) {
+		return nil, fmt.Errorf("colstore: bad tail magic")
+	}
+	flenPos := len(data) - len(tailMagic) - 4
+	footerLen := int(binary.LittleEndian.Uint32(data[flenPos:]))
+	if footerLen < 0 || flenPos-footerLen < len(fileMagic) {
+		return nil, fmt.Errorf("colstore: bad footer length %d", footerLen)
+	}
+	meta, err := ParseFooter(data[flenPos-footerLen : flenPos])
+	if err != nil {
+		return nil, err
+	}
+	for i, bm := range meta.Blocks {
+		if bm.Offset < int64(len(fileMagic)) || bm.Offset+bm.Size > int64(flenPos-footerLen) {
+			return nil, fmt.Errorf("colstore: block %d out of bounds", i)
+		}
+	}
+	return meta, nil
+}
+
+// FooterTailLen is the fixed number of trailing bytes holding the footer
+// length and tail magic; remote readers fetch it first, then the footer.
+const FooterTailLen = 4 + 4 // uint32 length + "FSU1"
+
+// ParseFooterTail validates the trailing FooterTailLen bytes and returns the
+// footer length.
+func ParseFooterTail(tail []byte) (int, error) {
+	if len(tail) != FooterTailLen || !bytes.Equal(tail[4:], tailMagic) {
+		return 0, fmt.Errorf("colstore: bad footer tail")
+	}
+	return int(binary.LittleEndian.Uint32(tail)), nil
+}
+
+// ParseFooter parses the footer bytes alone (no surrounding file needed), as
+// fetched by a range read guided by ParseFooterTail.
+func ParseFooter(f []byte) (*FileMeta, error) {
+	nFields, off := binary.Uvarint(f)
+	if off <= 0 {
+		return nil, fmt.Errorf("colstore: bad footer schema")
+	}
+	f = f[off:]
+	fields := make([]types.Field, 0, nFields)
+	for i := uint64(0); i < nFields; i++ {
+		l, off := binary.Uvarint(f)
+		if off <= 0 || uint64(len(f)-off) < l+2 {
+			return nil, fmt.Errorf("colstore: truncated footer field")
+		}
+		name := string(f[off : off+int(l)])
+		f = f[off+int(l):]
+		fields = append(fields, types.Field{Name: name, Type: types.Type(f[0]), Repeated: f[1] == 1})
+		f = f[2:]
+	}
+	schema, err := types.NewSchema(fields...)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: footer schema: %w", err)
+	}
+
+	nBlocks, off := binary.Uvarint(f)
+	if off <= 0 {
+		return nil, fmt.Errorf("colstore: bad footer block count")
+	}
+	f = f[off:]
+	meta := &FileMeta{Schema: schema, Blocks: make([]BlockMeta, 0, nBlocks)}
+	for i := uint64(0); i < nBlocks; i++ {
+		var bm BlockMeta
+		bm.Ordinal = int(i)
+		vals := make([]uint64, 3)
+		for j := range vals {
+			v, off := binary.Uvarint(f)
+			if off <= 0 {
+				return nil, fmt.Errorf("colstore: truncated block meta")
+			}
+			vals[j] = v
+			f = f[off:]
+		}
+		bm.Offset, bm.Size = int64(vals[0]), int64(vals[1])
+		bm.Stats.NumRows = int(vals[2])
+		bm.Stats.Columns = make([]Stats, schema.Len())
+		bm.ColExtents = make([]ColExtent, schema.Len())
+		for c := range bm.Stats.Columns {
+			var cs Stats
+			if cs.Min, f, err = readValue(f); err != nil {
+				return nil, err
+			}
+			if cs.Max, f, err = readValue(f); err != nil {
+				return nil, err
+			}
+			nc, off := binary.Uvarint(f)
+			if off <= 0 {
+				return nil, fmt.Errorf("colstore: truncated null count")
+			}
+			cs.NullCount = int(nc)
+			f = f[off:]
+			eo, off := binary.Uvarint(f)
+			if off <= 0 {
+				return nil, fmt.Errorf("colstore: truncated column extent offset")
+			}
+			f = f[off:]
+			el, off := binary.Uvarint(f)
+			if off <= 0 {
+				return nil, fmt.Errorf("colstore: truncated column extent length")
+			}
+			f = f[off:]
+			if len(f) == 0 {
+				return nil, fmt.Errorf("colstore: truncated bloom flag")
+			}
+			hasBloom := f[0]
+			f = f[1:]
+			if hasBloom == 1 {
+				bl, off := binary.Uvarint(f)
+				if off <= 0 || uint64(len(f)-off) < bl {
+					return nil, fmt.Errorf("colstore: truncated bloom filter")
+				}
+				filt, err := bloom.Unmarshal(f[off : off+int(bl)])
+				if err != nil {
+					return nil, fmt.Errorf("colstore: %w", err)
+				}
+				cs.Bloom = filt
+				f = f[off+int(bl):]
+			}
+			bm.ColExtents[c] = ColExtent{Off: int64(eo), Len: int64(el)}
+			bm.Stats.Columns[c] = cs
+		}
+		meta.Blocks = append(meta.Blocks, bm)
+	}
+	return meta, nil
+}
+
+// ReadBlock decodes block ordinal from the file, decoding only wantCols when
+// non-nil (column pruning).
+func ReadBlock(data []byte, meta *FileMeta, ordinal int, wantCols []int) (*Block, error) {
+	if ordinal < 0 || ordinal >= len(meta.Blocks) {
+		return nil, fmt.Errorf("colstore: block ordinal %d out of range", ordinal)
+	}
+	bm := meta.Blocks[ordinal]
+	if bm.Offset+bm.Size > int64(len(data)) {
+		return nil, fmt.Errorf("colstore: block %d extends past file", ordinal)
+	}
+	return UnmarshalBlock(meta.Schema, data[bm.Offset:bm.Offset+bm.Size], wantCols)
+}

@@ -1,0 +1,98 @@
+package colstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// FlattenJSON converts one nested JSON record into the per-field value lists
+// expected by Block.AppendRecord. Field names in the schema are dotted paths
+// into the JSON object (e.g. "click.pos"); a path segment that crosses a
+// JSON array marks the field repeated and yields one value per element.
+// Missing paths yield NULL (scalar) or an empty list (repeated). This is the
+// paper's "nested data format such as json ... flatten[ed] into columns".
+func FlattenJSON(schema *types.Schema, data []byte) ([][]types.Value, error) {
+	var root any
+	if err := json.Unmarshal(data, &root); err != nil {
+		return nil, fmt.Errorf("colstore: bad json record: %w", err)
+	}
+	rec := make([][]types.Value, schema.Len())
+	for i, f := range schema.Fields {
+		vals, err := extractPath(root, strings.Split(f.Name, "."), f)
+		if err != nil {
+			return nil, fmt.Errorf("colstore: field %q: %w", f.Name, err)
+		}
+		if !f.Repeated {
+			if len(vals) == 0 {
+				vals = []types.Value{types.NullValue()}
+			} else if len(vals) > 1 {
+				return nil, fmt.Errorf("colstore: field %q is scalar but json has %d values", f.Name, len(vals))
+			}
+		}
+		rec[i] = vals
+	}
+	return rec, nil
+}
+
+// extractPath walks the JSON value along the path, fanning out over arrays.
+func extractPath(v any, path []string, f types.Field) ([]types.Value, error) {
+	if v == nil {
+		return nil, nil
+	}
+	if arr, ok := v.([]any); ok {
+		var out []types.Value
+		for _, elem := range arr {
+			vals, err := extractPath(elem, path, f)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, vals...)
+		}
+		return out, nil
+	}
+	if len(path) == 0 {
+		val, err := convertScalar(v, f.Type)
+		if err != nil {
+			return nil, err
+		}
+		return []types.Value{val}, nil
+	}
+	obj, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("expected object at %q, got %T", path[0], v)
+	}
+	child, ok := obj[path[0]]
+	if !ok {
+		return nil, nil
+	}
+	return extractPath(child, path[1:], f)
+}
+
+func convertScalar(v any, t types.Type) (types.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return types.NullValue(), nil
+	case float64:
+		if t == types.Int64 {
+			return types.NewInt(int64(x)), nil
+		}
+		return types.NewFloat(x), nil
+	case bool:
+		if t != types.Bool {
+			return types.Value{}, fmt.Errorf("json bool into %s column", t)
+		}
+		return types.NewBool(x), nil
+	case string:
+		if t != types.String {
+			return types.Value{}, fmt.Errorf("json string into %s column", t)
+		}
+		return types.NewString(x), nil
+	case json.Number:
+		return types.Value{}, fmt.Errorf("unexpected json.Number")
+	default:
+		return types.Value{}, fmt.Errorf("json %T into %s column", v, t)
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/sqlparser"
+)
+
+func BenchmarkLookupHit(b *testing.B) {
+	s := New(Options{})
+	a := atom("c", sqlparser.OpGt, 5)
+	s.Store("b0", a, bm(4096, 1, 99, 2048), stats(0, 9, 0))
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Lookup(ctx, "b0", a, 4096); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkLookupDerivedComplement(b *testing.B) {
+	s := New(Options{})
+	s.Store("b0", atom("c", sqlparser.OpGt, 5), bm(4096, 1, 99), stats(0, 9, 0))
+	want := atom("c", sqlparser.OpLe, 5)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Lookup(ctx, "b0", want, 4096); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkStoreDense(b *testing.B) {
+	s := New(Options{})
+	vec := bm(4096, 7, 1000, 3000)
+	st := stats(0, 9, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Store(fmt.Sprintf("b%d", i%64), atom("c", sqlparser.OpGt, int64(i%32)), vec, st)
+	}
+}
+
+func BenchmarkStoreCompressed(b *testing.B) {
+	s := New(Options{Compress: true})
+	vec := bm(4096, 7, 1000, 3000)
+	st := stats(0, 9, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Store(fmt.Sprintf("b%d", i%64), atom("c", sqlparser.OpGt, int64(i%32)), vec, st)
+	}
+}

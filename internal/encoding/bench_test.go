@@ -1,0 +1,70 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkEncodeIntsDelta(b *testing.B) {
+	vals := make([]int64, 4096)
+	for i := range vals {
+		vals[i] = int64(1700000000 + i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = EncodeInt64s(vals)
+	}
+}
+
+func BenchmarkEncodeIntsRLE(b *testing.B) {
+	vals := make([]int64, 4096)
+	for i := range vals {
+		vals[i] = int64(i / 512)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = EncodeInt64s(vals)
+	}
+}
+
+func BenchmarkDecodeIntsDelta(b *testing.B) {
+	vals := make([]int64, 4096)
+	for i := range vals {
+		vals[i] = int64(1700000000 + i)
+	}
+	enc := EncodeInt64s(vals)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeInt64s(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeStringsDict(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	words := []string{"weather", "music", "maps", "news"}
+	vals := make([]string, 4096)
+	for i := range vals {
+		vals[i] = words[rng.Intn(len(words))]
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = EncodeStrings(vals)
+	}
+}
+
+func BenchmarkDecodeStringsDict(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	words := []string{"weather", "music", "maps", "news"}
+	vals := make([]string, 4096)
+	for i := range vals {
+		vals[i] = words[rng.Intn(len(words))]
+	}
+	enc := EncodeStrings(vals)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeStrings(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Package encoding implements the compression-friendly columnar encodings
+// used by Feisu's block format (paper §I: "organizes data sets into
+// partitions using a compression-friendly columnar format").
+//
+// Each encoded column chunk is self-describing: a one-byte encoding tag
+// followed by the payload, so readers never need out-of-band metadata to
+// decode. The encoder picks the cheapest encoding per chunk:
+//
+//	int64:   plain / delta-varint / run-length
+//	float64: plain
+//	bool:    bit-packed
+//	string:  plain (length-prefixed) / dictionary
+package encoding
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encoding tags. The tag is the first byte of every encoded chunk.
+const (
+	tagPlainInt     byte = 1
+	tagDeltaVarint  byte = 2
+	tagRunLengthInt byte = 3
+	tagPlainFloat   byte = 4
+	tagPackedBool   byte = 5
+	tagPlainString  byte = 6
+	tagDictString   byte = 7
+)
+
+// zigzag encodes a signed int as unsigned for varint efficiency.
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+// unzigzag reverses zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+// EncodeInt64s encodes vals, choosing between plain, delta-varint and
+// run-length encodings by estimated size.
+func EncodeInt64s(vals []int64) []byte {
+	// Estimate run-length benefit.
+	runs := 0
+	for i := 0; i < len(vals); {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		runs++
+		i = j
+	}
+	if len(vals) > 0 && runs <= len(vals)/4 {
+		return encodeRunLengthInt(vals, runs)
+	}
+	delta := encodeDeltaVarint(vals)
+	if len(delta) < 8*len(vals)+2 {
+		return delta
+	}
+	return encodePlainInt(vals)
+}
+
+func encodePlainInt(vals []int64) []byte {
+	out := make([]byte, 0, 1+binary.MaxVarintLen64+8*len(vals))
+	out = append(out, tagPlainInt)
+	out = appendUvarint(out, uint64(len(vals)))
+	var tmp [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+		out = append(out, tmp[:]...)
+	}
+	return out
+}
+
+func encodeDeltaVarint(vals []int64) []byte {
+	out := make([]byte, 0, 1+binary.MaxVarintLen64+2*len(vals))
+	out = append(out, tagDeltaVarint)
+	out = appendUvarint(out, uint64(len(vals)))
+	prev := int64(0)
+	for _, v := range vals {
+		out = appendUvarint(out, zigzag(v-prev))
+		prev = v
+	}
+	return out
+}
+
+func encodeRunLengthInt(vals []int64, runs int) []byte {
+	out := make([]byte, 0, 1+binary.MaxVarintLen64+runs*4)
+	out = append(out, tagRunLengthInt)
+	out = appendUvarint(out, uint64(len(vals)))
+	for i := 0; i < len(vals); {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		out = appendUvarint(out, uint64(j-i))
+		out = appendUvarint(out, zigzag(vals[i]))
+		i = j
+	}
+	return out
+}
+
+// DecodeInt64s decodes a chunk produced by EncodeInt64s.
+func DecodeInt64s(data []byte) ([]int64, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("encoding: empty int chunk")
+	}
+	tag, data := data[0], data[1:]
+	n, off := binary.Uvarint(data)
+	if off <= 0 {
+		return nil, fmt.Errorf("encoding: bad int chunk length")
+	}
+	data = data[off:]
+	out := make([]int64, 0, n)
+	switch tag {
+	case tagPlainInt:
+		if len(data) < int(n)*8 {
+			return nil, fmt.Errorf("encoding: truncated plain int chunk")
+		}
+		for i := uint64(0); i < n; i++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(data[i*8:])))
+		}
+	case tagDeltaVarint:
+		prev := int64(0)
+		for i := uint64(0); i < n; i++ {
+			d, off := binary.Uvarint(data)
+			if off <= 0 {
+				return nil, fmt.Errorf("encoding: truncated delta chunk at %d", i)
+			}
+			data = data[off:]
+			prev += unzigzag(d)
+			out = append(out, prev)
+		}
+	case tagRunLengthInt:
+		for uint64(len(out)) < n {
+			cnt, off := binary.Uvarint(data)
+			if off <= 0 {
+				return nil, fmt.Errorf("encoding: truncated RLE count")
+			}
+			data = data[off:]
+			zv, off := binary.Uvarint(data)
+			if off <= 0 {
+				return nil, fmt.Errorf("encoding: truncated RLE value")
+			}
+			data = data[off:]
+			v := unzigzag(zv)
+			if cnt == 0 || uint64(len(out))+cnt > n {
+				return nil, fmt.Errorf("encoding: RLE run overflows chunk")
+			}
+			for k := uint64(0); k < cnt; k++ {
+				out = append(out, v)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("encoding: unexpected int tag %d", tag)
+	}
+	return out, nil
+}
+
+// EncodeFloat64s encodes vals as plain little-endian bits.
+func EncodeFloat64s(vals []float64) []byte {
+	out := make([]byte, 0, 1+binary.MaxVarintLen64+8*len(vals))
+	out = append(out, tagPlainFloat)
+	out = appendUvarint(out, uint64(len(vals)))
+	var tmp [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+		out = append(out, tmp[:]...)
+	}
+	return out
+}
+
+// DecodeFloat64s decodes a chunk produced by EncodeFloat64s.
+func DecodeFloat64s(data []byte) ([]float64, error) {
+	if len(data) == 0 || data[0] != tagPlainFloat {
+		return nil, fmt.Errorf("encoding: not a float chunk")
+	}
+	n, off := binary.Uvarint(data[1:])
+	if off <= 0 {
+		return nil, fmt.Errorf("encoding: bad float chunk length")
+	}
+	payload := data[1+off:]
+	if len(payload) < int(n)*8 {
+		return nil, fmt.Errorf("encoding: truncated float chunk")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+	}
+	return out, nil
+}
+
+// EncodeBools bit-packs vals.
+func EncodeBools(vals []bool) []byte {
+	out := make([]byte, 0, 1+binary.MaxVarintLen64+(len(vals)+7)/8)
+	out = append(out, tagPackedBool)
+	out = appendUvarint(out, uint64(len(vals)))
+	var cur byte
+	for i, v := range vals {
+		if v {
+			cur |= 1 << uint(i%8)
+		}
+		if i%8 == 7 {
+			out = append(out, cur)
+			cur = 0
+		}
+	}
+	if len(vals)%8 != 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// DecodeBools decodes a chunk produced by EncodeBools.
+func DecodeBools(data []byte) ([]bool, error) {
+	if len(data) == 0 || data[0] != tagPackedBool {
+		return nil, fmt.Errorf("encoding: not a bool chunk")
+	}
+	n, off := binary.Uvarint(data[1:])
+	if off <= 0 {
+		return nil, fmt.Errorf("encoding: bad bool chunk length")
+	}
+	payload := data[1+off:]
+	if len(payload) < (int(n)+7)/8 {
+		return nil, fmt.Errorf("encoding: truncated bool chunk")
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = payload[i/8]&(1<<uint(i%8)) != 0
+	}
+	return out, nil
+}
+
+// EncodeStrings encodes vals, choosing dictionary encoding when the column
+// has low cardinality and plain length-prefixed encoding otherwise.
+func EncodeStrings(vals []string) []byte {
+	distinct := make(map[string]int)
+	for _, v := range vals {
+		if _, ok := distinct[v]; !ok {
+			distinct[v] = len(distinct)
+		}
+		if len(distinct) > len(vals)/2+1 {
+			break
+		}
+	}
+	if len(vals) > 4 && len(distinct) <= len(vals)/2 {
+		return encodeDictString(vals)
+	}
+	return encodePlainString(vals)
+}
+
+func encodePlainString(vals []string) []byte {
+	size := 1 + binary.MaxVarintLen64
+	for _, v := range vals {
+		size += binary.MaxVarintLen64 + len(v)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, tagPlainString)
+	out = appendUvarint(out, uint64(len(vals)))
+	for _, v := range vals {
+		out = appendUvarint(out, uint64(len(v)))
+		out = append(out, v...)
+	}
+	return out
+}
+
+func encodeDictString(vals []string) []byte {
+	dict := make(map[string]uint64)
+	var order []string
+	for _, v := range vals {
+		if _, ok := dict[v]; !ok {
+			dict[v] = uint64(len(order))
+			order = append(order, v)
+		}
+	}
+	out := []byte{tagDictString}
+	out = appendUvarint(out, uint64(len(vals)))
+	out = appendUvarint(out, uint64(len(order)))
+	for _, v := range order {
+		out = appendUvarint(out, uint64(len(v)))
+		out = append(out, v...)
+	}
+	for _, v := range vals {
+		out = appendUvarint(out, dict[v])
+	}
+	return out
+}
+
+// DecodeStrings decodes a chunk produced by EncodeStrings.
+func DecodeStrings(data []byte) ([]string, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("encoding: empty string chunk")
+	}
+	tag, data := data[0], data[1:]
+	n, off := binary.Uvarint(data)
+	if off <= 0 {
+		return nil, fmt.Errorf("encoding: bad string chunk length")
+	}
+	data = data[off:]
+	readStr := func() (string, error) {
+		l, off := binary.Uvarint(data)
+		if off <= 0 || uint64(len(data)-off) < l {
+			return "", fmt.Errorf("encoding: truncated string")
+		}
+		s := string(data[off : off+int(l)])
+		data = data[off+int(l):]
+		return s, nil
+	}
+	out := make([]string, 0, n)
+	switch tag {
+	case tagPlainString:
+		for i := uint64(0); i < n; i++ {
+			s, err := readStr()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+	case tagDictString:
+		dn, off := binary.Uvarint(data)
+		if off <= 0 {
+			return nil, fmt.Errorf("encoding: bad dictionary size")
+		}
+		data = data[off:]
+		dict := make([]string, 0, dn)
+		for i := uint64(0); i < dn; i++ {
+			s, err := readStr()
+			if err != nil {
+				return nil, err
+			}
+			dict = append(dict, s)
+		}
+		for i := uint64(0); i < n; i++ {
+			idx, off := binary.Uvarint(data)
+			if off <= 0 {
+				return nil, fmt.Errorf("encoding: truncated dict code")
+			}
+			data = data[off:]
+			if idx >= uint64(len(dict)) {
+				return nil, fmt.Errorf("encoding: dict code %d out of range", idx)
+			}
+			out = append(out, dict[idx])
+		}
+	default:
+		return nil, fmt.Errorf("encoding: unexpected string tag %d", tag)
+	}
+	return out, nil
+}

@@ -1,0 +1,207 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/plan"
+	"repro/internal/sqlparser"
+	"repro/internal/types"
+)
+
+// Cell is the mergeable partial state of one aggregate: it carries enough
+// for COUNT, SUM, MIN, MAX and AVG simultaneously, so leaves compute
+// partials once, stems merge them, and the master finalizes (paper Fig. 3's
+// bottom-up summarization).
+type Cell struct {
+	Count int64
+	SumI  int64
+	SumF  float64
+	Float bool // sum has been promoted to float
+	Min   types.Value
+	Max   types.Value
+}
+
+// Update folds one input value. star marks COUNT(*) semantics: every row
+// counts regardless of v.
+func (c *Cell) Update(v types.Value, star bool) {
+	if star {
+		c.Count++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	c.Count++
+	switch v.T {
+	case types.Int64:
+		if c.Float {
+			c.SumF += float64(v.I)
+		} else {
+			c.SumI += v.I
+		}
+	case types.Float64:
+		if !c.Float {
+			c.Float = true
+			c.SumF = float64(c.SumI)
+			c.SumI = 0
+		}
+		c.SumF += v.F
+	}
+	if c.Min.IsNull() {
+		c.Min, c.Max = v, v
+		return
+	}
+	if cmp, err := types.Compare(v, c.Min); err == nil && cmp < 0 {
+		c.Min = v
+	}
+	if cmp, err := types.Compare(v, c.Max); err == nil && cmp > 0 {
+		c.Max = v
+	}
+}
+
+// Merge folds another partial cell into c.
+func (c *Cell) Merge(o Cell) {
+	c.Count += o.Count
+	switch {
+	case c.Float || o.Float:
+		if !c.Float {
+			c.SumF = float64(c.SumI)
+			c.SumI = 0
+			c.Float = true
+		}
+		c.SumF += o.SumF + float64(o.SumI)
+	default:
+		c.SumI += o.SumI
+	}
+	if !o.Min.IsNull() {
+		if c.Min.IsNull() {
+			c.Min, c.Max = o.Min, o.Max
+		} else {
+			if cmp, err := types.Compare(o.Min, c.Min); err == nil && cmp < 0 {
+				c.Min = o.Min
+			}
+			if cmp, err := types.Compare(o.Max, c.Max); err == nil && cmp > 0 {
+				c.Max = o.Max
+			}
+		}
+	}
+}
+
+// Final produces the aggregate's value.
+func (c *Cell) Final(fn string) (types.Value, error) {
+	switch fn {
+	case "COUNT":
+		return types.NewInt(c.Count), nil
+	case "SUM":
+		if c.Count == 0 {
+			return types.NullValue(), nil
+		}
+		if c.Float {
+			return types.NewFloat(c.SumF), nil
+		}
+		return types.NewInt(c.SumI), nil
+	case "AVG":
+		if c.Count == 0 {
+			return types.NullValue(), nil
+		}
+		sum := c.SumF
+		if !c.Float {
+			sum = float64(c.SumI)
+		}
+		return types.NewFloat(sum / float64(c.Count)), nil
+	case "MIN":
+		return c.Min, nil
+	case "MAX":
+		return c.Max, nil
+	default:
+		return types.Value{}, fmt.Errorf("exec: unknown aggregate %q", fn)
+	}
+}
+
+// Group is one grouping key with its aggregate cells (aligned with the
+// plan's AggSpecs).
+type Group struct {
+	Keys  []types.Value
+	Cells []Cell
+}
+
+// Groups is a partial aggregation result, keyed by encoded group key.
+type Groups struct {
+	NumAggs int
+	M       map[string]*Group
+}
+
+// NewGroups returns an empty partial result for numAggs aggregate specs.
+func NewGroups(numAggs int) *Groups {
+	return &Groups{NumAggs: numAggs, M: make(map[string]*Group)}
+}
+
+// GroupKey encodes key values into a map key.
+func GroupKey(keys []types.Value) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(0)
+		}
+		sb.WriteByte(byte(k.T))
+		sb.WriteString(k.String())
+	}
+	return sb.String()
+}
+
+// Get returns (creating if needed) the group for the keys.
+func (g *Groups) Get(keys []types.Value) *Group {
+	k := GroupKey(keys)
+	grp, ok := g.M[k]
+	if !ok {
+		kc := make([]types.Value, len(keys))
+		copy(kc, keys)
+		grp = &Group{Keys: kc, Cells: make([]Cell, g.NumAggs)}
+		g.M[k] = grp
+	}
+	return grp
+}
+
+// Merge folds another partial result into g (the stem server's job).
+func (g *Groups) Merge(o *Groups) {
+	for k, og := range o.M {
+		grp, ok := g.M[k]
+		if !ok {
+			g.M[k] = og
+			continue
+		}
+		for i := range grp.Cells {
+			grp.Cells[i].Merge(og.Cells[i])
+		}
+	}
+}
+
+// UpdateRow folds one joined row into the group state: group keys and
+// aggregate arguments are evaluated against env.
+func (g *Groups) UpdateRow(groupBy []sqlparser.Expr, aggs []plan.AggSpec, env Env) error {
+	keys := make([]types.Value, len(groupBy))
+	for i, expr := range groupBy {
+		v, err := Eval(expr, env)
+		if err != nil {
+			return err
+		}
+		keys[i] = v
+	}
+	grp := g.Get(keys)
+	for i, spec := range aggs {
+		if spec.Star {
+			grp.Cells[i].Update(types.Value{}, true)
+			continue
+		}
+		v, err := Eval(spec.Arg, env)
+		if err != nil {
+			return err
+		}
+		grp.Cells[i].Update(v, false)
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/plan"
+	"repro/internal/sqlparser"
+	"repro/internal/types"
+)
+
+// Result is the final query result returned to the client.
+type Result struct {
+	Columns []string
+	Types   []types.Type
+	Rows    [][]types.Value
+	// Partial marks a result assembled from an incomplete task set (the
+	// paper's processed-ratio / elapse-time early return, §III-C).
+	Partial bool
+	// ProcessedRatio is the fraction of tasks whose results are included.
+	ProcessedRatio float64
+}
+
+// MergeResults folds leaf/stem partial results together — the stem server's
+// aggregation step. Select-mode rows are concatenated (bounded by limit when
+// non-negative and no ordering is pending); agg-mode groups are merged.
+func MergeResults(p *plan.PhysicalPlan, acc, next *TaskResult) *TaskResult {
+	if acc == nil {
+		return next
+	}
+	if next == nil {
+		return acc
+	}
+	if p.Mode == plan.ModeAgg {
+		acc.Groups.Merge(next.Groups)
+	} else {
+		acc.Rows = append(acc.Rows, next.Rows...)
+		if p.ScanLimit >= 0 && int64(len(acc.Rows)) > p.ScanLimit {
+			acc.Rows = acc.Rows[:p.ScanLimit]
+		}
+	}
+	acc.Stats.Add(next.Stats)
+	return acc
+}
+
+// Finalize turns the merged partial result into the client-facing rows:
+// aggregate finalization, output-expression evaluation, HAVING, ORDER BY
+// and LIMIT (the master's half of paper Fig. 3).
+func Finalize(p *plan.PhysicalPlan, merged *TaskResult) (*Result, error) {
+	a := p.A
+	res := &Result{}
+	for _, oi := range a.Outputs {
+		if oi.Hidden {
+			continue
+		}
+		res.Columns = append(res.Columns, oi.Name)
+		res.Types = append(res.Types, oi.Type)
+	}
+
+	var wide [][]types.Value // all outputs including hidden
+	if p.Mode == plan.ModeAgg {
+		var groups *Groups
+		if merged != nil {
+			groups = merged.Groups
+		}
+		if groups == nil {
+			groups = NewGroups(len(p.Aggs))
+		}
+		// A global aggregation with no input rows still yields one group.
+		if len(groups.M) == 0 && len(p.GroupBy) == 0 {
+			groups.Get(nil)
+		}
+		for _, grp := range groups.M {
+			env, err := newAggEnv(p, grp)
+			if err != nil {
+				return nil, err
+			}
+			if a.Having != nil {
+				ok, err := EvalBool(a.Having, env)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			row := make([]types.Value, len(a.Outputs))
+			for i, oi := range a.Outputs {
+				v, err := Eval(oi.Expr, env)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			wide = append(wide, row)
+		}
+	} else {
+		if merged != nil {
+			wide = merged.Rows
+		}
+	}
+
+	if len(a.OrderBy) > 0 {
+		var sortErr error
+		sort.SliceStable(wide, func(i, j int) bool {
+			for _, k := range a.OrderBy {
+				cmp, err := types.Compare(wide[i][k.Output], wide[j][k.Output])
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				if cmp == 0 {
+					continue
+				}
+				if k.Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	} else if p.Mode == plan.ModeAgg {
+		// Deterministic output for unordered aggregations.
+		sort.SliceStable(wide, func(i, j int) bool {
+			return rowKey(wide[i]) < rowKey(wide[j])
+		})
+	}
+
+	if a.Limit >= 0 && int64(len(wide)) > a.Limit {
+		wide = wide[:a.Limit]
+	}
+
+	// Drop hidden columns.
+	visible := make([]int, 0, len(a.Outputs))
+	for i, oi := range a.Outputs {
+		if !oi.Hidden {
+			visible = append(visible, i)
+		}
+	}
+	res.Rows = make([][]types.Value, len(wide))
+	for ri, row := range wide {
+		out := make([]types.Value, len(visible))
+		for i, ci := range visible {
+			out[i] = row[ci]
+		}
+		res.Rows[ri] = out
+	}
+	return res, nil
+}
+
+func rowKey(row []types.Value) string {
+	return GroupKey(row)
+}
+
+// aggEnv substitutes aggregate results and group keys into output
+// expressions.
+type aggEnv struct {
+	subs map[string]types.Value
+}
+
+func newAggEnv(p *plan.PhysicalPlan, grp *Group) (*aggEnv, error) {
+	env := &aggEnv{subs: make(map[string]types.Value, len(p.Aggs)+len(p.GroupBy))}
+	for i, spec := range p.Aggs {
+		v, err := grp.Cells[i].Final(spec.Func)
+		if err != nil {
+			return nil, err
+		}
+		env.subs[spec.Key] = v
+	}
+	for i, g := range p.GroupBy {
+		env.subs[g.String()] = grp.Keys[i]
+	}
+	return env, nil
+}
+
+// Col implements Env: bare column references are valid only when they are
+// grouping keys, which the substitution map already covers.
+func (e *aggEnv) Col(table, col string) (types.Value, error) {
+	return types.Value{}, fmt.Errorf("exec: column %s.%s referenced outside GROUP BY", table, col)
+}
+
+// Repeated implements Env.
+func (e *aggEnv) Repeated(table, col string) ([]types.Value, error) {
+	return nil, fmt.Errorf("exec: repeated column %s.%s in aggregate context", table, col)
+}
+
+// Sub implements Env.
+func (e *aggEnv) Sub(expr sqlparser.Expr) (types.Value, bool) {
+	v, ok := e.subs[expr.String()]
+	return v, ok
+}

@@ -1,0 +1,98 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/colstore"
+	"repro/internal/storage"
+)
+
+// StoreReader reads partition metadata and column chunks through the common
+// storage layer with range reads, caching footers (they are tiny and
+// immutable — the leaf's light-weight process holds them naturally, paper
+// §III-B).
+type StoreReader struct {
+	Router *storage.Router
+
+	mu    sync.Mutex
+	metas map[string]*colstore.FileMeta
+}
+
+// NewStoreReader wraps a storage router.
+func NewStoreReader(r *storage.Router) *StoreReader {
+	return &StoreReader{Router: r, metas: make(map[string]*colstore.FileMeta)}
+}
+
+// Meta implements PartitionReader: the footer is located via the fixed-size
+// tail, then range-read and parsed once.
+func (sr *StoreReader) Meta(ctx context.Context, path string) (*colstore.FileMeta, error) {
+	sr.mu.Lock()
+	if m, ok := sr.metas[path]; ok {
+		sr.mu.Unlock()
+		return m, nil
+	}
+	sr.mu.Unlock()
+
+	fi, err := sr.Router.Stat(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size < int64(colstore.FooterTailLen) {
+		return nil, fmt.Errorf("exec: %s too small to be a partition file", path)
+	}
+	tail, err := sr.Router.ReadRange(ctx, path, fi.Size-int64(colstore.FooterTailLen), int64(colstore.FooterTailLen))
+	if err != nil {
+		return nil, err
+	}
+	flen, err := colstore.ParseFooterTail(tail)
+	if err != nil {
+		return nil, fmt.Errorf("exec: %s: %w", path, err)
+	}
+	fstart := fi.Size - int64(colstore.FooterTailLen) - int64(flen)
+	if fstart < 0 {
+		return nil, fmt.Errorf("exec: %s footer larger than file", path)
+	}
+	footer, err := sr.Router.ReadRange(ctx, path, fstart, int64(flen))
+	if err != nil {
+		return nil, err
+	}
+	meta, err := colstore.ParseFooter(footer)
+	if err != nil {
+		return nil, fmt.Errorf("exec: %s: %w", path, err)
+	}
+	sr.mu.Lock()
+	sr.metas[path] = meta
+	sr.mu.Unlock()
+	return meta, nil
+}
+
+// Column implements PartitionReader via a single range read of the column's
+// extent.
+func (sr *StoreReader) Column(ctx context.Context, path string, meta *colstore.FileMeta, block, col int) (*colstore.Column, error) {
+	if block < 0 || block >= len(meta.Blocks) {
+		return nil, fmt.Errorf("exec: block %d out of range for %s", block, path)
+	}
+	bm := meta.Blocks[block]
+	if col < 0 || col >= len(bm.ColExtents) {
+		return nil, fmt.Errorf("exec: column %d out of range for %s block %d", col, path, block)
+	}
+	ext := bm.ColExtents[col]
+	payload, err := sr.Router.ReadRange(ctx, path, ext.Off, ext.Len)
+	if err != nil {
+		return nil, err
+	}
+	c, err := colstore.DecodeColumn(meta.Schema.Fields[col].Type, payload)
+	if err != nil {
+		return nil, fmt.Errorf("exec: decode %s block %d col %d: %w", path, block, col, err)
+	}
+	return c, nil
+}
+
+// InvalidateMeta drops a cached footer (tests and data refresh paths).
+func (sr *StoreReader) InvalidateMeta(path string) {
+	sr.mu.Lock()
+	delete(sr.metas, path)
+	sr.mu.Unlock()
+}

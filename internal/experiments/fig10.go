@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	feisu "repro"
+	"repro/internal/workload"
+)
+
+// Fig10 regenerates "averaged scan throughput of a single server on
+// different storage systems": scan queries touch both T2 (on the HDFS
+// store) and T3 (on the cold Fatman store), with and without SmartIndex.
+// Paper shape: SmartIndex improves per-server throughput by up to ~1.5x.
+func Fig10(scale Scale) (*Report, error) {
+	run := func(mut func(*feisu.Config)) (float64, error) {
+		sys, err := feisu.New(applyMut(feisu.Config{Leaves: scale.Leaves}, mut))
+		if err != nil {
+			return 0, err
+		}
+		defer sys.Close()
+		ctx := context.Background()
+
+		t2 := workload.T2Spec()
+		t2.PathPrefix = "/hdfs/t2"
+		t2.Partitions = scale.Partitions
+		t2.RowsPerPart = scale.DataRowsPerPartition
+		t3 := workload.T3Spec()
+		t3.PathPrefix = "/ffs/t3"
+		t3.Partitions = scale.Partitions / 2
+		if t3.Partitions == 0 {
+			t3.Partitions = 1
+		}
+		t3.RowsPerPart = scale.DataRowsPerPartition
+		for _, spec := range []workload.DatasetSpec{t2, t3} {
+			meta, err := workload.Generate(ctx, sys.Router(), spec)
+			if err != nil {
+				return 0, err
+			}
+			if err := sys.RegisterTable(ctx, meta); err != nil {
+				return 0, err
+			}
+		}
+
+		// The same scan queries run against both storage systems (the
+		// paper: "each scan query ... will scan both T2 and T3").
+		queries := scanQueriesWidth(scale.Queries/2, 99, 8)
+		var totalSim time.Duration
+		var totalRows int64
+		for _, q := range queries {
+			for _, table := range []string{"T2", "T3"} {
+				sql := strings.Replace(q, "FROM T1", "FROM "+table, 1)
+				_, stats, err := sys.QueryStats(ctx, sql)
+				if err != nil {
+					return 0, fmt.Errorf("%q: %w", sql, err)
+				}
+				totalSim += stats.SimTime
+				totalRows += stats.Scan.RowsScanned
+				if stats.Scan.RowsScanned == 0 {
+					// Fully index-served blocks still process their rows.
+					totalRows += int64(scale.DataRowsPerPartition)
+				}
+			}
+		}
+		// Rows processed per simulated second, averaged per server.
+		return float64(totalRows) / totalSim.Seconds() / float64(scale.Leaves), nil
+	}
+
+	withIdx, err := run(nil)
+	if err != nil {
+		return nil, err
+	}
+	without, err := run(func(c *feisu.Config) { c.Index = feisu.IndexNone })
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		ID:      "fig10",
+		Title:   "Averaged scan throughput of a single server on different storage systems",
+		Headers: []string{"Configuration", "Rows/sim-s per server"},
+		Rows: [][]string{
+			{"SmartIndex enabled", f2(withIdx)},
+			{"SmartIndex disabled", f2(without)},
+			{"speedup", f2(withIdx / without)},
+		},
+		Notes: []string{
+			"paper shape: SmartIndex lifts per-server throughput by up to ~1.5x on the federated scan",
+		},
+	}
+	return rep, nil
+}
+
+func applyMut(cfg feisu.Config, mut func(*feisu.Config)) feisu.Config {
+	if mut != nil {
+		mut(&cfg)
+	}
+	return cfg
+}

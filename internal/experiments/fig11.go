@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	feisu "repro"
+)
+
+// Fig11 regenerates "the impact of memory size on the performance of
+// SmartIndex": the index miss ratio (a) and throughput (b) across memory
+// budgets. Paper shape: misses fall and throughput rises with memory, and
+// a mid-size budget already performs like a large one (512 MB ≈ 2 GB at
+// production scale).
+func Fig11(scale Scale) (*Report, error) {
+	queries := scanQueries(scale.Queries, 7)
+
+	// Establish the warm working-set size with an unlimited budget, then
+	// sweep budgets around it — the same relative operating points as the
+	// paper's 128 MB .. 2 GB axis.
+	probe, err := buildSystem(scale, nil)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := runStream(probe, queries, scale.Window); err != nil {
+		probe.Close()
+		return nil, err
+	}
+	workingSet := probe.IndexStats().Bytes / int64(scale.Leaves)
+	probe.Close()
+	if workingSet == 0 {
+		workingSet = 1 << 20
+	}
+
+	fracs := []struct {
+		label string
+		num   int64
+		den   int64
+	}{
+		{"1/16", 1, 16}, {"1/8", 1, 8}, {"1/4", 1, 4}, {"1/2", 1, 2}, {"1x", 1, 1}, {"2x", 2, 1},
+	}
+	rep := &Report{
+		ID:      "fig11",
+		Title:   "The impact of memory size on Feisu's performance",
+		Headers: []string{"Budget (of warm set)", "Bytes/leaf", "Miss ratio", "Throughput (q/sim-s)"},
+		Notes: []string{
+			fmt.Sprintf("warm working set: %d bytes per leaf (stands in for the paper's 512MB operating point)", workingSet),
+			"paper shape: miss ratio falls with memory; throughput saturates before the largest budget",
+		},
+	}
+	for _, fr := range fracs {
+		budget := workingSet * fr.num / fr.den
+		if budget < 1024 {
+			budget = 1024
+		}
+		sys, err := buildSystem(scale, func(c *feisu.Config) { c.IndexMemoryBytes = budget })
+		if err != nil {
+			return nil, err
+		}
+		sr, err := runStream(sys, queries, scale.Window)
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		st := sys.IndexStats()
+		sys.Close()
+		total := st.Hits + st.DerivedHits + st.Misses
+		miss := 0.0
+		if total > 0 {
+			miss = float64(st.Misses) / float64(total)
+		}
+		through := float64(len(queries)) / sr.totalSim.Seconds()
+		rep.Rows = append(rep.Rows, []string{fr.label, d(budget), f3(miss), f2(through)})
+	}
+	return rep, nil
+}

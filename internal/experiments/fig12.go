@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	feisu "repro"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fig12 regenerates "response time with different number of nodes": a
+// fixed dataset scanned by clusters of growing size. The in-process part
+// runs real clusters at laptop scale; the extrapolation extends the same
+// cost model to the paper's 250–4,000 node axis. Paper shape: response
+// time falls ~linearly in 1/nodes.
+func Fig12(scale Scale) (*Report, error) {
+	rep := &Report{
+		ID:      "fig12",
+		Title:   "Response time with different number of nodes",
+		Headers: []string{"Nodes", "Response (sim)", "Kind"},
+		Notes: []string{
+			"fixed total dataset; in-process rows measured on real clusters, extrapolated rows from the same cost model at paper scale",
+		},
+	}
+
+	// Real in-process clusters.
+	totalParts := scale.Partitions * 4
+	sizes := []int{1, 2, 4, 8}
+	if scale.Leaves >= 16 {
+		sizes = append(sizes, 16)
+	}
+	var base time.Duration
+	for _, n := range sizes {
+		sys, err := feisu.New(feisu.Config{Leaves: n, Index: feisu.IndexNone})
+		if err != nil {
+			return nil, err
+		}
+		spec := workload.T1Spec()
+		spec.Partitions = totalParts
+		spec.RowsPerPart = scale.DataRowsPerPartition
+		ctx := context.Background()
+		meta, err := workload.Generate(ctx, sys.Router(), spec)
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		if err := sys.RegisterTable(ctx, meta); err != nil {
+			sys.Close()
+			return nil, err
+		}
+		_, stats, err := sys.QueryStats(ctx, "SELECT COUNT(*) FROM T1 WHERE clicks > 3 AND dwell < 250")
+		sys.Close()
+		if err != nil {
+			return nil, err
+		}
+		if n == 1 {
+			base = stats.SimTime
+		}
+		rep.Rows = append(rep.Rows, []string{d(int64(n)), stats.SimTime.Round(time.Microsecond).String(), "measured"})
+	}
+	if base > 0 {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("measured 1-node baseline: %v", base.Round(time.Microsecond)))
+	}
+
+	// Cost-model extrapolation at the paper's scale: the paper's cluster
+	// holds a fixed workload W of bytes; each node scans W/n from local
+	// disk and ships a partial result up a 3-level tree.
+	model := sim.DefaultCostModel()
+	const workloadBytes = 4e12 // 4 TB scanned per query at paper scale
+	for _, n := range []int{250, 500, 1000, 2000, 4000} {
+		perNode := int64(workloadBytes / float64(n))
+		leaf := model.ReadCost(sim.DeviceHDD, perNode) + model.ScanCost(perNode)
+		// Partial results ride two hops of aggregation.
+		agg := model.TransferCost(64<<10, 4) + model.TransferCost(64<<10, 4)
+		resp := sim.CriticalPath(agg, leaf)
+		rep.Rows = append(rep.Rows, []string{d(int64(n)), resp.Round(time.Millisecond).String(), "extrapolated"})
+	}
+	return rep, nil
+}

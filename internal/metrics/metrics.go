@@ -1,0 +1,183 @@
+// Package metrics provides the lightweight counters, histograms and
+// windowed throughput meters used across Feisu's servers for monitoring and
+// for the benchmark harness' reporting.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be negative for gauges built on Counter, but Feisu uses
+// it monotonically).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram records observations and reports quantiles. It keeps raw values;
+// Feisu's per-query volumes are small enough that exact quantiles are fine.
+type Histogram struct {
+	mu   sync.Mutex
+	vals []float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.vals = append(h.vals, v)
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.vals)
+}
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range h.vals {
+		sum += v
+	}
+	return sum / float64(len(h.vals))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1), or 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), h.vals...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Reset discards all observations.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.vals = h.vals[:0]
+	h.mu.Unlock()
+}
+
+// WindowMeter groups observations into fixed-size windows (e.g. "queries
+// 1-500, 501-1000, ...") and reports the per-window mean — the series shape
+// used by the paper's Fig. 9a, where throughput improves as more queries are
+// processed and SmartIndex warms up.
+type WindowMeter struct {
+	mu     sync.Mutex
+	size   int
+	window []float64
+	means  []float64
+}
+
+// NewWindowMeter returns a meter with the given window size.
+func NewWindowMeter(size int) *WindowMeter {
+	if size <= 0 {
+		size = 100
+	}
+	return &WindowMeter{size: size}
+}
+
+// Observe records one value, sealing a window when it fills.
+func (m *WindowMeter) Observe(v float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.window = append(m.window, v)
+	if len(m.window) == m.size {
+		m.means = append(m.means, mean(m.window))
+		m.window = m.window[:0]
+	}
+}
+
+// Series returns the sealed per-window means, plus the partial window's mean
+// when it has any observations.
+func (m *WindowMeter) Series() []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := append([]float64(nil), m.means...)
+	if len(m.window) > 0 {
+		out = append(out, mean(m.window))
+	}
+	return out
+}
+
+func mean(vals []float64) float64 {
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// Registry is a named collection of counters, for exposing server state.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{counters: make(map[string]*Counter)} }
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot returns a copy of all counter values.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// String renders the snapshot sorted by name.
+func (r *Registry) String() string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, n := range names {
+		s += fmt.Sprintf("%s=%d ", n, snap[n])
+	}
+	return s
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("Value = %d, want 8000", c.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 50.5 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if got := h.Quantile(0.5); got != 50 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := h.Quantile(0.99); got != 99 {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := h.Quantile(1.0); got != 100 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestWindowMeter(t *testing.T) {
+	m := NewWindowMeter(3)
+	for _, v := range []float64{1, 2, 3, 10, 20, 30, 100} {
+		m.Observe(v)
+	}
+	s := m.Series()
+	if len(s) != 3 || s[0] != 2 || s[1] != 20 || s[2] != 100 {
+		t.Errorf("Series = %v", s)
+	}
+}
+
+func TestWindowMeterDefaultSize(t *testing.T) {
+	m := NewWindowMeter(0)
+	m.Observe(5)
+	if s := m.Series(); len(s) != 1 || s[0] != 5 {
+		t.Errorf("Series = %v", s)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Counter("a").Inc()
+	r.Counter("b").Inc()
+	snap := r.Snapshot()
+	if snap["a"] != 4 || snap["b"] != 1 {
+		t.Errorf("Snapshot = %v", snap)
+	}
+	s := r.String()
+	if !strings.Contains(s, "a=4") || !strings.Contains(s, "b=1") {
+		t.Errorf("String = %q", s)
+	}
+	if strings.Index(s, "a=") > strings.Index(s, "b=") {
+		t.Error("String should sort names")
+	}
+}

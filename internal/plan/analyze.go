@@ -1,0 +1,577 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlparser"
+	"repro/internal/types"
+)
+
+// BoundTable is one table of the query after catalog binding. Ordinal 0 is
+// the fact table (the first FROM entry); all others are dimensions that the
+// planner broadcasts to leaves (star-schema execution, paper §III-A).
+type BoundTable struct {
+	Ref     sqlparser.TableRef
+	Meta    *TableMeta
+	Ordinal int
+}
+
+// OutputItem is one column of the query result.
+type OutputItem struct {
+	Expr sqlparser.Expr
+	Name string
+	Type types.Type
+	// Agg marks expressions containing group aggregates.
+	Agg bool
+	// Hidden items back HAVING/ORDER BY references not in the select list
+	// and are dropped before results reach the client.
+	Hidden bool
+}
+
+// OrderKey orders by an output column.
+type OrderKey struct {
+	Output int
+	Desc   bool
+}
+
+// Analyzed is a fully bound and type-checked query.
+type Analyzed struct {
+	Stmt    *sqlparser.SelectStmt
+	Tables  []*BoundTable
+	Where   sqlparser.Expr // bound; nil when absent
+	Outputs []OutputItem
+	HasAgg  bool
+	GroupBy []sqlparser.Expr // bound
+	Having  sqlparser.Expr   // bound, rewritten over outputs
+	OrderBy []OrderKey
+	Limit   int64
+}
+
+// Fact returns the fact table.
+func (a *Analyzed) Fact() *BoundTable { return a.Tables[0] }
+
+// analyzer carries binding state.
+type analyzer struct {
+	tables []*BoundTable
+	byBind map[string]*BoundTable
+}
+
+// Analyze binds the statement against the catalog and type-checks it.
+func Analyze(stmt *sqlparser.SelectStmt, cat Catalog) (*Analyzed, error) {
+	if len(stmt.From) == 0 {
+		return nil, fmt.Errorf("plan: query has no FROM table")
+	}
+	a := &analyzer{byBind: make(map[string]*BoundTable)}
+	addTable := func(ref sqlparser.TableRef) error {
+		meta, err := cat.Lookup(ref.Name)
+		if err != nil {
+			return err
+		}
+		bt := &BoundTable{Ref: ref, Meta: meta, Ordinal: len(a.tables)}
+		bind := ref.Binding()
+		if _, dup := a.byBind[bind]; dup {
+			return fmt.Errorf("plan: duplicate table binding %q", bind)
+		}
+		a.byBind[bind] = bt
+		a.tables = append(a.tables, bt)
+		return nil
+	}
+	for _, ref := range stmt.From {
+		if err := addTable(ref); err != nil {
+			return nil, err
+		}
+	}
+	for _, j := range stmt.Joins {
+		if j.Type == sqlparser.JoinRightOuter {
+			return nil, fmt.Errorf("plan: RIGHT OUTER JOIN is not supported by the star-schema executor; rewrite with the dimension on the left")
+		}
+		if err := addTable(j.Table); err != nil {
+			return nil, err
+		}
+	}
+
+	out := &Analyzed{Stmt: stmt, Tables: a.tables, Limit: stmt.Limit}
+
+	// Bind WHERE and join conditions.
+	if stmt.Where != nil {
+		if err := a.bindExpr(stmt.Where); err != nil {
+			return nil, err
+		}
+		t, err := a.typeOf(stmt.Where)
+		if err != nil {
+			return nil, err
+		}
+		if t != types.Bool && t != types.Null {
+			return nil, fmt.Errorf("plan: WHERE must be boolean, got %s", t)
+		}
+		out.Where = stmt.Where
+	}
+	for _, j := range stmt.Joins {
+		if j.On == nil {
+			continue
+		}
+		if err := a.bindExpr(j.On); err != nil {
+			return nil, err
+		}
+		if t, err := a.typeOf(j.On); err != nil {
+			return nil, err
+		} else if t != types.Bool {
+			return nil, fmt.Errorf("plan: JOIN ON must be boolean, got %s", t)
+		}
+	}
+
+	// Select list: expand *, bind, name, detect aggregates.
+	aliases := make(map[string]int) // alias -> output index
+	for _, item := range stmt.Items {
+		if item.Star {
+			for _, bt := range a.tables {
+				for _, f := range bt.Meta.Schema.Fields {
+					ref := &sqlparser.ColumnRef{Parts: []string{bt.Ref.Binding(), f.Name}}
+					if err := a.bindExpr(ref); err != nil {
+						return nil, err
+					}
+					out.Outputs = append(out.Outputs, OutputItem{Expr: ref, Name: f.Name, Type: f.Type})
+				}
+			}
+			continue
+		}
+		if err := a.bindExpr(item.Expr); err != nil {
+			return nil, err
+		}
+		t, err := a.typeOf(item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		name := item.Alias
+		if name == "" {
+			if c, ok := item.Expr.(*sqlparser.ColumnRef); ok {
+				name = c.Column
+			} else {
+				name = item.Expr.String()
+			}
+		}
+		oi := OutputItem{Expr: item.Expr, Name: name, Type: t, Agg: containsAgg(item.Expr)}
+		if item.Alias != "" {
+			aliases[item.Alias] = len(out.Outputs)
+		}
+		out.Outputs = append(out.Outputs, oi)
+	}
+	for _, oi := range out.Outputs {
+		if oi.Agg {
+			out.HasAgg = true
+		}
+	}
+	if stmt.Having != nil && containsAgg(stmt.Having) {
+		out.HasAgg = true
+	}
+
+	// GROUP BY: resolve aliases, bind.
+	for _, g := range stmt.GroupBy {
+		expr := g
+		if c, ok := g.(*sqlparser.ColumnRef); ok && len(c.Parts) == 1 {
+			if idx, isAlias := aliases[c.Parts[0]]; isAlias {
+				expr = out.Outputs[idx].Expr
+			}
+		}
+		if expr == g { // not an alias: bind as a column expression
+			if err := a.bindExpr(expr); err != nil {
+				return nil, err
+			}
+		}
+		if containsAgg(expr) {
+			return nil, fmt.Errorf("plan: GROUP BY cannot contain aggregates")
+		}
+		out.GroupBy = append(out.GroupBy, expr)
+	}
+	if len(out.GroupBy) > 0 {
+		out.HasAgg = true
+	}
+
+	// With aggregation, every non-aggregate output must be a grouping key.
+	if out.HasAgg {
+		groupKeys := make(map[string]bool, len(out.GroupBy))
+		for _, g := range out.GroupBy {
+			groupKeys[g.String()] = true
+		}
+		for _, oi := range out.Outputs {
+			if oi.Agg {
+				continue
+			}
+			if _, isLit := oi.Expr.(*sqlparser.Literal); isLit {
+				continue
+			}
+			if !groupKeys[oi.Expr.String()] {
+				return nil, fmt.Errorf("plan: output %q must appear in GROUP BY or inside an aggregate", oi.Name)
+			}
+		}
+	}
+
+	// HAVING: bind, then rewrite over output columns (adding hidden ones).
+	if stmt.Having != nil {
+		if err := a.bindExpr(stmt.Having); err != nil {
+			return nil, err
+		}
+		if !out.HasAgg {
+			return nil, fmt.Errorf("plan: HAVING requires aggregation")
+		}
+		if t, err := a.typeOf(stmt.Having); err != nil {
+			return nil, err
+		} else if t != types.Bool {
+			return nil, fmt.Errorf("plan: HAVING must be boolean, got %s", t)
+		}
+		out.Having = stmt.Having
+		if err := out.ensureHavingBacked(a); err != nil {
+			return nil, err
+		}
+	}
+
+	// ORDER BY: resolve to output columns, adding hidden items when needed.
+	for _, ob := range stmt.OrderBy {
+		expr := ob.Expr
+		if c, ok := expr.(*sqlparser.ColumnRef); ok && len(c.Parts) == 1 {
+			if idx, isAlias := aliases[c.Parts[0]]; isAlias {
+				out.OrderBy = append(out.OrderBy, OrderKey{Output: idx, Desc: ob.Desc})
+				continue
+			}
+		}
+		if err := a.bindExpr(expr); err != nil {
+			return nil, err
+		}
+		idx, err := out.resolveToOutput(a, expr)
+		if err != nil {
+			return nil, err
+		}
+		out.OrderBy = append(out.OrderBy, OrderKey{Output: idx, Desc: ob.Desc})
+	}
+
+	return out, nil
+}
+
+// resolveToOutput finds (or appends as hidden) an output column computing
+// expr.
+func (o *Analyzed) resolveToOutput(a *analyzer, expr sqlparser.Expr) (int, error) {
+	key := expr.String()
+	for i, oi := range o.Outputs {
+		if oi.Expr.String() == key {
+			return i, nil
+		}
+	}
+	isAgg := containsAgg(expr)
+	if o.HasAgg && !isAgg {
+		ok := false
+		for _, g := range o.GroupBy {
+			if g.String() == key {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return 0, fmt.Errorf("plan: %q is neither selected, aggregated, nor grouped", key)
+		}
+	}
+	t, err := a.typeOf(expr)
+	if err != nil {
+		return 0, err
+	}
+	o.Outputs = append(o.Outputs, OutputItem{Expr: expr, Name: key, Type: t, Agg: isAgg, Hidden: true})
+	return len(o.Outputs) - 1, nil
+}
+
+// ensureHavingBacked guarantees every aggregate and grouping reference in
+// HAVING has a backing output column, so HAVING can run over result rows.
+func (o *Analyzed) ensureHavingBacked(a *analyzer) error {
+	var visit func(e sqlparser.Expr) error
+	visit = func(e sqlparser.Expr) error {
+		switch x := e.(type) {
+		case *sqlparser.FuncCall:
+			if isAggName(x.Name) && x.Within == nil && !x.WithinRecord {
+				_, err := o.resolveToOutput(a, x)
+				return err
+			}
+			for _, arg := range x.Args {
+				if err := visit(arg); err != nil {
+					return err
+				}
+			}
+		case *sqlparser.ColumnRef:
+			_, err := o.resolveToOutput(a, x)
+			return err
+		case *sqlparser.BinaryExpr:
+			if err := visit(x.L); err != nil {
+				return err
+			}
+			return visit(x.R)
+		case *sqlparser.NotExpr:
+			return visit(x.X)
+		case *sqlparser.NegExpr:
+			return visit(x.X)
+		}
+		return nil
+	}
+	return visit(o.Having)
+}
+
+// bindExpr resolves every ColumnRef in the expression tree in place.
+func (a *analyzer) bindExpr(e sqlparser.Expr) error {
+	switch x := e.(type) {
+	case *sqlparser.ColumnRef:
+		return a.bindColumn(x)
+	case *sqlparser.Literal:
+		return nil
+	case *sqlparser.BinaryExpr:
+		if err := a.bindExpr(x.L); err != nil {
+			return err
+		}
+		return a.bindExpr(x.R)
+	case *sqlparser.NotExpr:
+		return a.bindExpr(x.X)
+	case *sqlparser.NegExpr:
+		return a.bindExpr(x.X)
+	case *sqlparser.FuncCall:
+		for _, arg := range x.Args {
+			if err := a.bindExpr(arg); err != nil {
+				return err
+			}
+		}
+		if x.Within != nil {
+			if err := a.bindColumn(x.Within); err != nil {
+				return err
+			}
+		}
+		return a.checkCall(x)
+	default:
+		return fmt.Errorf("plan: cannot bind %T", e)
+	}
+}
+
+// bindColumn resolves a dotted reference: "binding.rest" when the first
+// segment is a table binding, otherwise the whole dotted path is tried as a
+// flattened column name in every table.
+func (a *analyzer) bindColumn(c *sqlparser.ColumnRef) error {
+	if c.Column != "" {
+		return nil // already bound
+	}
+	if len(c.Parts) >= 2 {
+		if bt, ok := a.byBind[c.Parts[0]]; ok {
+			name := strings.Join(c.Parts[1:], ".")
+			if _, found := bt.Meta.Schema.Field(name); found {
+				c.Table = bt.Ref.Binding()
+				c.Column = name
+				return nil
+			}
+			return fmt.Errorf("plan: table %q has no column %q", c.Parts[0], name)
+		}
+	}
+	name := strings.Join(c.Parts, ".")
+	var owner *BoundTable
+	for _, bt := range a.tables {
+		if _, found := bt.Meta.Schema.Field(name); found {
+			if owner != nil {
+				return fmt.Errorf("plan: column %q is ambiguous between %q and %q", name, owner.Ref.Binding(), bt.Ref.Binding())
+			}
+			owner = bt
+		}
+	}
+	if owner == nil {
+		return fmt.Errorf("plan: unknown column %q", name)
+	}
+	c.Table = owner.Ref.Binding()
+	c.Column = name
+	return nil
+}
+
+// field returns the schema field of a bound reference.
+func (a *analyzer) field(c *sqlparser.ColumnRef) (types.Field, error) {
+	bt, ok := a.byBind[c.Table]
+	if !ok {
+		return types.Field{}, fmt.Errorf("plan: unbound column %s", c)
+	}
+	f, ok := bt.Meta.Schema.Field(c.Column)
+	if !ok {
+		return types.Field{}, fmt.Errorf("plan: column %s vanished", c)
+	}
+	return f, nil
+}
+
+var aggNames = map[string]bool{"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true}
+
+func isAggName(n string) bool { return aggNames[n] }
+
+// containsAgg reports whether the expression contains a group aggregate
+// (WITHIN-scoped calls are per-record scalars, not group aggregates).
+func containsAgg(e sqlparser.Expr) bool {
+	switch x := e.(type) {
+	case *sqlparser.FuncCall:
+		if isAggName(x.Name) && x.Within == nil && !x.WithinRecord {
+			return true
+		}
+		for _, a := range x.Args {
+			if containsAgg(a) {
+				return true
+			}
+		}
+	case *sqlparser.BinaryExpr:
+		return containsAgg(x.L) || containsAgg(x.R)
+	case *sqlparser.NotExpr:
+		return containsAgg(x.X)
+	case *sqlparser.NegExpr:
+		return containsAgg(x.X)
+	}
+	return false
+}
+
+// checkCall validates a function call's shape.
+func (a *analyzer) checkCall(x *sqlparser.FuncCall) error {
+	if !isAggName(x.Name) {
+		return fmt.Errorf("plan: unknown function %q", x.Name)
+	}
+	if x.Star {
+		if x.Name != "COUNT" {
+			return fmt.Errorf("plan: %s(*) is not valid", x.Name)
+		}
+		if x.Within != nil || x.WithinRecord {
+			return fmt.Errorf("plan: COUNT(*) cannot take WITHIN")
+		}
+		return nil
+	}
+	if len(x.Args) != 1 {
+		return fmt.Errorf("plan: %s takes exactly one argument", x.Name)
+	}
+	if x.Within != nil || x.WithinRecord {
+		// WITHIN aggregates run per record over a repeated field
+		// (paper §III-A); the argument must be a repeated column.
+		c, ok := x.Args[0].(*sqlparser.ColumnRef)
+		if !ok {
+			return fmt.Errorf("plan: %s ... WITHIN requires a repeated column argument", x.Name)
+		}
+		f, err := a.field(c)
+		if err != nil {
+			return err
+		}
+		if !f.Repeated {
+			return fmt.Errorf("plan: WITHIN aggregate over non-repeated column %q", c.Column)
+		}
+		if containsAgg(x.Args[0]) {
+			return fmt.Errorf("plan: nested aggregates")
+		}
+		return nil
+	}
+	if containsAgg(x.Args[0]) {
+		return fmt.Errorf("plan: nested aggregates")
+	}
+	if x.Name != "COUNT" && x.Name != "MIN" && x.Name != "MAX" {
+		if t, err := a.typeOf(x.Args[0]); err != nil {
+			return err
+		} else if !t.Numeric() && t != types.Null {
+			return fmt.Errorf("plan: %s over non-numeric %s", x.Name, t)
+		}
+	}
+	return nil
+}
+
+// typeOf infers the type of a bound expression.
+func (a *analyzer) typeOf(e sqlparser.Expr) (types.Type, error) {
+	switch x := e.(type) {
+	case *sqlparser.Literal:
+		return x.Value.T, nil
+	case *sqlparser.ColumnRef:
+		f, err := a.field(x)
+		if err != nil {
+			return types.Null, err
+		}
+		return f.Type, nil
+	case *sqlparser.NotExpr:
+		t, err := a.typeOf(x.X)
+		if err != nil {
+			return types.Null, err
+		}
+		if t != types.Bool && t != types.Null {
+			return types.Null, fmt.Errorf("plan: NOT over %s", t)
+		}
+		return types.Bool, nil
+	case *sqlparser.NegExpr:
+		t, err := a.typeOf(x.X)
+		if err != nil {
+			return types.Null, err
+		}
+		if !t.Numeric() && t != types.Null {
+			return types.Null, fmt.Errorf("plan: negation of %s", t)
+		}
+		return t, nil
+	case *sqlparser.FuncCall:
+		switch x.Name {
+		case "COUNT":
+			return types.Int64, nil
+		case "AVG":
+			return types.Float64, nil
+		case "SUM":
+			if x.WithinRecord || x.Within != nil {
+				c := x.Args[0].(*sqlparser.ColumnRef)
+				f, err := a.field(c)
+				if err != nil {
+					return types.Null, err
+				}
+				return f.Type, nil
+			}
+			return a.typeOf(x.Args[0])
+		case "MIN", "MAX":
+			return a.typeOf(x.Args[0])
+		default:
+			return types.Null, fmt.Errorf("plan: unknown function %q", x.Name)
+		}
+	case *sqlparser.BinaryExpr:
+		lt, err := a.typeOf(x.L)
+		if err != nil {
+			return types.Null, err
+		}
+		rt, err := a.typeOf(x.R)
+		if err != nil {
+			return types.Null, err
+		}
+		switch x.Op {
+		case sqlparser.OpAnd, sqlparser.OpOr:
+			for _, t := range []types.Type{lt, rt} {
+				if t != types.Bool && t != types.Null {
+					return types.Null, fmt.Errorf("plan: %s over %s", x.Op, t)
+				}
+			}
+			return types.Bool, nil
+		case sqlparser.OpContains:
+			if lt != types.String && lt != types.Null || rt != types.String && rt != types.Null {
+				return types.Null, fmt.Errorf("plan: CONTAINS needs strings, got %s and %s", lt, rt)
+			}
+			return types.Bool, nil
+		case sqlparser.OpEq, sqlparser.OpNe, sqlparser.OpLt, sqlparser.OpLe, sqlparser.OpGt, sqlparser.OpGe:
+			if !comparable(lt, rt) {
+				return types.Null, fmt.Errorf("plan: cannot compare %s with %s", lt, rt)
+			}
+			return types.Bool, nil
+		case sqlparser.OpAdd, sqlparser.OpSub, sqlparser.OpMul, sqlparser.OpDiv, sqlparser.OpMod:
+			if lt == types.Null || rt == types.Null {
+				return types.Null, nil
+			}
+			if !lt.Numeric() || !rt.Numeric() {
+				return types.Null, fmt.Errorf("plan: arithmetic over %s and %s", lt, rt)
+			}
+			if x.Op == sqlparser.OpDiv || lt == types.Float64 || rt == types.Float64 {
+				return types.Float64, nil
+			}
+			return types.Int64, nil
+		default:
+			return types.Null, fmt.Errorf("plan: unhandled operator %s", x.Op)
+		}
+	default:
+		return types.Null, fmt.Errorf("plan: cannot type %T", e)
+	}
+}
+
+func comparable(a, b types.Type) bool {
+	if a == types.Null || b == types.Null {
+		return true
+	}
+	if a.Numeric() && b.Numeric() {
+		return true
+	}
+	return a == b
+}

@@ -1,0 +1,86 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders the physical plan for humans: the tree the master built,
+// what was pushed down, what each leaf sub-plan will do, and how the query
+// was dissected — the reproduction's EXPLAIN.
+func (p *PhysicalPlan) Describe() string {
+	var sb strings.Builder
+	fact := p.Fact()
+	mode := "select"
+	if p.Mode == ModeAgg {
+		mode = "aggregate"
+	}
+	fmt.Fprintf(&sb, "query: %s\n", p.Fingerprint)
+	fmt.Fprintf(&sb, "mode: %s\n", mode)
+	fmt.Fprintf(&sb, "fact table: %s (%d partitions, %d rows cataloged)\n",
+		fact.Meta.Name, len(fact.Meta.Partitions), fact.Meta.Rows())
+	fmt.Fprintf(&sb, "fact columns read: %s\n", strings.Join(p.FactCols, ", "))
+
+	if len(p.Filter.Clauses) > 0 {
+		sb.WriteString("pushed-down filter (CNF, evaluated at leaves with SmartIndex):\n")
+		for _, cl := range p.Filter.Clauses {
+			sb.WriteString("  - " + describeClause(cl) + "\n")
+		}
+	}
+	for _, d := range p.Dims {
+		fmt.Fprintf(&sb, "broadcast %s %s", strings.ToLower(d.Type.String()), d.Table.Meta.Name)
+		if len(d.DimKeys) > 0 {
+			keys := make([]string, len(d.DimKeys))
+			for i := range d.DimKeys {
+				keys[i] = fmt.Sprintf("%s = %s.%s", d.FactKeys[i], d.Table.Ref.Binding(), d.DimKeys[i])
+			}
+			fmt.Fprintf(&sb, " on %s", strings.Join(keys, " AND "))
+		}
+		if len(d.Residual) > 0 {
+			fmt.Fprintf(&sb, " with %d residual condition(s)", len(d.Residual))
+		}
+		fmt.Fprintf(&sb, " shipping columns [%s]\n", strings.Join(d.Needed, ", "))
+	}
+	if len(p.Post) > 0 {
+		sb.WriteString("post-join filter:\n")
+		for _, cl := range p.Post {
+			sb.WriteString("  - " + describeClause(cl) + "\n")
+		}
+	}
+	if p.Mode == ModeAgg {
+		aggs := make([]string, len(p.Aggs))
+		for i, a := range p.Aggs {
+			aggs[i] = a.Key
+		}
+		fmt.Fprintf(&sb, "partial aggregates at leaves: %s\n", strings.Join(aggs, ", "))
+		if len(p.GroupBy) > 0 {
+			keys := make([]string, len(p.GroupBy))
+			for i, g := range p.GroupBy {
+				keys[i] = g.String()
+			}
+			fmt.Fprintf(&sb, "group by: %s\n", strings.Join(keys, ", "))
+		}
+	}
+	if p.ScanLimit >= 0 {
+		fmt.Fprintf(&sb, "scan limit pushed to leaves: %d\n", p.ScanLimit)
+	}
+	if a := p.A; a.Having != nil {
+		fmt.Fprintf(&sb, "having (at master): %s\n", a.Having)
+	}
+	if len(p.A.OrderBy) > 0 {
+		fmt.Fprintf(&sb, "order by (at master): %d key(s)\n", len(p.A.OrderBy))
+	}
+	fmt.Fprintf(&sb, "dissection: %d leaf sub-plan(s), one per fact partition\n", len(fact.Meta.Partitions))
+	return sb.String()
+}
+
+func describeClause(cl Clause) string {
+	parts := make([]string, 0, len(cl.Atoms)+len(cl.Opaque))
+	for _, a := range cl.Atoms {
+		parts = append(parts, a.String()+" [indexable]")
+	}
+	for _, o := range cl.Opaque {
+		parts = append(parts, o.String())
+	}
+	return strings.Join(parts, " OR ")
+}

@@ -1,0 +1,511 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sqlparser"
+	"repro/internal/types"
+)
+
+func testCatalog() MapCatalog {
+	logs := types.MustSchema(
+		types.Field{Name: "query", Type: types.String},
+		types.Field{Name: "url", Type: types.String},
+		types.Field{Name: "clicks", Type: types.Int64},
+		types.Field{Name: "pos", Type: types.Int64},
+		types.Field{Name: "score", Type: types.Float64},
+		types.Field{Name: "uid", Type: types.Int64},
+		types.Field{Name: "click.pos", Type: types.Int64, Repeated: true},
+	)
+	users := types.MustSchema(
+		types.Field{Name: "uid", Type: types.Int64},
+		types.Field{Name: "city", Type: types.String},
+		types.Field{Name: "vip", Type: types.Bool},
+	)
+	return MapCatalog{
+		"logs": &TableMeta{Name: "logs", Schema: logs, Partitions: []PartitionMeta{
+			{Path: "/hdfs/logs/p0", Rows: 100, Bytes: 1000},
+			{Path: "/hdfs/logs/p1", Rows: 100, Bytes: 1000},
+		}},
+		"users": &TableMeta{Name: "users", Schema: users, Partitions: []PartitionMeta{
+			{Path: "/ffs/users/p0", Rows: 10, Bytes: 100},
+		}},
+	}
+}
+
+func analyzeSQL(t *testing.T, sql string) *Analyzed {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	a, err := Analyze(stmt, testCatalog())
+	if err != nil {
+		t.Fatalf("analyze %q: %v", sql, err)
+	}
+	return a
+}
+
+func planSQL(t *testing.T, sql string) *PhysicalPlan {
+	t.Helper()
+	p, err := Build(analyzeSQL(t, sql))
+	if err != nil {
+		t.Fatalf("build %q: %v", sql, err)
+	}
+	return p
+}
+
+func TestCatalogLookup(t *testing.T) {
+	cat := testCatalog()
+	tm, err := cat.Lookup("logs")
+	if err != nil || tm.Name != "logs" {
+		t.Fatalf("lookup = %v, %v", tm, err)
+	}
+	if tm.Rows() != 200 || tm.Bytes() != 2000 {
+		t.Errorf("rows=%d bytes=%d", tm.Rows(), tm.Bytes())
+	}
+	if _, err := cat.Lookup("missing"); err == nil {
+		t.Error("missing table should fail")
+	}
+	if got := cat.Tables(); len(got) != 2 || got[0] != "logs" {
+		t.Errorf("tables = %v", got)
+	}
+}
+
+func TestAnalyzeBindsColumns(t *testing.T) {
+	a := analyzeSQL(t, "SELECT url FROM logs WHERE clicks > 10")
+	c := a.Outputs[0].Expr.(*sqlparser.ColumnRef)
+	if c.Table != "logs" || c.Column != "url" {
+		t.Errorf("binding = %q.%q", c.Table, c.Column)
+	}
+	if a.Outputs[0].Type != types.String {
+		t.Errorf("type = %v", a.Outputs[0].Type)
+	}
+	w := a.Where.(*sqlparser.BinaryExpr)
+	if w.L.(*sqlparser.ColumnRef).Column != "clicks" {
+		t.Error("where not bound")
+	}
+}
+
+func TestAnalyzeDottedFlattenedColumn(t *testing.T) {
+	a := analyzeSQL(t, "SELECT SUM(click.pos) WITHIN RECORD FROM logs")
+	fc := a.Outputs[0].Expr.(*sqlparser.FuncCall)
+	c := fc.Args[0].(*sqlparser.ColumnRef)
+	if c.Column != "click.pos" || c.Table != "logs" {
+		t.Errorf("binding = %q.%q", c.Table, c.Column)
+	}
+	if a.HasAgg {
+		t.Error("WITHIN RECORD is per-record, not a group aggregate")
+	}
+}
+
+func TestAnalyzeQualifiedAndAmbiguous(t *testing.T) {
+	a := analyzeSQL(t, "SELECT l.uid FROM logs l, users WHERE l.uid = users.uid")
+	c := a.Outputs[0].Expr.(*sqlparser.ColumnRef)
+	if c.Table != "l" || c.Column != "uid" {
+		t.Errorf("binding = %q.%q", c.Table, c.Column)
+	}
+	// Unqualified uid is ambiguous between logs and users.
+	stmt, _ := sqlparser.Parse("SELECT uid FROM logs, users")
+	if _, err := Analyze(stmt, testCatalog()); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous error = %v", err)
+	}
+}
+
+func TestAnalyzeStarExpansion(t *testing.T) {
+	a := analyzeSQL(t, "SELECT * FROM users")
+	if len(a.Outputs) != 3 || a.Outputs[1].Name != "city" {
+		t.Errorf("outputs = %+v", a.Outputs)
+	}
+}
+
+func TestAnalyzeAggregation(t *testing.T) {
+	a := analyzeSQL(t, "SELECT url, COUNT(*) AS n, AVG(score) FROM logs GROUP BY url HAVING COUNT(*) > 5 ORDER BY n DESC LIMIT 3")
+	if !a.HasAgg || len(a.GroupBy) != 1 {
+		t.Fatalf("agg = %v groupby = %d", a.HasAgg, len(a.GroupBy))
+	}
+	if !a.Outputs[1].Agg || !a.Outputs[2].Agg || a.Outputs[0].Agg {
+		t.Error("agg flags wrong")
+	}
+	if a.Having == nil {
+		t.Error("having missing")
+	}
+	if len(a.OrderBy) != 1 || a.OrderBy[0].Output != 1 || !a.OrderBy[0].Desc {
+		t.Errorf("orderby = %+v", a.OrderBy)
+	}
+	if a.Limit != 3 {
+		t.Errorf("limit = %d", a.Limit)
+	}
+}
+
+func TestAnalyzeGroupByAlias(t *testing.T) {
+	a := analyzeSQL(t, "SELECT url AS u, COUNT(*) FROM logs GROUP BY u")
+	if len(a.GroupBy) != 1 {
+		t.Fatal("groupby missing")
+	}
+	c, ok := a.GroupBy[0].(*sqlparser.ColumnRef)
+	if !ok || c.Column != "url" {
+		t.Errorf("groupby = %#v", a.GroupBy[0])
+	}
+}
+
+func TestAnalyzeHiddenOrderKey(t *testing.T) {
+	// ORDER BY an unselected aggregate forces a hidden output.
+	a := analyzeSQL(t, "SELECT url FROM logs GROUP BY url ORDER BY COUNT(*) DESC")
+	if len(a.Outputs) != 2 || !a.Outputs[1].Hidden || !a.Outputs[1].Agg {
+		t.Fatalf("outputs = %+v", a.Outputs)
+	}
+	if a.OrderBy[0].Output != 1 {
+		t.Errorf("order key = %+v", a.OrderBy[0])
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	bad := []struct{ sql, want string }{
+		{"SELECT nosuch FROM logs", "unknown column"},
+		{"SELECT url FROM nosuch", "unknown table"},
+		{"SELECT url FROM logs WHERE clicks + 1", "boolean"},
+		{"SELECT url, COUNT(*) FROM logs", "GROUP BY"},
+		{"SELECT url FROM logs GROUP BY COUNT(*)", "aggregates"},
+		{"SELECT COUNT(*) FROM logs HAVING url = 'x'", "grouped"},
+		{"SELECT url FROM logs HAVING COUNT(*) > 1", ""}, // HasAgg via having is fine? no: outputs must group
+		{"SELECT SUM(url) FROM logs", "non-numeric"},
+		{"SELECT SUM(pos) WITHIN RECORD FROM logs", "non-repeated"},
+		{"SELECT COUNT(*) FROM logs l RIGHT OUTER JOIN users u ON l.uid = u.uid", "RIGHT OUTER"},
+		{"SELECT url FROM logs, logs", "duplicate table binding"},
+		{"SELECT url FROM logs WHERE query CONTAINS 5", "CONTAINS"},
+		{"SELECT url, COUNT(*) FROM logs GROUP BY url ORDER BY score", "neither selected"},
+		{"SELECT MIN(score, pos) FROM logs", "one argument"},
+		{"SELECT AVG(COUNT(*)) FROM logs", "nested"},
+	}
+	for _, c := range bad {
+		stmt, err := sqlparser.Parse(c.sql)
+		if err != nil {
+			t.Errorf("parse %q: %v", c.sql, err)
+			continue
+		}
+		_, err = Analyze(stmt, testCatalog())
+		if err == nil {
+			t.Errorf("Analyze(%q) should fail", c.sql)
+			continue
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Analyze(%q) = %v, want containing %q", c.sql, err, c.want)
+		}
+	}
+}
+
+func TestToCNFSimpleAnd(t *testing.T) {
+	a := analyzeSQL(t, "SELECT url FROM logs WHERE clicks > 0 AND clicks <= 5")
+	cnf := ToCNF(a.Where)
+	if len(cnf.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(cnf.Clauses))
+	}
+	for _, cl := range cnf.Clauses {
+		if !cl.Indexable() || len(cl.Atoms) != 1 {
+			t.Errorf("clause = %+v", cl)
+		}
+	}
+	if cnf.Clauses[0].Atoms[0].Key() != "clicks > 0" {
+		t.Errorf("key = %q", cnf.Clauses[0].Atoms[0].Key())
+	}
+}
+
+func TestToCNFNotPushdown(t *testing.T) {
+	// The paper's Fig. 7 rewriting: !(c > 5) becomes c <= 5.
+	a := analyzeSQL(t, "SELECT url FROM logs WHERE clicks > 0 AND !(clicks > 5)")
+	cnf := ToCNF(a.Where)
+	if len(cnf.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(cnf.Clauses))
+	}
+	if got := cnf.Clauses[1].Atoms[0].Key(); got != "clicks <= 5" {
+		t.Errorf("negation pushdown = %q", got)
+	}
+}
+
+func TestToCNFDeMorganDistribution(t *testing.T) {
+	a := analyzeSQL(t, "SELECT url FROM logs WHERE NOT (clicks > 5 OR score < 0.5) AND (pos = 1 OR pos = 2)")
+	cnf := ToCNF(a.Where)
+	// NOT(x OR y) -> two clauses; (p OR q) -> one clause with two atoms.
+	if len(cnf.Clauses) != 3 {
+		t.Fatalf("clauses = %d: %+v", len(cnf.Clauses), cnf.Clauses)
+	}
+	last := cnf.Clauses[2]
+	if len(last.Atoms) != 2 || !last.Indexable() {
+		t.Errorf("or clause = %+v", last)
+	}
+}
+
+func TestToCNFOrOfAnds(t *testing.T) {
+	a := analyzeSQL(t, "SELECT url FROM logs WHERE (clicks > 1 AND pos = 2) OR score > 0.9")
+	cnf := ToCNF(a.Where)
+	// (A AND B) OR C -> (A OR C) AND (B OR C).
+	if len(cnf.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(cnf.Clauses))
+	}
+	for _, cl := range cnf.Clauses {
+		if len(cl.Atoms) != 2 {
+			t.Errorf("clause atoms = %d", len(cl.Atoms))
+		}
+	}
+}
+
+func TestToCNFContainsNegation(t *testing.T) {
+	a := analyzeSQL(t, "SELECT url FROM logs WHERE NOT (query CONTAINS 'spam')")
+	cnf := ToCNF(a.Where)
+	if len(cnf.Clauses) != 1 || len(cnf.Clauses[0].Atoms) != 1 {
+		t.Fatalf("cnf = %+v", cnf)
+	}
+	atom := cnf.Clauses[0].Atoms[0]
+	if !atom.Negated || atom.Op != sqlparser.OpContains {
+		t.Errorf("atom = %+v", atom)
+	}
+	if atom.Key() != "query CONTAINS 'spam'" && !strings.Contains(atom.Key(), "CONTAINS") {
+		t.Errorf("key = %q", atom.Key())
+	}
+}
+
+func TestToCNFLiteralOnLeft(t *testing.T) {
+	a := analyzeSQL(t, "SELECT url FROM logs WHERE 5 < clicks")
+	cnf := ToCNF(a.Where)
+	atom := cnf.Clauses[0].Atoms[0]
+	if atom.Col != "clicks" || atom.Op != sqlparser.OpGt {
+		t.Errorf("flipped atom = %+v", atom)
+	}
+}
+
+func TestToCNFNil(t *testing.T) {
+	if got := ToCNF(nil); len(got.Clauses) != 0 {
+		t.Errorf("nil CNF = %+v", got)
+	}
+}
+
+func TestEvalAtom(t *testing.T) {
+	atom := Atom{Col: "c", Op: sqlparser.OpGt, Val: types.NewInt(5)}
+	if !EvalAtom(atom, types.NewInt(6)) || EvalAtom(atom, types.NewInt(5)) {
+		t.Error("Gt eval wrong")
+	}
+	if EvalAtom(atom, types.NullValue()) {
+		t.Error("NULL should not satisfy")
+	}
+	cont := Atom{Col: "s", Op: sqlparser.OpContains, Val: types.NewString("am")}
+	if !EvalAtom(cont, types.NewString("spam")) || EvalAtom(cont, types.NewString("ok")) {
+		t.Error("contains eval wrong")
+	}
+	ncont := cont
+	ncont.Negated = true
+	if EvalAtom(ncont, types.NewString("spam")) || !EvalAtom(ncont, types.NewString("ok")) {
+		t.Error("negated contains eval wrong")
+	}
+	eq := Atom{Col: "c", Op: sqlparser.OpEq, Val: types.NewFloat(2)}
+	if !EvalAtom(eq, types.NewInt(2)) {
+		t.Error("cross-type equality")
+	}
+}
+
+func TestBuildPushdownAndPruning(t *testing.T) {
+	p := planSQL(t, "SELECT url FROM logs WHERE clicks > 10 AND score > 0.5")
+	if p.Mode != ModeSelect {
+		t.Error("mode should be select")
+	}
+	if len(p.Filter.Clauses) != 2 || len(p.Post) != 0 {
+		t.Errorf("filter=%d post=%d", len(p.Filter.Clauses), len(p.Post))
+	}
+	want := map[string]bool{"url": true, "clicks": true, "score": true}
+	if len(p.FactCols) != len(want) {
+		t.Errorf("FactCols = %v", p.FactCols)
+	}
+	for _, c := range p.FactCols {
+		if !want[c] {
+			t.Errorf("unexpected column %q", c)
+		}
+	}
+	if len(p.Tasks()) != 2 {
+		t.Errorf("tasks = %d", len(p.Tasks()))
+	}
+}
+
+func TestBuildImplicitJoin(t *testing.T) {
+	p := planSQL(t, "SELECT city, COUNT(*) FROM logs, users WHERE logs.uid = users.uid AND clicks > 0 GROUP BY city")
+	if len(p.Dims) != 1 {
+		t.Fatalf("dims = %d", len(p.Dims))
+	}
+	d := p.Dims[0]
+	if d.Type != sqlparser.JoinInner || len(d.FactKeys) != 1 || d.DimKeys[0] != "uid" {
+		t.Errorf("dim = %+v", d)
+	}
+	if len(p.Filter.Clauses) != 1 {
+		t.Errorf("pushed filter = %d", len(p.Filter.Clauses))
+	}
+	if len(p.Post) != 0 {
+		t.Errorf("post = %+v", p.Post)
+	}
+	foundCity := false
+	for _, c := range d.Needed {
+		if c == "city" {
+			foundCity = true
+		}
+	}
+	if !foundCity {
+		t.Errorf("dim needed = %v", d.Needed)
+	}
+}
+
+func TestBuildExplicitJoinWithResidual(t *testing.T) {
+	p := planSQL(t, "SELECT url FROM logs l LEFT JOIN users u ON l.uid = u.uid AND u.vip = TRUE WHERE score > 0 OR u.city = 'bj'")
+	d := p.Dims[0]
+	if d.Type != sqlparser.JoinLeftOuter || len(d.FactKeys) != 1 {
+		t.Fatalf("dim = %+v", d)
+	}
+	if len(d.Residual) != 1 {
+		t.Errorf("residual = %+v", d.Residual)
+	}
+	// WHERE references both tables -> post-join clause.
+	if len(p.Post) != 1 || len(p.Filter.Clauses) != 0 {
+		t.Errorf("filter=%d post=%d", len(p.Filter.Clauses), len(p.Post))
+	}
+}
+
+func TestBuildCrossJoinFallback(t *testing.T) {
+	p := planSQL(t, "SELECT url FROM logs, users WHERE clicks > 0")
+	if p.Dims[0].Type != sqlparser.JoinCross {
+		t.Errorf("keyless comma join should become cross, got %v", p.Dims[0].Type)
+	}
+}
+
+func TestBuildAggSpecs(t *testing.T) {
+	p := planSQL(t, "SELECT url, COUNT(*), SUM(clicks), AVG(score), COUNT(*) FROM logs GROUP BY url")
+	if len(p.Aggs) != 3 { // COUNT(*) deduped
+		t.Fatalf("aggs = %+v", p.Aggs)
+	}
+	if p.Aggs[0].Func != "COUNT" || !p.Aggs[0].Star {
+		t.Errorf("agg0 = %+v", p.Aggs[0])
+	}
+	if p.Mode != ModeAgg {
+		t.Error("mode should be agg")
+	}
+}
+
+func TestBuildScanLimitPushdown(t *testing.T) {
+	p := planSQL(t, "SELECT url FROM logs LIMIT 7")
+	if p.ScanLimit != 7 {
+		t.Errorf("ScanLimit = %d", p.ScanLimit)
+	}
+	p = planSQL(t, "SELECT url FROM logs ORDER BY url LIMIT 7")
+	if p.ScanLimit != -1 {
+		t.Errorf("ordered limit should not push down, got %d", p.ScanLimit)
+	}
+}
+
+func TestTaskKeysIdentifyWork(t *testing.T) {
+	p1 := planSQL(t, "SELECT url FROM logs WHERE clicks > 10")
+	p2 := planSQL(t, "SELECT url FROM logs WHERE clicks > 10")
+	p3 := planSQL(t, "SELECT url FROM logs WHERE clicks > 11")
+	if p1.Tasks()[0].Key() != p2.Tasks()[0].Key() {
+		t.Error("identical queries should share task keys")
+	}
+	if p1.Tasks()[0].Key() == p3.Tasks()[0].Key() {
+		t.Error("different predicates must not share task keys")
+	}
+	if p1.Tasks()[0].Key() == p1.Tasks()[1].Key() {
+		t.Error("different partitions must not share task keys")
+	}
+}
+
+func TestColumnsOfDedup(t *testing.T) {
+	a := analyzeSQL(t, "SELECT clicks + clicks FROM logs")
+	var refs []ColRef
+	ColumnsOf(a.Outputs[0].Expr, &refs)
+	if len(refs) != 1 {
+		t.Errorf("refs = %v", refs)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	p := planSQL(t, "SELECT city, COUNT(*) AS n FROM logs, users WHERE logs.uid = users.uid AND clicks > 3 GROUP BY city HAVING COUNT(*) > 1 ORDER BY n DESC LIMIT 5")
+	desc := p.Describe()
+	for _, want := range []string{
+		"mode: aggregate",
+		"fact table: logs (2 partitions",
+		"clicks > 3 [indexable]",
+		"broadcast inner join users on logs.uid = users.uid",
+		"partial aggregates at leaves: COUNT(*)",
+		"group by: users.city",
+		"having (at master)",
+		"dissection: 2 leaf sub-plan(s)",
+	} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("Describe missing %q:\n%s", want, desc)
+		}
+	}
+	p2 := planSQL(t, "SELECT url FROM logs LIMIT 4")
+	if !strings.Contains(p2.Describe(), "scan limit pushed to leaves: 4") {
+		t.Errorf("select describe:\n%s", p2.Describe())
+	}
+}
+
+func TestPlanConvenience(t *testing.T) {
+	stmt, err := sqlparser.Parse("SELECT COUNT(*) FROM logs WHERE clicks > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Plan(stmt, testCatalog())
+	if err != nil || p.Mode != ModeAgg {
+		t.Fatalf("Plan = %+v, %v", p, err)
+	}
+	if _, err := Plan(stmt, MapCatalog{}); err == nil {
+		t.Error("Plan over empty catalog should fail")
+	}
+}
+
+func TestFlipAllOperators(t *testing.T) {
+	// Literal-on-left comparisons flip into canonical atoms.
+	cases := map[string]string{
+		"SELECT url FROM logs WHERE 5 < clicks":  "clicks > 5",
+		"SELECT url FROM logs WHERE 5 <= clicks": "clicks >= 5",
+		"SELECT url FROM logs WHERE 5 > clicks":  "clicks < 5",
+		"SELECT url FROM logs WHERE 5 >= clicks": "clicks <= 5",
+		"SELECT url FROM logs WHERE 5 = clicks":  "clicks = 5",
+		"SELECT url FROM logs WHERE 5 != clicks": "clicks != 5",
+	}
+	for sql, want := range cases {
+		a := analyzeSQL(t, sql)
+		cnf := ToCNF(a.Where)
+		if got := cnf.Clauses[0].Atoms[0].Key(); got != want {
+			t.Errorf("%q atom = %q, want %q", sql, got, want)
+		}
+	}
+}
+
+func TestCNFBlowupCap(t *testing.T) {
+	// A deeply alternated OR-of-ANDs beyond the cap collapses into one
+	// opaque clause rather than exploding.
+	var sb strings.Builder
+	sb.WriteString("SELECT url FROM logs WHERE ")
+	for i := 0; i < 9; i++ {
+		if i > 0 {
+			sb.WriteString(" OR ")
+		}
+		fmt.Fprintf(&sb, "(clicks = %d AND pos = %d)", i, i)
+	}
+	a := analyzeSQL(t, sb.String())
+	cnf := ToCNF(a.Where)
+	// 2^9 = 512 > cap, so distribution must have been abandoned at some
+	// level; the result stays small.
+	if len(cnf.Clauses) > 64 {
+		t.Errorf("clauses = %d, blowup not capped", len(cnf.Clauses))
+	}
+}
+
+func TestAtomString(t *testing.T) {
+	a := Atom{Col: "c", Op: sqlparser.OpGt, Val: types.NewInt(5)}
+	if a.String() != "c > 5" {
+		t.Errorf("String = %q", a.String())
+	}
+	a.Negated = true
+	if a.String() != "NOT(c > 5)" {
+		t.Errorf("negated String = %q", a.String())
+	}
+}

@@ -1,0 +1,99 @@
+package sqlparser
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lex tokenizes the input. String literals use single quotes with ”
+// escaping. Comments are not part of the paper's grammar and are rejected.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: upper, Pos: start + 1})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start + 1})
+			}
+		case c >= '0' && c <= '9':
+			start := i
+			seenDot := false
+			for i < n && (input[i] >= '0' && input[i] <= '9' || input[i] == '.' && !seenDot) {
+				if input[i] == '.' {
+					// "1.x" where x is not a digit is "1" "." "x".
+					if i+1 >= n || input[i+1] < '0' || input[i+1] > '9' {
+						break
+					}
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start + 1})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, errf(start+1, "unterminated string literal")
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start + 1})
+		default:
+			start := i
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "!=", "<>", "<=", ">=":
+				toks = append(toks, Token{Kind: TokOp, Text: two, Pos: start + 1})
+				i += 2
+				continue
+			}
+			switch c {
+			case '=', '<', '>', '+', '-', '*', '/', '%', '!', '.', ',', '(', ')', ';':
+				toks = append(toks, Token{Kind: TokOp, Text: string(c), Pos: start + 1})
+				i++
+			default:
+				return nil, errf(start+1, "unexpected character %q", string(rune(c)))
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n + 1})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= 0x80 && unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

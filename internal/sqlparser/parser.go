@@ -1,0 +1,543 @@
+package sqlparser
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Parse parses one SELECT statement (optionally ;-terminated).
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokOp && p.peek().Text == ";" {
+		p.next()
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, errf(p.peek().Pos, "unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// acceptKw consumes the keyword if it is next.
+func (p *parser) acceptKw(kw string) bool {
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return errf(p.peek().Pos, "expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+// acceptOp consumes the operator token if it is next.
+func (p *parser) acceptOp(op string) bool {
+	if t := p.peek(); t.Kind == TokOp && t.Text == op {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return errf(p.peek().Pos, "expected %q, found %s", op, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+
+	// Select list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+
+	// FROM.
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, tr)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+
+	// JOIN clauses.
+	for {
+		jt, isJoin, err := p.parseJoinType()
+		if err != nil {
+			return nil, err
+		}
+		if !isJoin {
+			break
+		}
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		j := Join{Type: jt, Table: tr}
+		if jt != JoinCross {
+			if err := p.expectKw("ON"); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			j.On = cond
+		}
+		stmt.Joins = append(stmt.Joins, j)
+	}
+
+	// WHERE.
+	if p.acceptKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+
+	// GROUP BY.
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+
+	// HAVING.
+	if p.acceptKw("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+
+	// ORDER BY.
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKw("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+
+	// LIMIT.
+	if p.acceptKw("LIMIT") {
+		t := p.peek()
+		if t.Kind != TokNumber {
+			return nil, errf(t.Pos, "expected LIMIT count, found %s", t)
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, errf(t.Pos, "bad LIMIT count %q", t.Text)
+		}
+		p.next()
+		stmt.Limit = n
+	}
+
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptOp("*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKw("AS") {
+		t := p.peek()
+		if t.Kind != TokIdent {
+			return SelectItem{}, errf(t.Pos, "expected alias after AS, found %s", t)
+		}
+		p.next()
+		item.Alias = t.Text
+	} else if t := p.peek(); t.Kind == TokIdent {
+		// Bare alias (grammar: expr1 [[AS] expr_alias1]).
+		p.next()
+		item.Alias = t.Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return TableRef{}, errf(t.Pos, "expected table name, found %s", t)
+	}
+	p.next()
+	tr := TableRef{Name: t.Text}
+	if p.acceptKw("AS") {
+		a := p.peek()
+		if a.Kind != TokIdent {
+			return TableRef{}, errf(a.Pos, "expected alias after AS, found %s", a)
+		}
+		p.next()
+		tr.Alias = a.Text
+	} else if a := p.peek(); a.Kind == TokIdent {
+		p.next()
+		tr.Alias = a.Text
+	}
+	return tr, nil
+}
+
+// parseJoinType recognizes [INNER | [LEFT|RIGHT] OUTER | CROSS] JOIN.
+func (p *parser) parseJoinType() (JoinType, bool, error) {
+	switch {
+	case p.acceptKw("JOIN"):
+		return JoinInner, true, nil
+	case p.acceptKw("INNER"):
+		if err := p.expectKw("JOIN"); err != nil {
+			return 0, false, err
+		}
+		return JoinInner, true, nil
+	case p.acceptKw("CROSS"):
+		if err := p.expectKw("JOIN"); err != nil {
+			return 0, false, err
+		}
+		return JoinCross, true, nil
+	case p.acceptKw("LEFT"):
+		p.acceptKw("OUTER")
+		if err := p.expectKw("JOIN"); err != nil {
+			return 0, false, err
+		}
+		return JoinLeftOuter, true, nil
+	case p.acceptKw("RIGHT"):
+		p.acceptKw("OUTER")
+		if err := p.expectKw("JOIN"); err != nil {
+			return 0, false, err
+		}
+		return JoinRightOuter, true, nil
+	default:
+		return 0, false, nil
+	}
+}
+
+// Expression precedence (low to high): OR, AND, NOT, comparison, additive,
+// multiplicative, unary minus, primary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKw("NOT") || p.acceptOp("!") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	var op BinaryOp
+	switch t := p.peek(); {
+	case t.Kind == TokOp && t.Text == "=":
+		op = OpEq
+	case t.Kind == TokOp && (t.Text == "!=" || t.Text == "<>"):
+		op = OpNe
+	case t.Kind == TokOp && t.Text == "<":
+		op = OpLt
+	case t.Kind == TokOp && t.Text == "<=":
+		op = OpLe
+	case t.Kind == TokOp && t.Text == ">":
+		op = OpGt
+	case t.Kind == TokOp && t.Text == ">=":
+		op = OpGe
+	case t.Kind == TokKeyword && t.Text == "CONTAINS":
+		op = OpContains
+	default:
+		return l, nil
+	}
+	p.next()
+	r, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &BinaryExpr{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.acceptOp("+"):
+			op = OpAdd
+		case p.acceptOp("-"):
+			op = OpSub
+		default:
+			return l, nil
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.acceptOp("*"):
+			op = OpMul
+		case p.acceptOp("/"):
+			op = OpDiv
+		case p.acceptOp("%"):
+			op = OpMod
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold -literal immediately so canonical strings stay stable.
+		if lit, ok := x.(*Literal); ok {
+			switch lit.Value.T {
+			case types.Int64:
+				return &Literal{Value: types.NewInt(-lit.Value.I)}, nil
+			case types.Float64:
+				return &Literal{Value: types.NewFloat(-lit.Value.F)}, nil
+			}
+		}
+		return &NegExpr{X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		if strings.ContainsRune(t.Text, '.') {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, errf(t.Pos, "bad number %q", t.Text)
+			}
+			return &Literal{Value: types.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad number %q", t.Text)
+		}
+		return &Literal{Value: types.NewInt(n)}, nil
+	case t.Kind == TokString:
+		p.next()
+		return &Literal{Value: types.NewString(t.Text)}, nil
+	case t.Kind == TokKeyword && t.Text == "TRUE":
+		p.next()
+		return &Literal{Value: types.NewBool(true)}, nil
+	case t.Kind == TokKeyword && t.Text == "FALSE":
+		p.next()
+		return &Literal{Value: types.NewBool(false)}, nil
+	case t.Kind == TokKeyword && t.Text == "NULL":
+		p.next()
+		return &Literal{Value: types.NullValue()}, nil
+	case t.Kind == TokOp && t.Text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokIdent:
+		return p.parseIdentExpr()
+	default:
+		return nil, errf(t.Pos, "unexpected %s in expression", t)
+	}
+}
+
+// parseIdentExpr parses either a function call or a (possibly dotted)
+// column reference.
+func (p *parser) parseIdentExpr() (Expr, error) {
+	t := p.next() // ident
+	if p.acceptOp("(") {
+		return p.parseFuncCall(t)
+	}
+	parts := []string{t.Text}
+	for p.acceptOp(".") {
+		seg := p.peek()
+		if seg.Kind != TokIdent {
+			return nil, errf(seg.Pos, "expected identifier after '.', found %s", seg)
+		}
+		p.next()
+		parts = append(parts, seg.Text)
+	}
+	return &ColumnRef{Parts: parts}, nil
+}
+
+func (p *parser) parseFuncCall(name Token) (Expr, error) {
+	call := &FuncCall{Name: strings.ToUpper(name.Text)}
+	if p.acceptOp("*") {
+		call.Star = true
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	} else if p.acceptOp(")") {
+		return nil, errf(p.peek().Pos, "%s() requires an argument", call.Name)
+	} else {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKw("WITHIN") {
+		if p.acceptKw("RECORD") {
+			call.WithinRecord = true
+			return call, nil
+		}
+		if p.peek().Kind != TokIdent {
+			return nil, errf(p.peek().Pos, "WITHIN requires a column reference, found %s", p.peek())
+		}
+		e, err := p.parseIdentExpr()
+		if err != nil {
+			return nil, err
+		}
+		col, ok := e.(*ColumnRef)
+		if !ok {
+			return nil, errf(p.peek().Pos, "WITHIN requires a column reference")
+		}
+		call.Within = col
+	}
+	return call, nil
+}

@@ -1,0 +1,387 @@
+package sqlparser
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func mustParse(t *testing.T, sql string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a, b2 FROM t WHERE x >= 1.5 AND y != 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Error("missing EOF")
+	}
+	// Spot checks.
+	if toks[0].Kind != TokKeyword || toks[0].Text != "SELECT" {
+		t.Errorf("tok0 = %+v", toks[0])
+	}
+	if toks[1].Kind != TokIdent || toks[1].Text != "a" {
+		t.Errorf("tok1 = %+v", toks[1])
+	}
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == TokString && tok.Text == "it's" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("escaped string not lexed; kinds=%v", kinds)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("SELECT 'unterminated"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := Lex("SELECT a # b"); err == nil {
+		t.Error("bad character should fail")
+	}
+}
+
+func TestLexNumberDotIdent(t *testing.T) {
+	toks, err := Lex("1.x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "1" || toks[1].Text != "." || toks[2].Text != "x" {
+		t.Errorf("toks = %v %v %v", toks[0], toks[1], toks[2])
+	}
+}
+
+func TestParseMinimal(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t1")
+	if len(stmt.Items) != 1 || len(stmt.From) != 1 || stmt.From[0].Name != "t1" {
+		t.Errorf("stmt = %+v", stmt)
+	}
+	if stmt.Limit != -1 {
+		t.Errorf("Limit = %d", stmt.Limit)
+	}
+}
+
+func TestParsePaperQ1(t *testing.T) {
+	// The paper's Q1 (§IV-C3).
+	stmt := mustParse(t, "SELECT COUNT(*) FROM T WHERE (c2 > 0) AND (c2 <= 5)")
+	fc, ok := stmt.Items[0].Expr.(*FuncCall)
+	if !ok || fc.Name != "COUNT" || !fc.Star {
+		t.Fatalf("item = %#v", stmt.Items[0].Expr)
+	}
+	w, ok := stmt.Where.(*BinaryExpr)
+	if !ok || w.Op != OpAnd {
+		t.Fatalf("where = %#v", stmt.Where)
+	}
+	if w.String() != "((c2 > 0) AND (c2 <= 5))" {
+		t.Errorf("where string = %q", w.String())
+	}
+}
+
+func TestParseBangNegation(t *testing.T) {
+	// The paper's Q11: ... WHERE C2 > 0 AND !(C2 > 5).
+	stmt := mustParse(t, "SELECT a FROM T WHERE C2 > 0 AND !(C2 > 5)")
+	w := stmt.Where.(*BinaryExpr)
+	if _, ok := w.R.(*NotExpr); !ok {
+		t.Errorf("right side should be NOT, got %#v", w.R)
+	}
+}
+
+func TestParseFullGrammar(t *testing.T) {
+	sql := `SELECT t.a AS x, SUM(b) total, COUNT(*)
+	        FROM t1 AS t, t2
+	        LEFT OUTER JOIN dim AS d ON t.k = d.k AND t.v = d.v
+	        WHERE a > 3 OR NOT (b CONTAINS 'spam')
+	        GROUP BY x, c
+	        HAVING SUM(b) > 10
+	        ORDER BY total DESC, x ASC
+	        LIMIT 50;`
+	stmt := mustParse(t, sql)
+	if len(stmt.Items) != 3 {
+		t.Errorf("items = %d", len(stmt.Items))
+	}
+	if stmt.Items[0].Alias != "x" || stmt.Items[1].Alias != "total" {
+		t.Errorf("aliases = %q %q", stmt.Items[0].Alias, stmt.Items[1].Alias)
+	}
+	if len(stmt.From) != 2 || stmt.From[0].Binding() != "t" {
+		t.Errorf("from = %+v", stmt.From)
+	}
+	if len(stmt.Joins) != 1 || stmt.Joins[0].Type != JoinLeftOuter || stmt.Joins[0].Table.Binding() != "d" {
+		t.Errorf("joins = %+v", stmt.Joins)
+	}
+	if stmt.Joins[0].On == nil {
+		t.Error("join missing ON")
+	}
+	if len(stmt.GroupBy) != 2 || stmt.Having == nil {
+		t.Error("group by / having missing")
+	}
+	if len(stmt.OrderBy) != 2 || !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc {
+		t.Errorf("order = %+v", stmt.OrderBy)
+	}
+	if stmt.Limit != 50 {
+		t.Errorf("limit = %d", stmt.Limit)
+	}
+}
+
+func TestParseJoinVariants(t *testing.T) {
+	cases := map[string]JoinType{
+		"SELECT a FROM t JOIN u ON t.x = u.x":             JoinInner,
+		"SELECT a FROM t INNER JOIN u ON t.x = u.x":       JoinInner,
+		"SELECT a FROM t LEFT JOIN u ON t.x = u.x":        JoinLeftOuter,
+		"SELECT a FROM t RIGHT OUTER JOIN u ON t.x = u.x": JoinRightOuter,
+	}
+	for sql, want := range cases {
+		stmt := mustParse(t, sql)
+		if stmt.Joins[0].Type != want {
+			t.Errorf("%q: join = %v, want %v", sql, stmt.Joins[0].Type, want)
+		}
+	}
+	stmt := mustParse(t, "SELECT a FROM t CROSS JOIN u")
+	if stmt.Joins[0].Type != JoinCross || stmt.Joins[0].On != nil {
+		t.Errorf("cross join = %+v", stmt.Joins[0])
+	}
+}
+
+func TestParseWithin(t *testing.T) {
+	stmt := mustParse(t, "SELECT id, COUNT(clicks.pos) WITHIN RECORD FROM t")
+	fc := stmt.Items[1].Expr.(*FuncCall)
+	if !fc.WithinRecord {
+		t.Errorf("call = %+v", fc)
+	}
+	stmt = mustParse(t, "SELECT SUM(clicks.pos) WITHIN clicks FROM t")
+	fc = stmt.Items[0].Expr.(*FuncCall)
+	if fc.Within == nil || fc.Within.String() != "clicks" {
+		t.Errorf("within = %+v", fc.Within)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t LIMIT 3")
+	if !stmt.Items[0].Star {
+		t.Error("star not parsed")
+	}
+}
+
+func TestParseDottedColumns(t *testing.T) {
+	stmt := mustParse(t, "SELECT click.pos FROM t WHERE user.geo.city = 'bj'")
+	c := stmt.Items[0].Expr.(*ColumnRef)
+	if len(c.Parts) != 2 || c.Parts[0] != "click" || c.Parts[1] != "pos" {
+		t.Errorf("parts = %v", c.Parts)
+	}
+	w := stmt.Where.(*BinaryExpr)
+	lc := w.L.(*ColumnRef)
+	if len(lc.Parts) != 3 {
+		t.Errorf("where parts = %v", lc.Parts)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE b = -5 AND c = 2.5 AND d = TRUE AND e = NULL AND f = 'x'")
+	s := stmt.Where.String()
+	for _, want := range []string{"-5", "2.5", "true", "NULL", "'x'"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("where %q missing %q", s, want)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	or, ok := stmt.Where.(*BinaryExpr)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top = %#v", stmt.Where)
+	}
+	and, ok := or.R.(*BinaryExpr)
+	if !ok || and.Op != OpAnd {
+		t.Errorf("right = %#v", or.R)
+	}
+
+	stmt = mustParse(t, "SELECT a + b * c FROM t")
+	add := stmt.Items[0].Expr.(*BinaryExpr)
+	if add.Op != OpAdd {
+		t.Fatalf("top = %v", add.Op)
+	}
+	if mul := add.R.(*BinaryExpr); mul.Op != OpMul {
+		t.Errorf("right = %v", mul.Op)
+	}
+}
+
+func TestParseNegativeLiteralFolding(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE b > -3")
+	cmp := stmt.Where.(*BinaryExpr)
+	lit, ok := cmp.R.(*Literal)
+	if !ok || lit.Value.I != -3 {
+		t.Errorf("folded literal = %#v", cmp.R)
+	}
+	stmt = mustParse(t, "SELECT -a FROM t")
+	if _, ok := stmt.Items[0].Expr.(*NegExpr); !ok {
+		t.Errorf("neg expr = %#v", stmt.Items[0].Expr)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"UPDATE t SET a = 1",
+		"SELECT FROM t",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP a",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t LIMIT -1",
+		"SELECT a FROM t JOIN u",
+		"SELECT a FROM t extra extra2",
+		"SELECT a FROM t WHERE (a = 1",
+		"SELECT COUNT() FROM t",
+		"SELECT a. FROM t",
+		"SELECT SUM(a) WITHIN 3 FROM t",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestStringRoundTripStable(t *testing.T) {
+	// Canonical rendering must be parse-stable: parse(s).String() is a
+	// fixed point. SmartIndex keys depend on this.
+	sqls := []string{
+		"SELECT a FROM t1 WHERE ((b > 0) AND (c <= 5))",
+		"SELECT COUNT(*) FROM T WHERE (c2 > 0)",
+		"SELECT a AS x, SUM(b) AS s FROM t GROUP BY x HAVING (SUM(b) > 2) ORDER BY s DESC LIMIT 10",
+		"SELECT a FROM t WHERE (b CONTAINS 'x')",
+		"SELECT SUM(c.p) WITHIN RECORD FROM t",
+	}
+	for _, sql := range sqls {
+		s1 := mustParse(t, sql).String()
+		s2 := mustParse(t, s1).String()
+		if s1 != s2 {
+			t.Errorf("not a fixed point:\n  %q\n  %q", s1, s2)
+		}
+	}
+}
+
+func TestBinaryOpNegate(t *testing.T) {
+	cases := map[BinaryOp]BinaryOp{
+		OpEq: OpNe, OpNe: OpEq, OpLt: OpGe, OpGe: OpLt, OpGt: OpLe, OpLe: OpGt,
+	}
+	for op, want := range cases {
+		got, ok := op.Negate()
+		if !ok || got != want {
+			t.Errorf("%v.Negate() = %v, %v", op, got, ok)
+		}
+	}
+	if _, ok := OpContains.Negate(); ok {
+		t.Error("CONTAINS should not negate")
+	}
+	if _, ok := OpAdd.Negate(); ok {
+		t.Error("+ should not negate")
+	}
+}
+
+func TestLiteralValueTypes(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE x = 9223372036854775807")
+	lit := stmt.Where.(*BinaryExpr).R.(*Literal)
+	if lit.Value.T != types.Int64 {
+		t.Errorf("type = %v", lit.Value.T)
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	// Operator spellings, incl. ones only produced programmatically.
+	for op, want := range map[BinaryOp]string{
+		OpOr: "OR", OpAnd: "AND", OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=",
+		OpGt: ">", OpGe: ">=", OpContains: "CONTAINS", OpAdd: "+", OpSub: "-",
+		OpMul: "*", OpDiv: "/", OpMod: "%",
+	} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	if BinaryOp(99).String() != "op(99)" {
+		t.Error("unknown op string")
+	}
+	if !OpContains.Comparison() || OpAdd.Comparison() || !OpEq.Comparison() {
+		t.Error("Comparison classification")
+	}
+	for jt, want := range map[JoinType]string{
+		JoinInner: "INNER JOIN", JoinLeftOuter: "LEFT OUTER JOIN",
+		JoinRightOuter: "RIGHT OUTER JOIN", JoinCross: "CROSS JOIN",
+	} {
+		if jt.String() != want {
+			t.Errorf("%d join = %q", jt, jt.String())
+		}
+	}
+	if JoinType(9).String() != "join(9)" {
+		t.Error("unknown join string")
+	}
+}
+
+func TestStatementStringFull(t *testing.T) {
+	stmt := mustParse(t, `SELECT a AS x, COUNT(*) FROM t1 AS t, t2
+		LEFT OUTER JOIN d AS dd ON t.k = dd.k
+		CROSS JOIN e
+		WHERE NOT (a > 1) GROUP BY x HAVING COUNT(*) > 0 ORDER BY x LIMIT 2`)
+	s := stmt.String()
+	for _, want := range []string{
+		"SELECT a AS x, COUNT(*)", "FROM t1 AS t, t2",
+		"LEFT OUTER JOIN d AS dd ON", "CROSS JOIN e",
+		"WHERE NOT (a > 1)", "GROUP BY x", "HAVING", "ORDER BY x", "LIMIT 2",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in %q", want, s)
+		}
+	}
+	// Round trip through the parser is stable.
+	if mustParse(t, s).String() != s {
+		t.Errorf("not a fixed point: %q", s)
+	}
+}
+
+func TestNegExprAndWithinString(t *testing.T) {
+	stmt := mustParse(t, "SELECT -a, SUM(b.c) WITHIN b FROM t")
+	if got := stmt.Items[0].Expr.String(); got != "-a" {
+		t.Errorf("neg string = %q", got)
+	}
+	if got := stmt.Items[1].Expr.String(); got != "SUM(b.c) WITHIN b" {
+		t.Errorf("within string = %q", got)
+	}
+}
+
+func TestErrorType(t *testing.T) {
+	_, err := Parse("SELECT")
+	var perr *Error
+	if !errors.As(err, &perr) {
+		t.Fatalf("error type = %T", err)
+	}
+	if perr.Pos <= 0 || !strings.Contains(perr.Error(), "position") {
+		t.Errorf("error = %v", perr)
+	}
+}
+
+func TestEOFTokenString(t *testing.T) {
+	toks, _ := Lex("")
+	if toks[0].String() != "end of input" {
+		t.Errorf("EOF string = %q", toks[0].String())
+	}
+	toks, _ = Lex("x")
+	if toks[0].String() != `"x"` {
+		t.Errorf("token string = %q", toks[0].String())
+	}
+}

@@ -1,0 +1,62 @@
+// Package sqlparser implements the lexer and recursive-descent parser for
+// Feisu's query language — the star-schema SQL subset printed in paper
+// §III-A, including the WITHIN aggregation clause, the CONTAINS string
+// operator used by the evaluation workload (§VI-B), and the `!` negation
+// that appears in the paper's Fig. 7 plan-rewriting example.
+package sqlparser
+
+import "fmt"
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp     // operators and punctuation: = != <> < <= > >= + - * / % ! . , ( ) ;
+	TokParamQ // unused placeholder for future prepared statements
+)
+
+// Token is one lexeme with its source position (1-based column offset).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; idents keep original case
+	Pos  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords recognized by the lexer (paper §III-A grammar plus literals).
+var keywords = map[string]bool{
+	"SELECT": true, "AS": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
+	"LIMIT": true, "ASC": true, "DESC": true,
+	"JOIN": true, "INNER": true, "OUTER": true, "LEFT": true,
+	"RIGHT": true, "CROSS": true, "ON": true,
+	"AND": true, "OR": true, "NOT": true,
+	"WITHIN": true, "CONTAINS": true, "RECORD": true,
+	"TRUE": true, "FALSE": true, "NULL": true,
+}
+
+// Error is a parse or lex error with position information.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sql: position %d: %s", e.Pos, e.Msg) }
+
+func errf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,491 @@
+package storage
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestRouterResolvePrefixes(t *testing.T) {
+	model := sim.DefaultCostModel()
+	local := NewMemFS("", model)
+	hdfs := NewMemFS("hdfs", model)
+	ffs := NewMemFS("ffs", model)
+	r := NewRouter(local)
+	r.Register(hdfs)
+	r.Register(ffs)
+
+	s, p := r.Resolve("/hdfs/path/to/file")
+	if s != Store(hdfs) || p != "/path/to/file" {
+		t.Errorf("hdfs resolve = %v, %q", s.Scheme(), p)
+	}
+	s, p = r.Resolve("/ffs/x")
+	if s != Store(ffs) || p != "/x" {
+		t.Errorf("ffs resolve = %v, %q", s.Scheme(), p)
+	}
+	// Unrecognized prefix falls through to local with the whole path.
+	s, p = r.Resolve("/data/log.bin")
+	if s != Store(local) || p != "/data/log.bin" {
+		t.Errorf("local resolve = %v, %q", s.Scheme(), p)
+	}
+}
+
+func TestRouterReadWriteAcrossStores(t *testing.T) {
+	model := sim.DefaultCostModel()
+	r := NewRouter(NewMemFS("", model))
+	r.Register(NewMemFS("hdfs", model))
+	ctx := context.Background()
+
+	if err := r.WriteFile(ctx, "/hdfs/a", []byte("hdfs-data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteFile(ctx, "/a", []byte("local-data")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadFile(ctx, "/hdfs/a")
+	if err != nil || string(got) != "hdfs-data" {
+		t.Errorf("hdfs read = %q, %v", got, err)
+	}
+	got, err = r.ReadFile(ctx, "/a")
+	if err != nil || string(got) != "local-data" {
+		t.Errorf("local read = %q, %v", got, err)
+	}
+	fi, err := r.Stat(ctx, "/hdfs/a")
+	if err != nil || fi.Size != 9 || fi.Path != "/hdfs/a" {
+		t.Errorf("stat = %+v, %v", fi, err)
+	}
+}
+
+func TestRouterStores(t *testing.T) {
+	r := NewRouter(NewMemFS("", nil))
+	r.Register(NewMemFS("hdfs", nil))
+	r.Register(NewMemFS("ffs", nil))
+	stores := r.Stores()
+	if len(stores) != 3 {
+		t.Fatalf("Stores = %d", len(stores))
+	}
+	if stores[0].Scheme() != "" || stores[1].Scheme() != "ffs" || stores[2].Scheme() != "hdfs" {
+		t.Errorf("order = %q %q %q", stores[0].Scheme(), stores[1].Scheme(), stores[2].Scheme())
+	}
+}
+
+func TestMemFSBilling(t *testing.T) {
+	model := sim.DefaultCostModel()
+	fs := NewMemFS("", model)
+	ctx := context.Background()
+	if err := fs.WriteFile(ctx, "/f", make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	bill := sim.NewBill()
+	if _, err := fs.ReadFile(WithBill(ctx, bill), "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if bill.Bytes(sim.DeviceMemory) != 1000 || bill.Ops(sim.DeviceMemory) != 1 {
+		t.Errorf("bill = %d bytes %d ops", bill.Bytes(sim.DeviceMemory), bill.Ops(sim.DeviceMemory))
+	}
+	// Reads without a bill are fine.
+	if _, err := fs.ReadFile(ctx, "/f"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemFSNotFoundAndList(t *testing.T) {
+	fs := NewMemFS("", nil)
+	ctx := context.Background()
+	if _, err := fs.ReadFile(ctx, "/nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := fs.Stat(ctx, "/nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("stat err = %v", err)
+	}
+	_ = fs.WriteFile(ctx, "/t/a", nil)
+	_ = fs.WriteFile(ctx, "/t/b", nil)
+	_ = fs.WriteFile(ctx, "/u/c", nil)
+	got, err := fs.List(ctx, "/t/")
+	if err != nil || len(got) != 2 || got[0] != "/t/a" || got[1] != "/t/b" {
+		t.Errorf("List = %v, %v", got, err)
+	}
+}
+
+func TestMemFSReadIsolation(t *testing.T) {
+	fs := NewMemFS("", nil)
+	ctx := context.Background()
+	_ = fs.WriteFile(ctx, "/f", []byte("abc"))
+	got, _ := fs.ReadFile(ctx, "/f")
+	got[0] = 'X'
+	again, _ := fs.ReadFile(ctx, "/f")
+	if string(again) != "abc" {
+		t.Error("read buffer should be a copy")
+	}
+}
+
+func TestLocalFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewLocalFS(dir, sim.DefaultCostModel())
+	ctx := context.Background()
+	if err := fs.WriteFile(ctx, "/sub/dir/file.bin", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	bill := sim.NewBill()
+	got, err := fs.ReadFile(WithBill(ctx, bill), "/sub/dir/file.bin")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	if bill.Bytes(sim.DeviceHDD) != 7 {
+		t.Errorf("bill hdd bytes = %d", bill.Bytes(sim.DeviceHDD))
+	}
+	fi, err := fs.Stat(ctx, "/sub/dir/file.bin")
+	if err != nil || fi.Size != 7 {
+		t.Errorf("stat = %+v, %v", fi, err)
+	}
+	list, err := fs.List(ctx, "/sub/")
+	if err != nil || len(list) != 1 || list[0] != "/sub/dir/file.bin" {
+		t.Errorf("list = %v, %v", list, err)
+	}
+	if _, err := fs.ReadFile(ctx, "/missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing = %v", err)
+	}
+}
+
+func TestLocalFSPathEscape(t *testing.T) {
+	fs := NewLocalFS(t.TempDir(), nil)
+	ctx := context.Background()
+	// Cleaned paths stay under root; after Clean("/../..") = "/", joins are safe.
+	if err := fs.WriteFile(ctx, "/../escape", []byte("x")); err != nil {
+		t.Fatalf("cleaned path should be contained: %v", err)
+	}
+	got, err := fs.ReadFile(ctx, "/escape")
+	if err != nil || string(got) != "x" {
+		t.Errorf("escape landed outside root: %q %v", got, err)
+	}
+}
+
+func TestDFSWriteReadReplicated(t *testing.T) {
+	d := NewHDFS("hdfs", sim.DefaultCostModel())
+	d.SetBlockSize(4)
+	for i, rack := range []string{"r1", "r1", "r2", "r2"} {
+		d.AddNode(nodeName(i), rack)
+	}
+	ctx := context.Background()
+	data := []byte("0123456789ab") // 3 blocks of 4
+	if err := d.WriteFile(ctx, "/t/p0", data); err != nil {
+		t.Fatal(err)
+	}
+	bill := sim.NewBill()
+	got, err := d.ReadFile(WithBill(ctx, bill), "/t/p0")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	if bill.Bytes(sim.DeviceHDD) != int64(len(data)) {
+		t.Errorf("bill = %d", bill.Bytes(sim.DeviceHDD))
+	}
+	locs := d.Locations("/t/p0")
+	if len(locs) == 0 {
+		t.Fatal("no locations")
+	}
+}
+
+func TestDFSRackAwarePlacement(t *testing.T) {
+	d := NewHDFS("hdfs", nil)
+	d.SetBlockSize(1 << 20)
+	d.AddNode("n0", "r1")
+	d.AddNode("n1", "r1")
+	d.AddNode("n2", "r2")
+	ctx := context.Background()
+	if err := d.WriteFile(ctx, "/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	d.mu.RLock()
+	reps := d.files["/f"].blocks[0].replicas
+	d.mu.RUnlock()
+	if len(reps) != 3 {
+		t.Fatalf("replicas = %v", reps)
+	}
+	racks := map[string]bool{}
+	for _, r := range reps {
+		racks[d.racks[r]] = true
+	}
+	if len(racks) < 2 {
+		t.Errorf("placement not rack-aware: %v", reps)
+	}
+}
+
+func TestDFSFailover(t *testing.T) {
+	d := NewHDFS("hdfs", nil)
+	d.SetBlockSize(1 << 20)
+	d.AddNode("n0", "r1")
+	d.AddNode("n1", "r2")
+	d.AddNode("n2", "r3")
+	ctx := context.Background()
+	if err := d.WriteFile(ctx, "/f", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Take down two of the three replicas: read must still succeed.
+	d.SetNodeDown("n0", true)
+	d.SetNodeDown("n1", true)
+	got, err := d.ReadFile(ctx, "/f")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("failover read = %q, %v", got, err)
+	}
+	// All down: unavailable.
+	d.SetNodeDown("n2", true)
+	if _, err := d.ReadFile(ctx, "/f"); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("want ErrUnavailable, got %v", err)
+	}
+	// Back up: readable again, and Locations reflects liveness.
+	d.SetNodeDown("n2", false)
+	if locs := d.Locations("/f"); len(locs) != 1 || locs[0] != "n2" {
+		t.Errorf("locations = %v", locs)
+	}
+}
+
+func TestDFSNoNodes(t *testing.T) {
+	d := NewHDFS("hdfs", nil)
+	if err := d.WriteFile(context.Background(), "/f", []byte("x")); err == nil {
+		t.Error("write with no datanodes should fail")
+	}
+}
+
+func TestDFSEmptyFile(t *testing.T) {
+	d := NewHDFS("hdfs", nil)
+	d.AddNode("n0", "r1")
+	ctx := context.Background()
+	if err := d.WriteFile(ctx, "/empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadFile(ctx, "/empty")
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty read = %v, %v", got, err)
+	}
+}
+
+func TestDFSNotFoundAndList(t *testing.T) {
+	d := NewFatman("ffs", nil)
+	d.AddNode("v0", "r1")
+	ctx := context.Background()
+	if _, err := d.ReadFile(ctx, "/x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := d.Stat(ctx, "/x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("stat err = %v", err)
+	}
+	_ = d.WriteFile(ctx, "/a/1", []byte("x"))
+	_ = d.WriteFile(ctx, "/a/2", []byte("y"))
+	got, err := d.List(ctx, "/a/")
+	if err != nil || len(got) != 2 {
+		t.Errorf("List = %v, %v", got, err)
+	}
+	if d.Device() != sim.DeviceCold {
+		t.Error("fatman should charge cold reads")
+	}
+}
+
+func TestFatmanColderThanHDFS(t *testing.T) {
+	model := sim.DefaultCostModel()
+	hdfs := NewHDFS("hdfs", model)
+	hdfs.AddNode("n0", "r1")
+	ffs := NewFatman("ffs", model)
+	ffs.AddNode("v0", "r1")
+	ctx := context.Background()
+	data := make([]byte, 1<<20)
+	_ = hdfs.WriteFile(ctx, "/f", data)
+	_ = ffs.WriteFile(ctx, "/f", data)
+
+	hb, fb := sim.NewBill(), sim.NewBill()
+	if _, err := hdfs.ReadFile(WithBill(ctx, hb), "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ffs.ReadFile(WithBill(ctx, fb), "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if fb.Time() <= hb.Time() {
+		t.Errorf("cold read (%v) should cost more than hdfs read (%v)", fb.Time(), hb.Time())
+	}
+}
+
+func TestThrottledAgreement(t *testing.T) {
+	fs := NewMemFS("", nil)
+	ctx := context.Background()
+	_ = fs.WriteFile(ctx, "/f", []byte("x"))
+	th := NewThrottled(fs, Agreement{MaxConcurrentReads: 1})
+
+	// Fill the only slot, then a second read must wait and time out.
+	th.sem <- struct{}{}
+	tctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, err := th.ReadFile(tctx, "/f"); err == nil {
+		t.Error("saturated agreement should time out")
+	}
+	if th.Waits.Value() != 1 || th.Rejected.Value() != 1 {
+		t.Errorf("waits=%d rejected=%d", th.Waits.Value(), th.Rejected.Value())
+	}
+	<-th.sem
+	if _, err := th.ReadFile(ctx, "/f"); err != nil {
+		t.Errorf("free agreement read failed: %v", err)
+	}
+}
+
+func TestThrottledUnlimited(t *testing.T) {
+	fs := NewMemFS("", nil)
+	ctx := context.Background()
+	_ = fs.WriteFile(ctx, "/f", []byte("x"))
+	th := NewThrottled(fs, Agreement{})
+	if _, err := th.ReadFile(ctx, "/f"); err != nil {
+		t.Error(err)
+	}
+	if err := th.WriteFile(ctx, "/g", []byte("y")); err != nil {
+		t.Error(err)
+	}
+}
+
+func nodeName(i int) string { return string(rune('a'+i)) + "-node" }
+
+func TestRangeReads(t *testing.T) {
+	model := sim.DefaultCostModel()
+	ctx := context.Background()
+
+	// MemFS range read, with partial billing.
+	mem := NewMemFS("", model)
+	_ = mem.WriteFile(ctx, "/f", []byte("0123456789"))
+	bill := sim.NewBill()
+	got, err := mem.ReadRange(WithBill(ctx, bill), "/f", 2, 4)
+	if err != nil || string(got) != "2345" {
+		t.Fatalf("memfs range = %q, %v", got, err)
+	}
+	if bill.Bytes(sim.DeviceMemory) != 4 {
+		t.Errorf("memfs range billed %d bytes", bill.Bytes(sim.DeviceMemory))
+	}
+	if _, err := mem.ReadRange(ctx, "/f", 8, 10); err == nil {
+		t.Error("out-of-bounds range should fail")
+	}
+	if _, err := mem.ReadRange(ctx, "/missing", 0, 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing range err = %v", err)
+	}
+
+	// LocalFS range read.
+	lfs := NewLocalFS(t.TempDir(), model)
+	_ = lfs.WriteFile(ctx, "/f", []byte("abcdefgh"))
+	got, err = lfs.ReadRange(ctx, "/f", 1, 3)
+	if err != nil || string(got) != "bcd" {
+		t.Fatalf("localfs range = %q, %v", got, err)
+	}
+	if _, err := lfs.ReadRange(ctx, "/missing", 0, 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("localfs missing range err = %v", err)
+	}
+	if _, err := lfs.ReadRange(ctx, "/f", 5, 100); err == nil {
+		t.Error("localfs short range should fail")
+	}
+
+	// DFS range read spanning block boundaries.
+	d := NewHDFS("hdfs", model)
+	d.SetBlockSize(4)
+	d.AddNode("n0", "r1")
+	_ = d.WriteFile(ctx, "/f", []byte("0123456789ab"))
+	got, err = d.ReadRange(ctx, "/f", 3, 6) // crosses blocks 0-1-2
+	if err != nil || string(got) != "345678" {
+		t.Fatalf("dfs range = %q, %v", got, err)
+	}
+	if _, err := d.ReadRange(ctx, "/f", 10, 10); err == nil {
+		t.Error("dfs out-of-bounds range should fail")
+	}
+	if _, err := d.ReadRange(ctx, "/missing", 0, 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("dfs missing err = %v", err)
+	}
+	// Down replica inside the range fails the read.
+	d.SetNodeDown("n0", true)
+	if _, err := d.ReadRange(ctx, "/f", 0, 5); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("dfs down-replica err = %v", err)
+	}
+}
+
+func TestRouterRangeReadFallback(t *testing.T) {
+	// A store without RangeReader support falls back to a full read.
+	r := NewRouter(nil)
+	r.Register(&fullReadOnlyStore{data: []byte("hello world")})
+	got, err := r.ReadRange(context.Background(), "/fro/x", 6, 5)
+	if err != nil || string(got) != "world" {
+		t.Fatalf("fallback range = %q, %v", got, err)
+	}
+	if _, err := r.ReadRange(context.Background(), "/fro/x", 20, 5); err == nil {
+		t.Error("fallback out-of-bounds should fail")
+	}
+}
+
+// fullReadOnlyStore implements Store without RangeReader.
+type fullReadOnlyStore struct{ data []byte }
+
+func (f *fullReadOnlyStore) Scheme() string { return "fro" }
+func (f *fullReadOnlyStore) ReadFile(context.Context, string) ([]byte, error) {
+	return f.data, nil
+}
+func (f *fullReadOnlyStore) WriteFile(context.Context, string, []byte) error { return nil }
+func (f *fullReadOnlyStore) Stat(context.Context, string) (FileInfo, error) {
+	return FileInfo{Size: int64(len(f.data))}, nil
+}
+func (f *fullReadOnlyStore) List(context.Context, string) ([]string, error) { return nil, nil }
+func (f *fullReadOnlyStore) Locations(string) []string                      { return nil }
+func (f *fullReadOnlyStore) Device() sim.DeviceClass                        { return sim.DeviceHDD }
+
+func TestStoreMetadataHooks(t *testing.T) {
+	m := NewMemFS("", nil)
+	m.SetDevice(sim.DeviceSSD)
+	m.SetNodeID("node-7")
+	if m.Device() != sim.DeviceSSD {
+		t.Error("SetDevice")
+	}
+	if locs := m.Locations("/x"); len(locs) != 1 || locs[0] != "node-7" {
+		t.Errorf("memfs locations = %v", locs)
+	}
+	l := NewLocalFS(t.TempDir(), nil)
+	if l.Scheme() != "" || l.Device() != sim.DeviceHDD {
+		t.Error("localfs scheme/device")
+	}
+	if l.Locations("/x") != nil {
+		t.Error("localfs locations without node id")
+	}
+	l.SetNodeID("n1")
+	if locs := l.Locations("/x"); len(locs) != 1 || locs[0] != "n1" {
+		t.Errorf("localfs locations = %v", locs)
+	}
+	d := NewHDFS("hdfs", nil)
+	if d.Scheme() != "hdfs" {
+		t.Error("dfs scheme")
+	}
+}
+
+func TestRouterLocationsAndDevice(t *testing.T) {
+	model := sim.DefaultCostModel()
+	d := NewHDFS("hdfs", model)
+	d.AddNode("n0", "r1")
+	r := NewRouter(NewMemFS("", model))
+	r.Register(d)
+	ctx := context.Background()
+	_ = r.WriteFile(ctx, "/hdfs/f", []byte("x"))
+	if locs := r.Locations("/hdfs/f"); len(locs) != 1 || locs[0] != "n0" {
+		t.Errorf("router locations = %v", locs)
+	}
+	if r.Device("/hdfs/f") != sim.DeviceHDD {
+		t.Error("router device for hdfs")
+	}
+	if r.Device("/local") != sim.DeviceMemory {
+		t.Error("router device for local memfs")
+	}
+	// Replacing the local store via Register("").
+	replacement := NewMemFS("", model)
+	r.Register(replacement)
+	s, _ := r.Resolve("/anything")
+	if s != Store(replacement) {
+		t.Error("Register with empty scheme should replace the local store")
+	}
+}
+
+func TestLocalFSStatErrors(t *testing.T) {
+	l := NewLocalFS(t.TempDir(), nil)
+	if _, err := l.Stat(context.Background(), "/nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("stat missing = %v", err)
+	}
+}

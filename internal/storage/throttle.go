@@ -1,0 +1,84 @@
+package storage
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Agreement is the resource-consumption agreement between Feisu and a
+// storage system (paper §V-A): "each storage system must synchronize its
+// agreement to Feisu such that Feisu doesn't over-schedule tasks to the
+// storage system". It caps the number of Feisu operations in flight
+// against the store; business-critical traffic is assumed to own the rest.
+type Agreement struct {
+	// MaxConcurrentReads caps in-flight Feisu reads; 0 means unlimited.
+	MaxConcurrentReads int
+}
+
+// Throttled wraps a Store, enforcing its Agreement and counting rejected
+// or waited operations.
+type Throttled struct {
+	Store
+	sem      chan struct{}
+	Waits    metrics.Counter
+	Rejected metrics.Counter
+}
+
+// NewThrottled wraps s with the agreement.
+func NewThrottled(s Store, a Agreement) *Throttled {
+	t := &Throttled{Store: s}
+	if a.MaxConcurrentReads > 0 {
+		t.sem = make(chan struct{}, a.MaxConcurrentReads)
+	}
+	return t
+}
+
+// acquire blocks until a slot is free or the context is done.
+func (t *Throttled) acquire(ctx context.Context) error {
+	if t.sem == nil {
+		return nil
+	}
+	select {
+	case t.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	t.Waits.Inc()
+	select {
+	case t.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		t.Rejected.Inc()
+		return fmt.Errorf("storage: agreement for %q: %w", t.Scheme(), ctx.Err())
+	}
+}
+
+func (t *Throttled) release() {
+	if t.sem != nil {
+		<-t.sem
+	}
+}
+
+// ReadFile enforces the agreement around the wrapped read.
+func (t *Throttled) ReadFile(ctx context.Context, path string) ([]byte, error) {
+	if err := t.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer t.release()
+	return t.Store.ReadFile(ctx, path)
+}
+
+// WriteFile enforces the agreement around the wrapped write.
+func (t *Throttled) WriteFile(ctx context.Context, path string, data []byte) error {
+	if err := t.acquire(ctx); err != nil {
+		return err
+	}
+	defer t.release()
+	return t.Store.WriteFile(ctx, path, data)
+}
+
+// Device passes through to the wrapped store.
+func (t *Throttled) Device() sim.DeviceClass { return t.Store.Device() }

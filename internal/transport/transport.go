@@ -1,0 +1,229 @@
+// Package transport is Feisu's in-process message fabric, standing in for
+// the production RPC channels. It keeps the paper's traffic-flow discipline
+// (§V-C): control/state flow has the highest priority and always gets
+// through (the production system reserves switch bandwidth for it via TOS),
+// write flow (intermediate data to global storage) comes second, and read
+// data flow has the lowest priority. Endpoint capacity models a server's
+// RPC worker pool: control messages use a reserved lane, while write and
+// read messages compete for the remaining slots.
+//
+// Every call charges simulated network cost (bytes over the topology-derived
+// hop count) to the sim.Bill carried by the context, so the benchmark
+// harness can reconstruct cluster-scale timings.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Class is a traffic class (paper §V-C).
+type Class int
+
+// Traffic classes in descending priority.
+const (
+	// Control carries cluster commands, heartbeats, task dispatch.
+	Control Class = iota
+	// Write carries intermediate results toward global storage.
+	Write
+	// Read carries analyzed data back to the requester.
+	Read
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Control:
+		return "control"
+	case Write:
+		return "write"
+	case Read:
+		return "read"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// ErrUnknownNode is returned when the destination is not registered.
+var ErrUnknownNode = errors.New("transport: unknown node")
+
+// Handler processes one message addressed to a node.
+type Handler func(ctx context.Context, from string, payload any) (any, error)
+
+// Topology records node placement for hop counts and locality decisions.
+type Topology struct {
+	mu     sync.RWMutex
+	rackOf map[string]string
+	dcOf   map[string]string
+}
+
+// NewTopology returns an empty topology.
+func NewTopology() *Topology {
+	return &Topology{rackOf: make(map[string]string), dcOf: make(map[string]string)}
+}
+
+// Place records a node's rack and datacenter.
+func (t *Topology) Place(node, rack, dc string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rackOf[node] = rack
+	t.dcOf[node] = dc
+}
+
+// Distance returns 0 for the same node, 1 within a rack, 2 within a
+// datacenter and 3 across datacenters. Unknown nodes are assumed remote.
+func (t *Topology) Distance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ra, oka := t.rackOf[a], true
+	rb, okb := t.rackOf[b], true
+	if ra == "" {
+		oka = false
+	}
+	if rb == "" {
+		okb = false
+	}
+	if !oka || !okb {
+		return 3
+	}
+	if ra == rb {
+		return 1
+	}
+	if t.dcOf[a] == t.dcOf[b] {
+		return 2
+	}
+	return 3
+}
+
+// Hops converts a distance into switch hops for cost accounting.
+func (t *Topology) Hops(a, b string) int {
+	switch t.Distance(a, b) {
+	case 0:
+		return 0
+	case 1:
+		return 2
+	case 2:
+		return 4
+	default:
+		return 6
+	}
+}
+
+// Options configure a Fabric.
+type Options struct {
+	// Model prices transfers; nil disables cost accounting.
+	Model *sim.CostModel
+	// DataSlots is each endpoint's worker capacity shared by Write and
+	// Read traffic; Control always has a free lane. <=0 means unlimited.
+	DataSlots int
+}
+
+// Fabric connects named endpoints.
+type Fabric struct {
+	opt  Options
+	topo *Topology
+
+	mu    sync.RWMutex
+	nodes map[string]*endpoint
+
+	// per-class counters
+	Msgs  [3]metrics.Counter
+	Bytes [3]metrics.Counter
+}
+
+type endpoint struct {
+	handler Handler
+	slots   chan struct{} // nil when unlimited
+	down    bool
+}
+
+// NewFabric returns a fabric over the topology.
+func NewFabric(topo *Topology, opt Options) *Fabric {
+	if topo == nil {
+		topo = NewTopology()
+	}
+	return &Fabric{opt: opt, topo: topo, nodes: make(map[string]*endpoint)}
+}
+
+// Topology returns the fabric's topology.
+func (f *Fabric) Topology() *Topology { return f.topo }
+
+// Register attaches a handler to a node name.
+func (f *Fabric) Register(node string, h Handler) {
+	ep := &endpoint{handler: h}
+	if f.opt.DataSlots > 0 {
+		ep.slots = make(chan struct{}, f.opt.DataSlots)
+	}
+	f.mu.Lock()
+	f.nodes[node] = ep
+	f.mu.Unlock()
+}
+
+// Deregister removes a node (server crash).
+func (f *Fabric) Deregister(node string) {
+	f.mu.Lock()
+	delete(f.nodes, node)
+	f.mu.Unlock()
+}
+
+// SetDown marks a node unreachable without removing it (partition / crash
+// injection for fault-tolerance tests).
+func (f *Fabric) SetDown(node string, down bool) {
+	f.mu.Lock()
+	if ep, ok := f.nodes[node]; ok {
+		ep.down = down
+	}
+	f.mu.Unlock()
+}
+
+// Call delivers a message and waits for the reply. size is the simulated
+// payload size in bytes (in-process payloads are passed by reference; the
+// size feeds the cost model and counters).
+func (f *Fabric) Call(ctx context.Context, from, to string, class Class, payload any, size int64) (any, error) {
+	f.mu.RLock()
+	ep, ok := f.nodes[to]
+	f.mu.RUnlock()
+	if !ok || ep.down {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+
+	// Write/Read traffic competes for the endpoint's worker slots;
+	// Control bypasses them (the reserved-bandwidth lane).
+	if class != Control && ep.slots != nil {
+		select {
+		case ep.slots <- struct{}{}:
+			defer func() { <-ep.slots }()
+		case <-ctx.Done():
+			return nil, fmt.Errorf("transport: %s call %s->%s: %w", class, from, to, ctx.Err())
+		}
+	}
+
+	f.Msgs[class].Inc()
+	f.Bytes[class].Add(size)
+	if b := storage.BillFrom(ctx); b != nil && f.opt.Model != nil {
+		if hops := f.topo.Hops(from, to); hops > 0 {
+			b.ChargeTransfer(f.opt.Model, size, hops)
+		}
+	}
+	return ep.handler(ctx, from, payload)
+}
+
+// Nodes returns the registered node names (live and down).
+func (f *Fabric) Nodes() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, 0, len(f.nodes))
+	for n := range f.nodes {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"sort"
+	"time"
+)
+
+// The analyzers reproduce the paper's §IV-A study of a two-month query log:
+// Fig. 4 counts columns accessed repeatedly inside fixed time spans, Fig. 5
+// measures the fraction of queries sharing at least one exact predicate
+// with another query in the span, and Fig. 8 histograms statement keywords.
+
+// SpanPoint is one (span, value) sample of an analysis series.
+type SpanPoint struct {
+	Span  time.Duration
+	Value float64
+}
+
+// DefaultSpans are the x-axis of Figs. 4 and 5.
+var DefaultSpans = []time.Duration{
+	30 * time.Minute, time.Hour, 2 * time.Hour, 4 * time.Hour, 8 * time.Hour,
+}
+
+// AnalyzeDataLocality reproduces Fig. 4: for each span it averages, over
+// all windows of that span, the number of distinct columns accessed by two
+// or more queries in the window.
+func AnalyzeDataLocality(log []LogEntry, spans []time.Duration) []SpanPoint {
+	out := make([]SpanPoint, 0, len(spans))
+	for _, span := range spans {
+		var windows, repeated float64
+		forEachWindow(log, span, func(entries []LogEntry) {
+			counts := make(map[string]int)
+			for _, e := range entries {
+				for _, c := range e.Columns {
+					counts[c]++
+				}
+			}
+			n := 0
+			for _, c := range counts {
+				if c >= 2 {
+					n++
+				}
+			}
+			windows++
+			repeated += float64(n)
+		})
+		v := 0.0
+		if windows > 0 {
+			v = repeated / windows
+		}
+		out = append(out, SpanPoint{Span: span, Value: v})
+	}
+	return out
+}
+
+// AnalyzeQuerySimilarity reproduces Fig. 5: for each span, the fraction of
+// queries that share at least one exact predicate atom with a different
+// query in the same window.
+func AnalyzeQuerySimilarity(log []LogEntry, spans []time.Duration) []SpanPoint {
+	out := make([]SpanPoint, 0, len(spans))
+	for _, span := range spans {
+		var total, similar float64
+		forEachWindow(log, span, func(entries []LogEntry) {
+			// count of queries using each atom in the window
+			users := make(map[string]int)
+			for _, e := range entries {
+				seen := make(map[string]bool, len(e.Predicates))
+				for _, p := range e.Predicates {
+					if !seen[p] {
+						seen[p] = true
+						users[p]++
+					}
+				}
+			}
+			for _, e := range entries {
+				total++
+				for _, p := range e.Predicates {
+					if users[p] >= 2 {
+						similar++
+						break
+					}
+				}
+			}
+		})
+		v := 0.0
+		if total > 0 {
+			v = similar / total
+		}
+		out = append(out, SpanPoint{Span: span, Value: v})
+	}
+	return out
+}
+
+// forEachWindow slices the log into consecutive fixed-span windows.
+func forEachWindow(log []LogEntry, span time.Duration, fn func([]LogEntry)) {
+	if len(log) == 0 {
+		return
+	}
+	start := log[0].Time
+	lo := 0
+	for lo < len(log) {
+		hi := lo
+		end := start.Add(span)
+		for hi < len(log) && log[hi].Time.Before(end) {
+			hi++
+		}
+		if hi > lo {
+			fn(log[lo:hi])
+		}
+		lo = hi
+		start = end
+	}
+}
+
+// KeywordCount is one bar of the Fig. 8 histogram.
+type KeywordCount struct {
+	Keyword string
+	Count   int
+	Ratio   float64
+}
+
+// AnalyzeKeywords reproduces Fig. 8: the frequency of statement kinds in
+// the log. The paper observes scan and aggregation queries make up more
+// than 99% of the workload.
+func AnalyzeKeywords(log []LogEntry) []KeywordCount {
+	counts := make(map[string]int)
+	for _, e := range log {
+		counts[e.Kind]++
+	}
+	out := make([]KeywordCount, 0, len(counts))
+	for k, c := range counts {
+		out = append(out, KeywordCount{Keyword: k, Count: c, Ratio: float64(c) / float64(len(log))})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// ScanAggRatio returns the combined share of scan and aggregation queries
+// (the paper's ">99%" headline).
+func ScanAggRatio(log []LogEntry) float64 {
+	if len(log) == 0 {
+		return 0
+	}
+	n := 0
+	for _, e := range log {
+		if e.Kind == "scan" || e.Kind == "aggregation" {
+			n++
+		}
+	}
+	return float64(n) / float64(len(log))
+}

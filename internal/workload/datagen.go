@@ -1,0 +1,132 @@
+// Package workload generates the synthetic equivalents of the paper's
+// evaluation inputs: the T1/T2/T3 datasets (Table I) scaled down per
+// DESIGN.md §2, and a two-month query log reproducing the access patterns
+// of §IV-A — trial-and-error user sessions, Zipf column popularity, and
+// predicate reuse inside time windows. The analyzers regenerate the series
+// behind Fig. 4 (data locality), Fig. 5 (query similarity) and Fig. 8
+// (keyword frequency).
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/colstore"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// DatasetSpec shapes one generated table.
+type DatasetSpec struct {
+	Name        string
+	Fields      int // total column count (paper: 200 for T1/T2, 57 for T3)
+	Partitions  int
+	RowsPerPart int
+	// PathPrefix places partitions ("/hdfs/t1", "/ffs/t3", ...).
+	PathPrefix string
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// T1Spec, T2Spec and T3Spec mirror Table I's schema shapes at a reduced
+// scale (records scaled ~1:10^5; field counts preserved). T3's attributes
+// are a subset of T1's/T2's, as in the paper.
+func T1Spec() DatasetSpec {
+	return DatasetSpec{Name: "T1", Fields: 200, Partitions: 8, RowsPerPart: 4096, PathPrefix: "/hdfs/t1", Seed: 101}
+}
+
+// T2Spec is the larger click-log table (stored on storage system B).
+func T2Spec() DatasetSpec {
+	return DatasetSpec{Name: "T2", Fields: 200, Partitions: 16, RowsPerPart: 8192, PathPrefix: "/hdfsb/t2", Seed: 202}
+}
+
+// T3Spec is the sampled webpage table (57 fields, storage system A).
+func T3Spec() DatasetSpec {
+	return DatasetSpec{Name: "T3", Fields: 57, Partitions: 4, RowsPerPart: 2048, PathPrefix: "/hdfs/t3", Seed: 303}
+}
+
+// CoreColumns is the head of every generated schema: the columns queries
+// actually touch (the paper: "hundreds of attributes but only a small
+// subset of them are actually queried").
+var CoreColumns = []types.Field{
+	{Name: "ts", Type: types.Int64},
+	{Name: "query", Type: types.String},
+	{Name: "url", Type: types.String},
+	{Name: "clicks", Type: types.Int64},
+	{Name: "pos", Type: types.Int64},
+	{Name: "dwell", Type: types.Float64},
+	{Name: "uid", Type: types.Int64},
+	{Name: "spam", Type: types.Bool},
+	{Name: "score", Type: types.Float64},
+	{Name: "region", Type: types.String},
+}
+
+// BuildSchema returns the spec's schema: core columns plus filler
+// attributes up to the field count.
+func BuildSchema(spec DatasetSpec) *types.Schema {
+	fields := append([]types.Field(nil), CoreColumns...)
+	for len(fields) < spec.Fields {
+		fields = append(fields, types.Field{
+			Name: fmt.Sprintf("attr%03d", len(fields)),
+			Type: types.Int64,
+		})
+	}
+	return types.MustSchema(fields[:spec.Fields]...)
+}
+
+// queryTerms and regions feed the string columns.
+var queryTerms = []string{
+	"weather", "music", "maps", "news", "stock", "video", "travel",
+	"recipe", "spam offer", "download", "encyclopedia", "translate",
+}
+
+var regions = []string{"bj", "sh", "gz", "sz", "cd", "wh"}
+
+// Generate writes the dataset's partitions through the router and returns
+// its catalog entry.
+func Generate(ctx context.Context, router *storage.Router, spec DatasetSpec) (*plan.TableMeta, error) {
+	schema := BuildSchema(spec)
+	meta := &plan.TableMeta{Name: spec.Name, Schema: schema}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	zipfURL := rand.NewZipf(rng, 1.2, 1, 9999)
+	for p := 0; p < spec.Partitions; p++ {
+		w := colstore.NewWriter(schema, 1024)
+		for r := 0; r < spec.RowsPerPart; r++ {
+			row := make(types.Row, schema.Len())
+			ts := int64(1_480_000_000 + p*spec.RowsPerPart + r)
+			term := queryTerms[rng.Intn(len(queryTerms))]
+			row[0] = types.NewInt(ts)
+			row[1] = types.NewString(term)
+			row[2] = types.NewString(fmt.Sprintf("http://site-%d.example/%s", zipfURL.Uint64(), term))
+			row[3] = types.NewInt(int64(rng.Intn(20)))
+			row[4] = types.NewInt(int64(rng.Intn(10) + 1))
+			row[5] = types.NewFloat(rng.Float64() * 300)
+			row[6] = types.NewInt(int64(rng.Intn(100000)))
+			row[7] = types.NewBool(rng.Intn(50) == 0)
+			row[8] = types.NewFloat(rng.Float64())
+			row[9] = types.NewString(regions[rng.Intn(len(regions))])
+			for c := len(CoreColumns); c < schema.Len(); c++ {
+				row[c] = types.NewInt(rng.Int63n(1000))
+			}
+			if err := w.Append(row); err != nil {
+				return nil, err
+			}
+		}
+		data, err := w.Finish()
+		if err != nil {
+			return nil, err
+		}
+		path := fmt.Sprintf("%s/p%04d", spec.PathPrefix, p)
+		if err := router.WriteFile(ctx, path, data); err != nil {
+			return nil, err
+		}
+		meta.Partitions = append(meta.Partitions, plan.PartitionMeta{
+			Path:  path,
+			Rows:  int64(spec.RowsPerPart),
+			Bytes: int64(len(data)),
+		})
+	}
+	return meta, nil
+}

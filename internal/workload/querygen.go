@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// LogEntry is one query in the synthetic user log.
+type LogEntry struct {
+	Time time.Time
+	User int
+	SQL  string
+	// Columns are the data columns the query touches.
+	Columns []string
+	// Predicates are the canonical conjunctive-form atoms of the WHERE
+	// clause (the identity SmartIndex keys on).
+	Predicates []string
+	// Kind labels the statement shape for the Fig. 8 keyword histogram.
+	Kind string
+}
+
+// LogConfig shapes the synthetic query log. The defaults are fitted so the
+// analyzers reproduce the curves of paper Figs. 4/5/8.
+type LogConfig struct {
+	Seed  int64
+	Start time.Time
+	// Duration covers the paper's two-month trace when left zero.
+	Duration time.Duration
+	// Users is the active analyst population (paper §VII: ~150).
+	Users int
+	// QueriesPerDay matches "five thousands of queries on average every
+	// day" scaled to the analysis horizon.
+	QueriesPerDay int
+	// SessionLength is the mean number of queries a trial-and-error
+	// session issues (start broad, add predicates one by one, §IV-A).
+	SessionLength int
+	// ColumnZipfS skews column popularity (>1; higher = hotter head).
+	ColumnZipfS float64
+	// PredicateReuse is the probability a new session reuses a predicate
+	// pool recently used by the same user community.
+	PredicateReuse float64
+	// TableName is the table queries target.
+	TableName string
+}
+
+// DefaultLogConfig returns the fitted configuration.
+func DefaultLogConfig() LogConfig {
+	return LogConfig{
+		Seed:           7,
+		Start:          time.Date(2016, 9, 1, 0, 0, 0, 0, time.UTC),
+		Duration:       60 * 24 * time.Hour,
+		Users:          150,
+		QueriesPerDay:  5000,
+		SessionLength:  6,
+		ColumnZipfS:    1.4,
+		PredicateReuse: 0.6,
+		TableName:      "T1",
+	}
+}
+
+// queryColumns are the columns sessions draw from (the queryable head of
+// the schema).
+var queryColumns = []string{"clicks", "pos", "dwell", "score", "uid", "query", "url", "region", "spam", "ts"}
+
+// GenerateLog produces the synthetic query log.
+func GenerateLog(cfg LogConfig) []LogEntry {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 60 * 24 * time.Hour
+	}
+	if cfg.Users <= 0 {
+		cfg.Users = 150
+	}
+	if cfg.QueriesPerDay <= 0 {
+		cfg.QueriesPerDay = 5000
+	}
+	if cfg.SessionLength <= 0 {
+		cfg.SessionLength = 6
+	}
+	if cfg.ColumnZipfS <= 1 {
+		cfg.ColumnZipfS = 1.4
+	}
+	if cfg.TableName == "" {
+		cfg.TableName = "T1"
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	colZipf := rand.NewZipf(rng, cfg.ColumnZipfS, 1, uint64(len(queryColumns)-1))
+
+	total := int(float64(cfg.QueriesPerDay) * cfg.Duration.Hours() / 24)
+	gap := cfg.Duration / time.Duration(total+1)
+	var out []LogEntry
+
+	// recentPools holds predicate pools used lately; sessions reuse them
+	// with probability PredicateReuse, producing the paper's query
+	// similarity inside short windows.
+	var recentPools [][]atomSpec
+	now := cfg.Start
+	for len(out) < total {
+		user := rng.Intn(cfg.Users)
+		var pool []atomSpec
+		if len(recentPools) > 0 && rng.Float64() < cfg.PredicateReuse {
+			pool = recentPools[rng.Intn(len(recentPools))]
+		} else {
+			pool = newAtomPool(rng, colZipf)
+			recentPools = append(recentPools, pool)
+			if len(recentPools) > 24 { // pools age out of fashion
+				recentPools = recentPools[1:]
+			}
+		}
+		// One trial-and-error session: first a broad aggregation, then
+		// predicates accumulate one by one.
+		sessionLen := 1 + rng.Intn(2*cfg.SessionLength)
+		target := queryColumns[int(colZipf.Uint64())]
+		for q := 0; q < sessionLen && len(out) < total; q++ {
+			nPred := q
+			if nPred > len(pool) {
+				nPred = len(pool)
+			}
+			entry := buildQuery(cfg.TableName, target, pool[:nPred], rng)
+			entry.Time = now
+			entry.User = user
+			out = append(out, entry)
+			now = now.Add(gap)
+		}
+	}
+	return out
+}
+
+// atomSpec is one reusable predicate atom.
+type atomSpec struct {
+	col string
+	op  string
+	val string
+}
+
+// String renders the atom in the planner's canonical key form: strings are
+// Go-quoted, booleans lower-cased (see plan.Atom.Key).
+func (a atomSpec) String() string {
+	val := a.val
+	switch {
+	case strings.HasPrefix(val, "'"):
+		val = strconv.Quote(strings.ReplaceAll(val[1:len(val)-1], "''", "'"))
+	case val == "TRUE":
+		val = "true"
+	case val == "FALSE":
+		val = "false"
+	}
+	return a.col + " " + a.op + " " + val
+}
+
+// newAtomPool draws a small predicate vocabulary for a session topic.
+func newAtomPool(rng *rand.Rand, colZipf *rand.Zipf) []atomSpec {
+	n := 2 + rng.Intn(3)
+	pool := make([]atomSpec, 0, n)
+	for i := 0; i < n; i++ {
+		col := queryColumns[int(colZipf.Uint64())]
+		pool = append(pool, newAtom(rng, col))
+	}
+	return pool
+}
+
+func newAtom(rng *rand.Rand, col string) atomSpec {
+	ops := []string{">", ">=", "<", "<=", "="}
+	switch col {
+	case "query", "url", "region":
+		vals := map[string][]string{
+			"query":  {"'weather'", "'music'", "'spam offer'", "'news'"},
+			"url":    {"'http://site-1.example'", "'http://site-2.example'"},
+			"region": {"'bj'", "'sh'", "'gz'"},
+		}[col]
+		op := "="
+		if col != "region" && rng.Intn(2) == 0 {
+			op = "CONTAINS"
+		}
+		return atomSpec{col: col, op: op, val: vals[rng.Intn(len(vals))]}
+	case "spam":
+		return atomSpec{col: col, op: "=", val: []string{"TRUE", "FALSE"}[rng.Intn(2)]}
+	case "dwell", "score":
+		// Canonical float rendering so the log's predicate strings match
+		// the planner's atom keys exactly ("7", not "7.0").
+		v := math.Round(rng.Float64()*100) / 10
+		return atomSpec{col: col, op: ops[rng.Intn(4)], val: strconv.FormatFloat(v, 'g', -1, 64)}
+	default:
+		return atomSpec{col: col, op: ops[rng.Intn(len(ops))], val: fmt.Sprintf("%d", rng.Intn(20))}
+	}
+}
+
+// buildQuery renders one statement of the paper's scan-query shape
+// (§VI-B): SELECT a FROM T WHERE b OP v [AND|OR c OP v], most of them
+// aggregations.
+func buildQuery(table, target string, atoms []atomSpec, rng *rand.Rand) LogEntry {
+	e := LogEntry{Columns: []string{target}}
+	var sel string
+	switch rng.Intn(10) {
+	case 0, 1, 2:
+		sel = target
+		e.Kind = "scan"
+	case 3:
+		sel = "SUM(" + numericOr(target, "clicks") + ")"
+		e.Kind = "aggregation"
+		e.Columns = []string{numericOr(target, "clicks")}
+	default:
+		sel = "COUNT(*)"
+		e.Kind = "aggregation"
+		if len(atoms) == 0 {
+			e.Columns = nil
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("SELECT " + sel + " FROM " + table)
+	if len(atoms) > 0 {
+		sb.WriteString(" WHERE ")
+		for i, a := range atoms {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			sb.WriteString(fmt.Sprintf("%s %s %s", a.col, a.op, a.val))
+			e.Predicates = append(e.Predicates, a.String())
+			e.Columns = append(e.Columns, a.col)
+		}
+	}
+	e.SQL = sb.String()
+	e.Columns = dedupStrings(e.Columns)
+	return e
+}
+
+func numericOr(col, fallback string) string {
+	switch col {
+	case "clicks", "pos", "dwell", "score", "uid", "ts":
+		return col
+	default:
+		return fallback
+	}
+}
+
+func dedupStrings(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
