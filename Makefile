@@ -1,0 +1,20 @@
+.PHONY: build test race vet verify bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+# verify is the full pre-merge gate: vet + build + tier-1 tests + race suite.
+verify:
+	./scripts/verify.sh
+
+bench:
+	go test -bench=. -benchmem ./...

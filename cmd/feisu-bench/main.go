@@ -33,6 +33,7 @@ var registry = []struct {
 	{"fig11", "SmartIndex memory sensitivity", experiments.Fig11},
 	{"fig12", "scalability with node count", experiments.Fig12},
 	{"ablations", "design-choice ablations (DESIGN.md §5)", experiments.Ablations},
+	{"trace", "per-stage execution profile from query traces", experiments.TraceProfile},
 }
 
 func main() {

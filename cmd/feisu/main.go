@@ -6,6 +6,11 @@
 //	feisu -q "SELECT COUNT(*) FROM T1 WHERE clicks > 5"
 //	feisu            # interactive: one query per line, blank line to exit
 //	feisu -leaves 8 -stats -q "..."
+//	feisu -trace -q "..."   # print the query's span tree
+//
+// Interactive mode understands EXPLAIN / EXPLAIN ANALYZE prefixes and the
+// commands `\trace` (toggle span-tree printing), `\stats` (toggle stats)
+// and `\metrics` (dump the deployment metrics registry).
 package main
 
 import (
@@ -27,6 +32,7 @@ func main() {
 	rows := flag.Int("rows", 4096, "rows per partition of the demo datasets")
 	parts := flag.Int("parts", 4, "partitions per demo dataset")
 	stats := flag.Bool("stats", false, "print execution statistics")
+	trace := flag.Bool("trace", false, "print each query's span tree")
 	explain := flag.Bool("explain", false, "print the physical plan instead of executing")
 	flag.Parse()
 
@@ -61,34 +67,63 @@ func main() {
 			fmt.Print(desc)
 			return
 		}
-		if err := run(sys, *query, *stats); err != nil {
+		if err := run(sys, *query, *stats, *trace); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
 	fmt.Fprintln(os.Stderr, "feisu> enter queries, blank line to exit")
+	fmt.Fprintln(os.Stderr, "feisu> commands: \\trace \\stats \\metrics \\q; EXPLAIN [ANALYZE] <query>")
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Fprint(os.Stderr, "feisu> ")
+	withTrace := *trace
+	withStats := *stats
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
-		if line == "" {
+		switch {
+		case line == "":
 			return
-		}
-		if err := run(sys, line, *stats); err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		case line == `\trace`:
+			withTrace = !withTrace
+			fmt.Fprintf(os.Stderr, "trace output %s\n", onOff(withTrace))
+		case line == `\stats`:
+			withStats = !withStats
+			fmt.Fprintf(os.Stderr, "stats output %s\n", onOff(withStats))
+		case line == `\metrics`:
+			fmt.Print(sys.Metrics().String())
+		case line == `\q` || line == `\quit`:
+			return
+		default:
+			if err := run(sys, line, withStats, withTrace); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
 		}
 		fmt.Fprint(os.Stderr, "feisu> ")
 	}
 }
 
-func run(sys *feisu.System, sql string, withStats bool) error {
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+func run(sys *feisu.System, sql string, withStats, withTrace bool) error {
 	start := time.Now()
-	res, stats, err := sys.QueryStats(context.Background(), sql)
+	var opts []feisu.QueryOption
+	if withTrace {
+		opts = append(opts, feisu.WithTrace())
+	}
+	res, stats, err := sys.QueryStats(context.Background(), sql, opts...)
 	if err != nil {
 		return err
 	}
 	printResult(res)
+	if withTrace && stats.Trace != nil {
+		fmt.Print(stats.Trace.Render())
+	}
 	if withStats {
 		fmt.Printf("-- %d rows in %s (sim %s); tasks=%d reused=%d backups=%d; scan: %+v\n",
 			len(res.Rows), time.Since(start).Round(time.Millisecond),
@@ -103,7 +138,11 @@ func printResult(res *feisu.Result) {
 	for _, row := range res.Rows {
 		cells := make([]string, len(row))
 		for i, v := range row {
-			cells[i] = v.String()
+			if v.T == feisu.String {
+				cells[i] = v.S // raw, without SQL quoting
+			} else {
+				cells[i] = v.String()
+			}
 		}
 		fmt.Println(strings.Join(cells, "\t"))
 	}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/ingest"
+	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/sim"
 	"repro/internal/sqlparser"
@@ -169,6 +170,7 @@ type System struct {
 	caches  []*cache.Reader
 	smart   []*core.SmartIndex
 	history *History
+	metrics *metrics.Registry
 
 	convMu sync.Mutex
 	convs  map[string]*ingest.Converter
@@ -214,6 +216,7 @@ func New(cfg Config) (*System, error) {
 
 	sys := &System{
 		cfg: cfg, model: model, fabric: fabric, router: router, hdfs: hdfs, ffs: ffs,
+		metrics: metrics.NewRegistry(),
 	}
 
 	leafName := func(i int) string { return fmt.Sprintf("leaf%d", i) }
@@ -244,6 +247,7 @@ func New(cfg Config) (*System, error) {
 		DefaultTaskTimeout: cfg.TaskTimeout,
 		LivenessWindow:     time.Minute,
 		LocalityOff:        cfg.LocalityOff,
+		Metrics:            sys.metrics,
 	}
 	if cfg.PersonalizeThreshold > 0 {
 		sys.history = &History{
@@ -264,20 +268,26 @@ func New(cfg Config) (*System, error) {
 				Prefixes:      cfg.CachePrefixes,
 				Model:         model,
 			})
+			cr.RegisterMetrics(sys.metrics, leafName(i)+".cache.")
 			sys.caches = append(sys.caches, cr)
 			reader = cr
+		}
+		idx := sys.newIndex()
+		if si, ok := idx.(*core.SmartIndex); ok {
+			si.RegisterMetrics(sys.metrics, leafName(i)+".index.")
 		}
 		leaf := &cluster.LeafServer{
 			Name:           leafName(i),
 			Fabric:         fabric,
 			Reader:         reader,
-			Index:          sys.newIndex(),
+			Index:          idx,
 			Router:         router,
 			Model:          model,
 			SpillThreshold: cfg.SpillThreshold,
 			SpillPrefix:    "/hdfs/feisu-tmp",
 		}
 		leaf.Register()
+		leaf.RegisterMetrics(sys.metrics, leafName(i)+".")
 		sys.leaves = append(sys.leaves, leaf)
 	}
 	for i := 0; i < cfg.Stems; i++ {
@@ -395,6 +405,11 @@ func (s *System) Authority() *auth.Authority { return s.auth }
 // Master exposes the master for advanced control (HA, scheduler tuning).
 func (s *System) Master() *cluster.Master { return s.master }
 
+// Metrics exposes the deployment's central registry: master query counters
+// plus per-leaf task, SmartIndex and SSD-cache counters, under names like
+// "master.queries", "leaf0.index.hits", "leaf0.cache.misses".
+func (s *System) Metrics() *metrics.Registry { return s.metrics }
+
 // RegisterTable installs a catalog entry directly (NewLoader does this for
 // generated data).
 func (s *System) RegisterTable(ctx context.Context, meta *plan.TableMeta) error {
@@ -481,6 +496,14 @@ func WithTaskTimeout(d time.Duration) QueryOption {
 // WithoutResultReuse disables identical-task result sharing (ablation).
 func WithoutResultReuse() QueryOption {
 	return func(o *cluster.QueryOptions) { o.DisableReuse = true }
+}
+
+// WithTrace records a span tree for the query — master, stem, leaf and scan
+// stages with per-stage simulated/wall times and index/cache counters —
+// into QueryStats.Trace. Equivalent to prefixing the SQL with
+// "EXPLAIN ANALYZE", but the result set stays the query's own rows.
+func WithTrace() QueryOption {
+	return func(o *cluster.QueryOptions) { o.Trace = true }
 }
 
 // Explain plans the query without executing it and returns a human-readable

@@ -16,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Options configure the SSD cache.
@@ -30,21 +31,28 @@ type Options struct {
 }
 
 // Reader wraps a PartitionReader with an SSD column-chunk cache. Hits are
-// billed as SSD reads instead of reaching the underlying store.
+// billed as SSD reads instead of reaching the underlying store. Concurrent
+// misses on one chunk are deduplicated: the first reader fetches from
+// storage while herd followers wait on the in-flight call and are billed
+// (and counted) as hits, so a miss herd issues exactly one storage read.
 type Reader struct {
 	inner exec.PartitionReader
 	opt   Options
 
-	mu    sync.Mutex
-	items map[string]*item
-	head  *item // most recent
-	tail  *item
-	bytes int64
+	mu       sync.Mutex
+	items    map[string]*item
+	inflight map[string]*inflightCall
+	head     *item // most recent
+	tail     *item
+	bytes    int64
 
 	Hits   metrics.Counter
 	Misses metrics.Counter
 	// Bypass counts reads not admitted by preference.
 	Bypass metrics.Counter
+	// HerdWaits counts reads that joined an in-flight fetch instead of
+	// issuing a duplicate storage read.
+	HerdWaits metrics.Counter
 }
 
 type item struct {
@@ -54,9 +62,26 @@ type item struct {
 	prev, next *item
 }
 
+// inflightCall is one outstanding storage fetch that duplicate misses
+// join. col and err are written before done is closed.
+type inflightCall struct {
+	done chan struct{}
+	col  *colstore.Column
+	err  error
+}
+
 // NewReader wraps inner with the cache.
 func NewReader(inner exec.PartitionReader, opt Options) *Reader {
-	return &Reader{inner: inner, opt: opt, items: make(map[string]*item)}
+	return &Reader{inner: inner, opt: opt, items: make(map[string]*item), inflight: make(map[string]*inflightCall)}
+}
+
+// RegisterMetrics publishes the cache's counters into a central registry
+// under the given name prefix (e.g. "leaf0.cache.").
+func (r *Reader) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.Register(prefix+"hits", &r.Hits)
+	reg.Register(prefix+"misses", &r.Misses)
+	reg.Register(prefix+"bypass", &r.Bypass)
+	reg.Register(prefix+"herd_waits", &r.HerdWaits)
 }
 
 // Meta delegates to the wrapped reader.
@@ -78,6 +103,7 @@ func (r *Reader) admitted(path string) bool {
 func (r *Reader) Column(ctx context.Context, path string, meta *colstore.FileMeta, block, col int) (*colstore.Column, error) {
 	if r.opt.CapacityBytes <= 0 || !r.admitted(path) {
 		r.Bypass.Inc()
+		trace.FromContext(ctx).Count("cache.bypass", 1)
 		return r.inner.Column(ctx, path, meta, block, col)
 	}
 	key := cacheKey(path, block, col)
@@ -88,21 +114,38 @@ func (r *Reader) Column(ctx context.Context, path string, meta *colstore.FileMet
 		r.moveToFront(it)
 		colv := it.col
 		r.mu.Unlock()
-		r.Hits.Inc()
-		if b := storage.BillFrom(ctx); b != nil && r.opt.Model != nil {
-			b.ChargeRead(r.opt.Model, sim.DeviceSSD, size)
-		}
+		r.chargeHit(ctx, size)
 		return colv, nil
 	}
+	if call, ok := r.inflight[key]; ok {
+		// Another reader is already fetching this chunk: wait for it
+		// instead of issuing a duplicate storage read. Followers are
+		// billed as hits — by the time the leader's read completes, the
+		// chunk is on SSD for them.
+		r.mu.Unlock()
+		r.HerdWaits.Inc()
+		select {
+		case <-call.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if call.err != nil {
+			return nil, call.err
+		}
+		r.chargeHit(ctx, size)
+		return call.col, nil
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	r.inflight[key] = call
 	r.mu.Unlock()
 	r.Misses.Inc()
+	trace.FromContext(ctx).Count("cache.miss", 1)
 
 	c, err := r.inner.Column(ctx, path, meta, block, col)
-	if err != nil {
-		return nil, err
-	}
-	if size <= r.opt.CapacityBytes {
-		r.mu.Lock()
+
+	r.mu.Lock()
+	delete(r.inflight, key)
+	if err == nil && size <= r.opt.CapacityBytes {
 		if _, dup := r.items[key]; !dup {
 			it := &item{key: key, col: c, size: size}
 			r.items[key] = it
@@ -112,9 +155,20 @@ func (r *Reader) Column(ctx context.Context, path string, meta *colstore.FileMet
 				r.evict(r.tail)
 			}
 		}
-		r.mu.Unlock()
 	}
-	return c, nil
+	r.mu.Unlock()
+	call.col, call.err = c, err
+	close(call.done)
+	return c, err
+}
+
+// chargeHit counts and bills one cache hit as an SSD read.
+func (r *Reader) chargeHit(ctx context.Context, size int64) {
+	r.Hits.Inc()
+	trace.FromContext(ctx).Count("cache.hit", 1)
+	if b := storage.BillFrom(ctx); b != nil && r.opt.Model != nil {
+		b.ChargeRead(r.opt.Model, sim.DeviceSSD, size)
+	}
 }
 
 func cacheKey(path string, block, col int) string {

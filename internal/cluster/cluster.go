@@ -10,11 +10,13 @@
 package cluster
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/exec"
 	"repro/internal/plan"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // WorkerKind distinguishes stem and leaf servers.
@@ -50,6 +52,10 @@ type QueryOptions struct {
 	TaskTimeout time.Duration
 	// DisableReuse turns off identical-task result reuse (ablation).
 	DisableReuse bool
+	// Trace records a span tree for the query (master → stem → leaf →
+	// scan with index/cache counters) into QueryStats.Trace. EXPLAIN
+	// ANALYZE forces it on.
+	Trace bool
 }
 
 // QueryStats reports how a query executed.
@@ -66,6 +72,38 @@ type QueryStats struct {
 	WallTime time.Duration
 	// BytesByDevice reports simulated bytes read per device class.
 	BytesByDevice map[string]int64
+	// Trace is the query's span tree when QueryOptions.Trace was set
+	// (nil otherwise). Render it with Trace.Render().
+	Trace *trace.Span
+}
+
+// lifecycle guards a server's heartbeat loop: Start/Stop may race from
+// different goroutines, and Stop must be idempotent (a double Stop used to
+// close a closed channel).
+type lifecycle struct {
+	mu   sync.Mutex
+	stop chan struct{}
+}
+
+// start launches loop(stop) unless already running.
+func (lc *lifecycle) start(loop func(stop <-chan struct{})) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.stop != nil {
+		return
+	}
+	lc.stop = make(chan struct{})
+	go loop(lc.stop)
+}
+
+// halt ends the loop; extra calls are no-ops.
+func (lc *lifecycle) halt() {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.stop != nil {
+		close(lc.stop)
+		lc.stop = nil
+	}
 }
 
 // taskMsg dispatches one sub-plan to a leaf.

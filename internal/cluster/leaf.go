@@ -7,8 +7,10 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -37,7 +39,19 @@ type LeafServer struct {
 
 	active   atomic.Int32
 	spillSeq atomic.Int64
-	stop     chan struct{}
+	life     lifecycle
+
+	// Tasks counts sub-plans executed; Spills counts results written to
+	// global storage instead of returned inline.
+	Tasks  metrics.Counter
+	Spills metrics.Counter
+}
+
+// RegisterMetrics publishes the leaf's counters into a central registry
+// under the given name prefix (e.g. "leaf0.").
+func (l *LeafServer) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.Register(prefix+"tasks", &l.Tasks)
+	reg.Register(prefix+"spills", &l.Spills)
 }
 
 // Register attaches the leaf to the fabric.
@@ -61,6 +75,10 @@ func (l *LeafServer) handle(ctx context.Context, from string, payload any) (any,
 func (l *LeafServer) runTask(ctx context.Context, msg taskMsg) (any, error) {
 	l.active.Add(1)
 	defer l.active.Add(-1)
+	l.Tasks.Inc()
+	ctx, span := trace.StartSpan(ctx, "leaf/"+l.Name)
+	defer span.Finish()
+	span.SetAttr("partition", msg.Task.Partition.Path)
 	if l.Delay > 0 {
 		select {
 		case <-time.After(l.Delay):
@@ -73,9 +91,14 @@ func (l *LeafServer) runTask(ctx context.Context, msg taskMsg) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	l.chargeRemoteRead(bill, msg.Task.Partition.Path)
+	l.chargeRemoteRead(ctx, bill, msg.Task.Partition.Path)
+	// The leaf span's sim time is the task's full simulated cost; the
+	// read:*/transfer children decompose it per device class.
+	span.SetSim(bill.Time())
+	billSpans(span, bill)
 	reply := taskReply{Result: res, Size: res.EstimateBytes(), SimTime: bill.Time(), DevBytes: deviceBytes(bill)}
 	if l.SpillThreshold > 0 && reply.Size > l.SpillThreshold && l.Router != nil {
+		l.Spills.Inc()
 		data, err := encodeResult(res)
 		if err != nil {
 			return nil, err
@@ -95,10 +118,14 @@ func (l *LeafServer) runTask(ctx context.Context, msg taskMsg) (any, error) {
 }
 
 // chargeRemoteRead models the network cost of scheduling a task away from
-// its data: when this leaf holds no replica of the partition, every byte it
-// read crossed the network from the nearest holder (the overhead the
-// paper's locality-aware scheduler avoids, §III-B).
-func (l *LeafServer) chargeRemoteRead(bill *sim.Bill, path string) {
+// its data: when this leaf holds no replica of the partition, the bytes it
+// read from the holder's store crossed the network from the nearest holder
+// (the overhead the paper's locality-aware scheduler avoids, §III-B). Only
+// bytes that actually came off the data holder's devices move: HDD and
+// cold-archive reads always do, and SSD reads only when the partition
+// itself lives on SSD (an SSD *cache* hit or an in-memory SmartIndex lookup
+// is served from this leaf's local hardware and moves nothing).
+func (l *LeafServer) chargeRemoteRead(ctx context.Context, bill *sim.Bill, path string) {
 	if l.Router == nil || l.Model == nil {
 		return
 	}
@@ -116,12 +143,35 @@ func (l *LeafServer) chargeRemoteRead(bill *sim.Bill, path string) {
 			hops = hp
 		}
 	}
-	var moved int64
-	for _, d := range []sim.DeviceClass{sim.DeviceHDD, sim.DeviceCold, sim.DeviceSSD, sim.DeviceMemory} {
-		moved += bill.Bytes(d)
+	moved := bill.Bytes(sim.DeviceHDD) + bill.Bytes(sim.DeviceCold)
+	if l.Router.Device(path) == sim.DeviceSSD {
+		moved += bill.Bytes(sim.DeviceSSD)
 	}
 	if moved > 0 && hops > 0 && hops < 1<<30 {
+		trace.FromContext(ctx).Count("remote.bytes", moved)
 		bill.ChargeTransfer(l.Model, moved, hops)
+	}
+}
+
+// billSpans decomposes a task bill into read:<device> / transfer child
+// spans so the trace shows where the simulated time went.
+func billSpans(span *trace.Span, bill *sim.Bill) {
+	if span == nil {
+		return
+	}
+	for _, d := range []sim.DeviceClass{sim.DeviceHDD, sim.DeviceSSD, sim.DeviceMemory, sim.DeviceCold} {
+		if n := bill.Bytes(d); n > 0 {
+			c := span.Child("read:" + d.String())
+			c.SetSim(bill.TimeOf(d))
+			c.Count("bytes", n)
+			c.Finish()
+		}
+	}
+	if t := bill.TransferTime(); t > 0 {
+		c := span.Child("transfer")
+		c.SetSim(t)
+		c.Count("bytes", bill.Bytes(sim.DeviceNetwork))
+		c.Finish()
 	}
 }
 
@@ -132,24 +182,19 @@ func (l *LeafServer) HeartbeatOnce(ctx context.Context, master string) error {
 	return err
 }
 
-// Start launches the heartbeat loop; Stop ends it. A second Start while
-// running is a no-op.
+// Start launches the heartbeat loop; Stop ends it. Both are safe to call
+// concurrently; a second Start while running is a no-op.
 func (l *LeafServer) Start(master string, interval time.Duration) {
-	if l.stop != nil {
-		return
-	}
-	l.stop = make(chan struct{})
-	go heartbeatLoop(l.stop, interval, func() {
-		_ = l.HeartbeatOnce(context.Background(), master)
+	l.life.start(func(stop <-chan struct{}) {
+		heartbeatLoop(stop, interval, func() {
+			_ = l.HeartbeatOnce(context.Background(), master)
+		})
 	})
 }
 
-// Stop ends the heartbeat loop.
+// Stop ends the heartbeat loop; extra or concurrent Stops are no-ops.
 func (l *LeafServer) Stop() {
-	if l.stop != nil {
-		close(l.stop)
-		l.stop = nil
-	}
+	l.life.halt()
 }
 
 // heartbeatMsg reports liveness and load to the master's cluster manager.

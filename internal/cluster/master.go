@@ -5,16 +5,19 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/auth"
 	"repro/internal/colstore"
 	"repro/internal/exec"
+	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/sim"
 	"repro/internal/sqlparser"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -51,6 +54,8 @@ type MasterConfig struct {
 	// user — the client-side query-history collection that personalizes
 	// SmartIndex (paper §III-C).
 	Observer PredicateObserver
+	// Metrics, when set, receives the master's query counters.
+	Metrics *metrics.Registry
 }
 
 // PredicateObserver collects per-user predicate usage.
@@ -72,6 +77,10 @@ type Master struct {
 	standby bool
 	backups []string
 	oplog   []catalogOp
+
+	// Queries counts submissions; QueryErrs counts the ones that failed.
+	Queries   metrics.Counter
+	QueryErrs metrics.Counter
 }
 
 // NewMaster builds and registers a master on the fabric.
@@ -99,6 +108,8 @@ func NewMaster(cfg MasterConfig) *Master {
 	// leaves directly, and serves single-task backup dispatches.
 	m.localStem = &StemServer{Name: cfg.Name, Fabric: cfg.Fabric, Router: cfg.Router, Model: cfg.Model}
 	cfg.Fabric.Register(cfg.Name, m.handle)
+	cfg.Metrics.Register("master.queries", &m.Queries)
+	cfg.Metrics.Register("master.query_errors", &m.QueryErrs)
 	return m
 }
 
@@ -172,6 +183,15 @@ func (m *Master) RegisterTable(ctx context.Context, meta *plan.TableMeta) error 
 
 // Submit plans, schedules, executes and finalizes one query.
 func (m *Master) Submit(ctx context.Context, sql string, opts QueryOptions) (*exec.Result, *QueryStats, error) {
+	res, stats, err := m.submit(ctx, sql, opts)
+	m.Queries.Inc()
+	if err != nil {
+		m.QueryErrs.Inc()
+	}
+	return res, stats, err
+}
+
+func (m *Master) submit(ctx context.Context, sql string, opts QueryOptions) (*exec.Result, *QueryStats, error) {
 	if m.Standby() {
 		return nil, nil, ErrStandby
 	}
@@ -207,6 +227,22 @@ func (m *Master) Submit(ctx context.Context, sql string, opts QueryOptions) (*ex
 		}
 	}
 
+	// EXPLAIN without ANALYZE describes the plan and returns without
+	// executing anything.
+	if stmt.Explain && !stmt.Analyze {
+		stats.WallTime = time.Since(start)
+		return textResult("plan", p.Describe()), stats, nil
+	}
+	if stmt.Analyze {
+		opts.Trace = true
+	}
+	var root *trace.Span
+	if opts.Trace {
+		root = trace.New("master/query")
+		stats.Trace = root
+		ctx = trace.NewContext(ctx, root)
+	}
+
 	if m.cfg.Observer != nil {
 		var keys []string
 		for _, cl := range p.Filter.Clauses {
@@ -224,18 +260,26 @@ func (m *Master) Submit(ctx context.Context, sql string, opts QueryOptions) (*ex
 	}
 
 	masterBill := sim.NewBill()
-	if err := m.loadDims(storage.WithBill(ctx, masterBill), p); err != nil {
+	dctx, dspan := trace.StartSpan(ctx, "master/load-dims")
+	if err := m.loadDims(storage.WithBill(dctx, masterBill), p); err != nil {
 		return nil, nil, err
 	}
+	dspan.SetSim(masterBill.Time())
+	dspan.Finish()
 
 	tasks := p.Tasks()
 	stats.Tasks = len(tasks)
-	merged, err := m.runAll(ctx, p, tasks, opts, stats)
+	ectx, espan := trace.StartSpan(ctx, "master/execute")
+	merged, err := m.runAll(ectx, p, tasks, opts, stats)
+	espan.SetSim(stats.SimTime)
+	espan.Finish()
 	if err != nil {
 		return nil, nil, err
 	}
 
+	fspan := root.Child("master/finalize")
 	res, err := exec.Finalize(p, merged)
+	fspan.Finish()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -257,7 +301,31 @@ func (m *Master) Submit(ctx context.Context, sql string, opts QueryOptions) (*ex
 	for dev, n := range deviceBytes(masterBill) {
 		stats.BytesByDevice[dev] += n
 	}
+	if root != nil {
+		root.SetSim(stats.SimTime)
+		root.Count("tasks", int64(stats.Tasks))
+		if stats.ReusedTasks > 0 {
+			root.Count("tasks.reused", int64(stats.ReusedTasks))
+		}
+		if stats.BackupTasks > 0 {
+			root.Count("tasks.backup", int64(stats.BackupTasks))
+		}
+		root.Finish()
+	}
+	if stmt.Analyze {
+		return textResult("EXPLAIN ANALYZE", p.DescribeAnalyze(root)), stats, nil
+	}
 	return res, stats, nil
+}
+
+// textResult wraps multi-line text (a plan description, a rendered trace)
+// as a one-column result set.
+func textResult(col, text string) *exec.Result {
+	res := &exec.Result{Columns: []string{col}, Types: []types.Type{types.String}, ProcessedRatio: 1}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		res.Rows = append(res.Rows, []types.Value{types.NewString(line)})
+	}
+	return res
 }
 
 func (m *Master) rpcLatency() time.Duration {
@@ -407,12 +475,14 @@ func (m *Master) runAll(ctx context.Context, p *plan.PhysicalPlan, tasks []plan.
 			}
 			return nil, err
 		}
+		// Each dispatch goroutine reports every task of its group on the
+		// results channel (buffered to len(tasks)), so the collection loop
+		// below is the synchronization point — no WaitGroup needed, and the
+		// `go func() { wg.Wait() }()` this used to launch leaked a goroutine
+		// per query.
 		byStem := m.groupByStem(owned, assign)
-		var wg sync.WaitGroup
 		for stemName, group := range byStem {
-			wg.Add(1)
 			go func(stemName string, group []plan.TaskSpec) {
-				defer wg.Done()
 				job := stemJobMsg{Plan: p, Tasks: group, Assign: assign, TaskTimeout: timeout, PerTask: !opts.DisableReuse}
 				reply, err := m.callStem(ctx, stemName, job)
 				for _, t := range group {
@@ -439,7 +509,6 @@ func (m *Master) runAll(ctx context.Context, p *plan.PhysicalPlan, tasks []plan.
 				}
 			}(stemName, group)
 		}
-		go func() { wg.Wait() }()
 	}
 
 	// Collect.

@@ -11,6 +11,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -28,7 +29,7 @@ type StemServer struct {
 	Parallelism int
 
 	active atomic.Int32
-	stop   chan struct{}
+	life   lifecycle
 }
 
 // Register attaches the stem to the fabric.
@@ -53,6 +54,9 @@ func (s *StemServer) handle(ctx context.Context, from string, payload any) (any,
 func (s *StemServer) runJob(ctx context.Context, job stemJobMsg) (any, error) {
 	s.active.Add(int32(len(job.Tasks)))
 	defer s.active.Add(-int32(len(job.Tasks)))
+	ctx, span := trace.StartSpan(ctx, "stem/"+s.Name)
+	defer span.Finish()
+	span.Count("tasks", int64(len(job.Tasks)))
 
 	par := s.Parallelism
 	if par <= 0 || par > len(job.Tasks) {
@@ -93,6 +97,15 @@ func (s *StemServer) runJob(ctx context.Context, job stemJobMsg) (any, error) {
 		}(task, leaf)
 	}
 	wg.Wait()
+	// The stem's simulated time is its critical path: the slowest task it
+	// waited on (tasks run in parallel under the cost model).
+	var busiest time.Duration
+	for _, st := range status {
+		if st.OK && st.SimTime > busiest {
+			busiest = st.SimTime
+		}
+	}
+	span.SetSim(busiest)
 	return stemReply{Merged: merged, PerTask: perTask, Status: status}, nil
 }
 
@@ -105,6 +118,8 @@ func (s *StemServer) runOne(ctx context.Context, job stemJobMsg, task plan.TaskS
 		tctx, cancel = context.WithTimeout(ctx, job.TaskTimeout)
 		defer cancel()
 	}
+	tctx, span := trace.StartSpan(tctx, fmt.Sprintf("task#%d @ %s", task.Ordinal, leaf))
+	defer span.Finish()
 	raw, err := s.Fabric.Call(tctx, s.Name, leaf, transport.Control, taskMsg{Task: task}, 256)
 	if err != nil {
 		st.Err = err.Error()
@@ -129,6 +144,10 @@ func (s *StemServer) runOne(ctx context.Context, job stemJobMsg, task plan.TaskS
 			return nil, st
 		}
 		reply.SimTime += bill.Time()
+		sp := span.Child("spill-fetch")
+		sp.SetSim(bill.Time())
+		sp.Count("bytes", int64(len(data)))
+		sp.Finish()
 	}
 	// The result rides the read flow back up the tree; charge its
 	// transfer into the task's simulated time.
@@ -136,9 +155,17 @@ func (s *StemServer) runOne(ctx context.Context, job stemJobMsg, task plan.TaskS
 	s.Fabric.Bytes[transport.Read].Add(reply.Size)
 	if s.Model != nil {
 		if hops := s.Fabric.Topology().Hops(leaf, s.Name); hops > 0 {
-			reply.SimTime += s.Model.TransferCost(reply.Size, hops)
+			cost := s.Model.TransferCost(reply.Size, hops)
+			reply.SimTime += cost
+			sp := span.Child("reply-transfer")
+			sp.SetSim(cost)
+			sp.Count("bytes", reply.Size)
+			sp.Finish()
 		}
 	}
+	// The task span's sim time is the full task response time: leaf
+	// execution plus spill fetch plus reply transfer.
+	span.SetSim(reply.SimTime)
 	st.OK = true
 	st.SimTime = reply.SimTime
 	st.Size = reply.Size
@@ -153,22 +180,17 @@ func (s *StemServer) HeartbeatOnce(ctx context.Context, master string) error {
 	return err
 }
 
-// Start launches the heartbeat loop. A second Start while running is a
-// no-op.
+// Start launches the heartbeat loop. Both Start and Stop are safe to call
+// concurrently; a second Start while running is a no-op.
 func (s *StemServer) Start(master string, interval time.Duration) {
-	if s.stop != nil {
-		return
-	}
-	s.stop = make(chan struct{})
-	go heartbeatLoop(s.stop, interval, func() {
-		_ = s.HeartbeatOnce(context.Background(), master)
+	s.life.start(func(stop <-chan struct{}) {
+		heartbeatLoop(stop, interval, func() {
+			_ = s.HeartbeatOnce(context.Background(), master)
+		})
 	})
 }
 
-// Stop ends the heartbeat loop.
+// Stop ends the heartbeat loop; extra or concurrent Stops are no-ops.
 func (s *StemServer) Stop() {
-	if s.stop != nil {
-		close(s.stop)
-		s.stop = nil
-	}
+	s.life.halt()
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sqlparser"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/types"
 )
 
@@ -189,6 +190,7 @@ func (s *SmartIndex) Lookup(ctx context.Context, blockID string, a plan.Atom, n 
 			neg := bm.Clone()
 			neg.Not()
 			s.derived.Inc()
+			trace.FromContext(ctx).Count("index.derived", 1)
 			s.chargeLookup(ctx, n)
 			return neg, true
 		}
@@ -214,6 +216,7 @@ func (s *SmartIndex) Lookup(ctx context.Context, blockID string, a plan.Atom, n 
 			neg := bm.Clone()
 			neg.Not()
 			s.derived.Inc()
+			trace.FromContext(ctx).Count("index.derived", 1)
 			s.chargeLookup(ctx, n)
 			return neg, true
 		}
@@ -223,6 +226,7 @@ func (s *SmartIndex) Lookup(ctx context.Context, blockID string, a plan.Atom, n 
 	// without a stored vector.
 	if bm, ok := s.rangeAnswer(blockID, a, n, now); ok {
 		s.derived.Inc()
+		trace.FromContext(ctx).Count("index.derived", 1)
 		s.chargeLookup(ctx, n)
 		return bm, true
 	}
@@ -443,6 +447,17 @@ func (s *SmartIndex) Stats() Stats {
 		Bytes:       s.bytes,
 		Entries:     int64(len(s.entries)),
 	}
+}
+
+// RegisterMetrics publishes the index's counters into a central registry
+// under the given name prefix (e.g. "leaf0.index.").
+func (s *SmartIndex) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.Register(prefix+"hits", &s.hits)
+	reg.Register(prefix+"derived", &s.derived)
+	reg.Register(prefix+"misses", &s.misses)
+	reg.Register(prefix+"stored", &s.stored)
+	reg.Register(prefix+"evicted_lru", &s.evLRU)
+	reg.Register(prefix+"evicted_ttl", &s.evTTL)
 }
 
 // ResetCounters zeroes hit/miss counters (between benchmark phases) while

@@ -8,6 +8,7 @@ import (
 	"repro/internal/colstore"
 	"repro/internal/plan"
 	"repro/internal/sqlparser"
+	"repro/internal/trace"
 	"repro/internal/types"
 )
 
@@ -105,6 +106,12 @@ func estimateRow(vals []types.Value) int64 {
 // or partial aggregates.
 func RunTask(ctx context.Context, task plan.TaskSpec, reader PartitionReader, idx IndexSource) (*TaskResult, error) {
 	p := task.Plan
+	// The scan span collects the per-task breakdown behind EXPLAIN
+	// ANALYZE: index and cache instrumentation downstream counts into it
+	// via the context.
+	ctx, span := trace.StartSpan(ctx, "scan")
+	span.SetAttr("partition", task.Partition.Path)
+	defer span.Finish()
 	meta, err := reader.Meta(ctx, task.Partition.Path)
 	if err != nil {
 		return nil, fmt.Errorf("exec: meta %s: %w", task.Partition.Path, err)
@@ -139,6 +146,15 @@ func RunTask(ctx context.Context, task plan.TaskSpec, reader PartitionReader, id
 			break
 		}
 	}
+	span.Count("blocks.total", res.Stats.BlocksTotal)
+	span.Count("blocks.pruned", res.Stats.BlocksPruned)
+	span.Count("blocks.shortcircuit", res.Stats.ShortCircuits)
+	span.Count("index.hit", res.Stats.IndexHits)
+	span.Count("index.miss", res.Stats.IndexMisses)
+	span.Count("columns.read", res.Stats.ColumnReads)
+	span.Count("rows.scanned", res.Stats.RowsScanned)
+	span.Count("rows.selected", res.Stats.RowsSelected)
+	span.Count("rows.emitted", res.Stats.RowsEmitted)
 	return res, nil
 }
 

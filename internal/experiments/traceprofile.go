@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	feisu "repro"
+	"repro/internal/trace"
+)
+
+// stageAgg accumulates one pipeline stage's spans across a query stream.
+type stageAgg struct {
+	spans  int
+	sim    time.Duration
+	wall   time.Duration
+	counts map[string]int64
+}
+
+// stageOf normalizes span names to pipeline stages so spans from different
+// leaves/stems/tasks aggregate together.
+func stageOf(name string) string {
+	switch {
+	case strings.HasPrefix(name, "stem/"):
+		return "stem"
+	case strings.HasPrefix(name, "leaf/"):
+		return "leaf"
+	case strings.HasPrefix(name, "task#"):
+		return "task"
+	default:
+		return name
+	}
+}
+
+// aggregate folds a span tree into the per-stage map.
+func aggregate(s *trace.Span, agg map[string]*stageAgg) {
+	if s == nil {
+		return
+	}
+	st := stageOf(s.Name())
+	a := agg[st]
+	if a == nil {
+		a = &stageAgg{counts: make(map[string]int64)}
+		agg[st] = a
+	}
+	a.spans++
+	a.sim += s.Sim()
+	a.wall += s.Wall()
+	for k, v := range s.Counts() {
+		a.counts[k] += v
+	}
+	for _, c := range s.Children() {
+		aggregate(c, agg)
+	}
+}
+
+// stageOrder pins the well-known stages to pipeline order in the report.
+var stageOrder = []string{
+	"master/query", "master/load-dims", "master/execute", "master/finalize",
+	"stem", "task", "leaf", "scan",
+	"read:hdd", "read:ssd", "read:mem", "read:cold",
+	"transfer", "spill-fetch", "reply-transfer",
+}
+
+// TraceProfile runs a traced scan stream and aggregates the span trees into
+// a per-stage profile: where simulated time goes (scan vs device reads vs
+// transfers) and how the SmartIndex and SSD cache behaved, per stage. This
+// is the aggregate view of what EXPLAIN ANALYZE shows for one query.
+func TraceProfile(scale Scale) (*Report, error) {
+	n := scale.Queries
+	if n > 200 {
+		n = 200 // traced queries retain their span trees; keep the stream modest
+	}
+	queries := scanQueries(n, 42)
+
+	sys, err := buildSystem(scale, func(c *feisu.Config) {
+		c.CacheBytes = 64 << 20
+		c.CachePrefixes = []string{"/hdfs/"}
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+
+	ctx := context.Background()
+	agg := make(map[string]*stageAgg)
+	var totalSim time.Duration
+	for _, q := range queries {
+		_, stats, err := sys.QueryStats(ctx, q, feisu.WithTrace())
+		if err != nil {
+			return nil, fmt.Errorf("%q: %w", q, err)
+		}
+		totalSim += stats.SimTime
+		aggregate(stats.Trace, agg)
+	}
+
+	rep := &Report{
+		ID:      "trace",
+		Title:   "Per-stage execution profile from query traces",
+		Headers: []string{"Stage", "Spans", "Total sim", "Mean sim/query", "Counters"},
+	}
+	ordered := make([]string, 0, len(agg))
+	seen := make(map[string]bool)
+	for _, st := range stageOrder {
+		if agg[st] != nil {
+			ordered = append(ordered, st)
+			seen[st] = true
+		}
+	}
+	var extra []string
+	for st := range agg {
+		if !seen[st] {
+			extra = append(extra, st)
+		}
+	}
+	sort.Strings(extra)
+	ordered = append(ordered, extra...)
+	for _, st := range ordered {
+		a := agg[st]
+		keys := make([]string, 0, len(a.counts))
+		for k := range a.counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, a.counts[k]))
+		}
+		rep.Rows = append(rep.Rows, []string{
+			st,
+			d(int64(a.spans)),
+			a.sim.Round(time.Microsecond).String(),
+			(a.sim / time.Duration(len(queries))).Round(time.Microsecond).String(),
+			strings.Join(parts, " "),
+		})
+	}
+	// Summarize the deployment registry with per-leaf counters summed.
+	sums := make(map[string]int64)
+	for name, v := range sys.Metrics().Snapshot() {
+		if i := strings.Index(name, "."); i > 0 && strings.HasPrefix(name, "leaf") {
+			name = "leaf.*" + name[i:]
+		}
+		sums[name] += v
+	}
+	names := make([]string, 0, len(sums))
+	for n := range sums {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", n, sums[n]))
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("%d traced queries, %s total simulated time", len(queries), totalSim.Round(time.Microsecond)),
+		"deployment metrics: "+strings.Join(parts, " "),
+	)
+	return rep, nil
+}

@@ -136,6 +136,9 @@ func mean(vals []float64) float64 {
 }
 
 // Registry is a named collection of counters, for exposing server state.
+// It is the central per-deployment metrics surface: the master, leaves,
+// SmartIndex and the SSD cache register their counters into one registry
+// so a single Snapshot shows the whole system's state.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
@@ -154,6 +157,20 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Register adopts an externally owned counter under the given name, so
+// components keep their cheap struct-field counters while still appearing
+// in the registry's snapshot. Re-registering a name replaces the binding.
+// Nil receivers and nil counters are ignored, so components can register
+// unconditionally.
+func (r *Registry) Register(name string, c *Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] = c
+	r.mu.Unlock()
 }
 
 // Snapshot returns a copy of all counter values.

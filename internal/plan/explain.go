@@ -3,6 +3,8 @@ package plan
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/trace"
 )
 
 // Describe renders the physical plan for humans: the tree the master built,
@@ -71,6 +73,18 @@ func (p *PhysicalPlan) Describe() string {
 		fmt.Fprintf(&sb, "order by (at master): %d key(s)\n", len(p.A.OrderBy))
 	}
 	fmt.Fprintf(&sb, "dissection: %d leaf sub-plan(s), one per fact partition\n", len(fact.Meta.Partitions))
+	return sb.String()
+}
+
+// DescribeAnalyze renders the plan followed by the executed query's span
+// tree — the reproduction's EXPLAIN ANALYZE. The trace shows per-stage
+// simulated and wall times plus index-hit/derived/miss and cache
+// hit/miss/bypass counters collected during execution.
+func (p *PhysicalPlan) DescribeAnalyze(root *trace.Span) string {
+	var sb strings.Builder
+	sb.WriteString(p.Describe())
+	sb.WriteString("\nexecution trace:\n")
+	sb.WriteString(root.Render())
 	return sb.String()
 }
 

@@ -124,6 +124,13 @@ type Bill struct {
 	bytes [numDevices]int64
 	ops   [numDevices]int64
 	time  time.Duration
+	// Per-category breakdown of time, feeding the trace spans behind
+	// EXPLAIN ANALYZE: read time per device class, network transfer time,
+	// CPU scan time, and raw charged durations.
+	devTime      [numDevices]time.Duration
+	transferTime time.Duration
+	scanTime     time.Duration
+	otherTime    time.Duration
 }
 
 // NewBill returns an empty bill.
@@ -131,27 +138,33 @@ func NewBill() *Bill { return &Bill{} }
 
 // ChargeRead records a read of n bytes from device d under model m.
 func (b *Bill) ChargeRead(m *CostModel, d DeviceClass, n int64) {
+	cost := m.ReadCost(d, n)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.bytes[d] += n
 	b.ops[d]++
-	b.time += m.ReadCost(d, n)
+	b.time += cost
+	b.devTime[d] += cost
 }
 
 // ChargeScan records CPU predicate evaluation over n bytes.
 func (b *Bill) ChargeScan(m *CostModel, n int64) {
+	cost := m.ScanCost(n)
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.time += m.ScanCost(n)
+	b.time += cost
+	b.scanTime += cost
 }
 
 // ChargeTransfer records a network transfer of n bytes over hops hops.
 func (b *Bill) ChargeTransfer(m *CostModel, n int64, hops int) {
+	cost := m.TransferCost(n, hops)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.bytes[DeviceNetwork] += n
 	b.ops[DeviceNetwork]++
-	b.time += m.TransferCost(n, hops)
+	b.time += cost
+	b.transferTime += cost
 }
 
 // ChargeDuration adds raw simulated time (e.g. queueing delay).
@@ -159,6 +172,7 @@ func (b *Bill) ChargeDuration(d time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.time += d
+	b.otherTime += d
 }
 
 // Add folds another bill's charges into b (serial composition).
@@ -168,14 +182,19 @@ func (b *Bill) Add(other *Bill) {
 	}
 	other.mu.Lock()
 	bytes, ops, t := other.bytes, other.ops, other.time
+	devTime, transfer, scan, raw := other.devTime, other.transferTime, other.scanTime, other.otherTime
 	other.mu.Unlock()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for i := range b.bytes {
 		b.bytes[i] += bytes[i]
 		b.ops[i] += ops[i]
+		b.devTime[i] += devTime[i]
 	}
 	b.time += t
+	b.transferTime += transfer
+	b.scanTime += scan
+	b.otherTime += raw
 }
 
 // Time returns the accumulated simulated time.
@@ -199,6 +218,34 @@ func (b *Bill) Ops(d DeviceClass) int64 {
 	return b.ops[d]
 }
 
+// TimeOf returns the read time charged against device d.
+func (b *Bill) TimeOf(d DeviceClass) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.devTime[d]
+}
+
+// TransferTime returns the accumulated network-transfer time.
+func (b *Bill) TransferTime() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.transferTime
+}
+
+// ScanTime returns the accumulated CPU predicate-evaluation time.
+func (b *Bill) ScanTime() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.scanTime
+}
+
+// OtherTime returns raw durations charged via ChargeDuration.
+func (b *Bill) OtherTime() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.otherTime
+}
+
 // Reset zeroes the bill.
 func (b *Bill) Reset() {
 	b.mu.Lock()
@@ -206,6 +253,10 @@ func (b *Bill) Reset() {
 	b.bytes = [numDevices]int64{}
 	b.ops = [numDevices]int64{}
 	b.time = 0
+	b.devTime = [numDevices]time.Duration{}
+	b.transferTime = 0
+	b.scanTime = 0
+	b.otherTime = 0
 }
 
 // CriticalPath returns the simulated response time of a fan-out stage:

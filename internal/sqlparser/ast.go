@@ -276,6 +276,15 @@ type SelectStmt struct {
 	Having  Expr
 	OrderBy []OrderItem
 	Limit   int64 // -1 when absent
+
+	// Explain marks an EXPLAIN-prefixed statement: plan only, no
+	// execution. Analyze additionally executes the query with the span
+	// tracer on and renders the trace (EXPLAIN ANALYZE). Both are
+	// statement modifiers and do not participate in the canonical String
+	// form, so an analyzed query shares its reuse fingerprint with the
+	// plain query it wraps.
+	Explain bool
+	Analyze bool
 }
 
 // String renders the statement canonically (used in logs and result reuse

@@ -7,17 +7,22 @@ import (
 	"repro/internal/types"
 )
 
-// Parse parses one SELECT statement (optionally ;-terminated).
+// Parse parses one SELECT statement (optionally ;-terminated), with an
+// optional EXPLAIN [ANALYZE] prefix.
 func Parse(input string) (*SelectStmt, error) {
 	toks, err := Lex(input)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
+	explain := p.acceptKw("EXPLAIN")
+	analyze := explain && p.acceptKw("ANALYZE")
 	stmt, err := p.parseSelect()
 	if err != nil {
 		return nil, err
 	}
+	stmt.Explain = explain
+	stmt.Analyze = analyze
 	if p.peek().Kind == TokOp && p.peek().Text == ";" {
 		p.next()
 	}

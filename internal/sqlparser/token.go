@@ -47,6 +47,7 @@ var keywords = map[string]bool{
 	"AND": true, "OR": true, "NOT": true,
 	"WITHIN": true, "CONTAINS": true, "RECORD": true,
 	"TRUE": true, "FALSE": true, "NULL": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 // Error is a parse or lex error with position information.

@@ -1,0 +1,167 @@
+package feisu
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// loadSites registers a small dimension table on the cold archive, so a
+// join against /hdfs/-resident facts crosses two storage systems.
+func loadSites(t *testing.T, sys *System) {
+	t.Helper()
+	schema := MustSchema(
+		Field{Name: "url", Type: String},
+		Field{Name: "kind", Type: String},
+	)
+	ld, err := sys.NewLoader("sites", schema, "/ffs/sites")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		kind := "news"
+		if i%2 == 0 {
+			kind = "video"
+		}
+		if err := ld.Append(Row{Str(fmt.Sprintf("http://u/%d", i)), Str(kind)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ld.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExplainAnalyzeFederated runs EXPLAIN ANALYZE on a two-source query
+// (facts on the simulated HDFS, the dimension on the Fatman cold archive)
+// and checks the rendered span tree breaks leaf time into scan,
+// index-lookup, cache and transfer components.
+func TestExplainAnalyzeFederated(t *testing.T) {
+	sys, err := New(Config{Leaves: 4, CacheBytes: 1 << 20, CachePrefixes: []string{"/hdfs/"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	loadVisits(t, sys, "/hdfs/visits", 400)
+	loadSites(t, sys)
+
+	ctx := context.Background()
+	q := "SELECT kind, COUNT(*) FROM visits JOIN sites ON visits.url = sites.url WHERE clicks > 2 GROUP BY kind"
+
+	// Warm the SmartIndex and SSD cache so the analyzed run shows hits.
+	if _, err := sys.Query(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+
+	res, stats, err := sys.QueryStats(ctx, "EXPLAIN ANALYZE "+q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, row := range res.Rows {
+		sb.WriteString(row[0].S)
+		sb.WriteByte('\n')
+	}
+	text := sb.String()
+
+	for _, want := range []string{
+		"broadcast",         // the plan half: dim shipped to leaves
+		"execution trace:",  // the analyze half
+		"master/load-dims",  // dim materialization from /ffs/
+		"leaf/",             // per-task leaf spans
+		"scan",              // scan stage with row counters
+		"rows.scanned",      // scan counters
+		"index.hit",         // SmartIndex answered the warmed predicate
+		"cache.",            // SSD cache activity (hit or miss)
+		"reply-transfer",    // result transfer back up the tree
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("EXPLAIN ANALYZE output missing %q:\n%s", want, text)
+		}
+	}
+
+	if stats.Trace == nil {
+		t.Fatal("EXPLAIN ANALYZE left QueryStats.Trace nil")
+	}
+	if stats.Trace.Sim() <= 0 {
+		t.Error("root span has zero simulated time")
+	}
+	leaves := stats.Trace.FindAll("leaf/")
+	if len(leaves) == 0 {
+		t.Fatal("no leaf spans in federated trace")
+	}
+	dims := stats.Trace.Find("master/load-dims")
+	if dims == nil || dims.Sim() <= 0 {
+		t.Error("load-dims span missing or free: the /ffs/ dimension read should cost simulated time")
+	}
+}
+
+// TestWithTraceOption: the WithTrace query option records a trace while
+// keeping the query's own result set.
+func TestWithTraceOption(t *testing.T) {
+	sys, err := New(Config{Leaves: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	loadVisits(t, sys, "/hdfs/visits", 100)
+
+	res, stats, err := sys.QueryStats(context.Background(),
+		"SELECT COUNT(*) FROM visits WHERE clicks > 5", WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 40 {
+		t.Errorf("count = %v (trace option must not change results)", res.Rows[0][0])
+	}
+	if stats.Trace == nil || stats.Trace.Find("leaf/") == nil {
+		t.Fatal("WithTrace did not record a span tree")
+	}
+	if stats.Trace.Render() == "" {
+		t.Fatal("trace renders empty")
+	}
+}
+
+// TestMetricsRegistry: the deployment registry exposes master, leaf, index
+// and cache counters under stable names.
+func TestMetricsRegistry(t *testing.T) {
+	sys, err := New(Config{Leaves: 2, CacheBytes: 1 << 20, CachePrefixes: []string{"/hdfs/"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	loadVisits(t, sys, "/hdfs/visits", 100)
+
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := sys.Query(ctx, "SELECT COUNT(*) FROM visits WHERE clicks > 5"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := sys.Metrics().Snapshot()
+	if snap["master.queries"] != 3 {
+		t.Errorf("master.queries = %d, want 3", snap["master.queries"])
+	}
+	if snap["master.query_errors"] != 0 {
+		t.Errorf("master.query_errors = %d", snap["master.query_errors"])
+	}
+	var tasks, idxTouches int64
+	for name, v := range snap {
+		if strings.HasSuffix(name, ".tasks") {
+			tasks += v
+		}
+		if strings.Contains(name, ".index.") {
+			idxTouches += v
+		}
+	}
+	if tasks == 0 {
+		t.Error("no leaf task counters in the registry")
+	}
+	if idxTouches == 0 {
+		t.Error("no SmartIndex counters in the registry")
+	}
+	if _, ok := snap["leaf0.cache.hits"]; !ok {
+		t.Error("cache counters not registered")
+	}
+}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# verify.sh — the repo's pre-merge gate, run locally or from `make verify`.
+#
+# Order matters: the cheap static checks fail fast before the race suite
+# (the slow step; the experiments package re-runs every figure under it).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./...  (tier-1)"
+go test ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
