@@ -34,13 +34,16 @@ var registry = []struct {
 	{"fig12", "scalability with node count", experiments.Fig12},
 	{"ablations", "design-choice ablations (DESIGN.md §5)", experiments.Ablations},
 	{"trace", "per-stage execution profile from query traces", experiments.TraceProfile},
+	{"fleet", "fleet telemetry: latency quantiles while SmartIndex warms", experiments.Fleet},
 }
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all'")
 	scaleName := flag.String("scale", "default", "small | default | big")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/slowlog here during -exp fleet (e.g. 127.0.0.1:9090)")
 	flag.Parse()
+	experiments.TelemetryAddr = *metricsAddr
 
 	if *list {
 		for _, e := range registry {

@@ -9,8 +9,13 @@
 //	feisu -trace -q "..."   # print the query's span tree
 //
 // Interactive mode understands EXPLAIN / EXPLAIN ANALYZE prefixes and the
-// commands `\trace` (toggle span-tree printing), `\stats` (toggle stats)
-// and `\metrics` (dump the deployment metrics registry).
+// commands `\trace` (toggle span-tree printing), `\stats` (toggle stats),
+// `\metrics` (dump the deployment metrics registry), `\top` (live per-leaf
+// cluster health dashboard) and `\slowlog` (the slow-query log).
+//
+// Telemetry: -metrics-addr starts the HTTP exporter (/metrics in
+// Prometheus format, /healthz, /debug/slowlog; add pprof with -pprof), and
+// -slow / -slow-sim set the slow-query-log thresholds.
 package main
 
 import (
@@ -18,11 +23,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	feisu "repro"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -34,13 +42,37 @@ func main() {
 	stats := flag.Bool("stats", false, "print execution statistics")
 	trace := flag.Bool("trace", false, "print each query's span tree")
 	explain := flag.Bool("explain", false, "print the physical plan instead of executing")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/slowlog on this host:port")
+	pprofFlag := flag.Bool("pprof", false, "also mount /debug/pprof on the telemetry server")
+	slowWall := flag.Duration("slow", 0, "record queries with wall time >= this in the slow-query log")
+	slowSim := flag.Duration("slow-sim", 0, "record queries with simulated time >= this in the slow-query log")
+	smoke := flag.Bool("smoke-telemetry", false, "start the exporter on an ephemeral port, scrape it once, and exit (CI smoke test)")
 	flag.Parse()
 
-	sys, err := feisu.New(feisu.Config{Leaves: *leaves})
+	cfg := feisu.Config{
+		Leaves:                 *leaves,
+		SlowQueryWallThreshold: *slowWall,
+		SlowQuerySimThreshold:  *slowSim,
+	}
+	if *smoke {
+		smokeTelemetry(cfg, *rows, *parts)
+		return
+	}
+
+	sys, err := feisu.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	defer sys.Close()
+
+	if *metricsAddr != "" {
+		srv, err := sys.StartTelemetry(*metricsAddr, *pprofFlag)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: %s/metrics\n", srv.URL())
+	}
 
 	ctx := context.Background()
 	fmt.Fprintf(os.Stderr, "loading demo datasets T1, T2, T3 ...\n")
@@ -74,7 +106,7 @@ func main() {
 	}
 
 	fmt.Fprintln(os.Stderr, "feisu> enter queries, blank line to exit")
-	fmt.Fprintln(os.Stderr, "feisu> commands: \\trace \\stats \\metrics \\q; EXPLAIN [ANALYZE] <query>")
+	fmt.Fprintln(os.Stderr, "feisu> commands: \\trace \\stats \\metrics \\top \\slowlog \\q; EXPLAIN [ANALYZE] <query>")
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Fprint(os.Stderr, "feisu> ")
 	withTrace := *trace
@@ -92,6 +124,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "stats output %s\n", onOff(withStats))
 		case line == `\metrics`:
 			fmt.Print(sys.Metrics().String())
+		case line == `\top`:
+			// Refresh heartbeats so the dashboard shows live load, not
+			// the load at the last heartbeat interval.
+			if err := sys.Heartbeat(); err != nil {
+				fmt.Fprintf(os.Stderr, "heartbeat: %v\n", err)
+			}
+			fmt.Print(sys.ClusterHealth().Render())
+		case line == `\slowlog`:
+			if sl := sys.Slowlog(); sl == nil {
+				fmt.Fprintln(os.Stderr, "slowlog disabled; start feisu with -slow or -slow-sim")
+			} else {
+				fmt.Printf("slow queries recorded: %d\n", sl.Total())
+				fmt.Print(telemetry.RenderSlowlog(sl.Entries()))
+			}
 		case line == `\q` || line == `\quit`:
 			return
 		default:
@@ -146,6 +192,70 @@ func printResult(res *feisu.Result) {
 		}
 		fmt.Println(strings.Join(cells, "\t"))
 	}
+}
+
+// smokeTelemetry is the CI smoke test behind -smoke-telemetry: build a
+// tiny system, run one query, start the exporter on an ephemeral port,
+// scrape /metrics and /healthz, and assert both respond with real content.
+func smokeTelemetry(cfg feisu.Config, rows, parts int) {
+	cfg.Leaves = 2
+	if cfg.SlowQueryWallThreshold == 0 && cfg.SlowQuerySimThreshold == 0 {
+		cfg.SlowQuerySimThreshold = time.Nanosecond // populate the slowlog
+	}
+	sys, err := feisu.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer sys.Close()
+
+	ctx := context.Background()
+	spec := workload.T1Spec()
+	spec.Partitions = parts
+	spec.RowsPerPart = rows
+	meta, err := workload.Generate(ctx, sys.Router(), spec)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sys.RegisterTable(ctx, meta); err != nil {
+		fatal(err)
+	}
+	if _, err := sys.Query(ctx, "SELECT COUNT(*) FROM T1 WHERE clicks > 2"); err != nil {
+		fatal(err)
+	}
+
+	srv, err := sys.StartTelemetry("127.0.0.1:0", false)
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			fatal(fmt.Errorf("GET %s: %w", path, err))
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("GET %s: status %d: %s", path, resp.StatusCode, body))
+		}
+		if len(body) == 0 {
+			fatal(fmt.Errorf("GET %s: empty body", path))
+		}
+		return string(body)
+	}
+	metricsBody := get("/metrics")
+	for _, want := range []string{"feisu_queries_total", "feisu_node_up", "feisu_query_wall_seconds_bucket"} {
+		if !strings.Contains(metricsBody, want) {
+			fatal(fmt.Errorf("/metrics missing %q", want))
+		}
+	}
+	get("/healthz")
+	get("/debug/slowlog")
+	fmt.Printf("telemetry smoke OK: scraped %s (%d bytes of metrics)\n", srv.Addr(), len(metricsBody))
 }
 
 func fatal(err error) {

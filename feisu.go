@@ -37,6 +37,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sqlparser"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -153,6 +154,16 @@ type Config struct {
 	// agreement (§V-A) against each simulated storage system: at most this
 	// many Feisu reads in flight per store. 0 means unlimited.
 	StorageMaxConcurrentReads int
+	// SlowQueryWallThreshold records queries whose wall time reaches it in
+	// the slow-query log; <=0 disables the wall criterion.
+	SlowQueryWallThreshold time.Duration
+	// SlowQuerySimThreshold is the simulated-time criterion for the
+	// slow-query log; <=0 disables it. With either threshold set, every
+	// query is traced so slow entries carry a per-stage breakdown (the
+	// trace also becomes visible in QueryStats.Trace).
+	SlowQuerySimThreshold time.Duration
+	// SlowlogCapacity bounds the slow-query ring buffer (default 128).
+	SlowlogCapacity int
 }
 
 // System is an in-process Feisu deployment.
@@ -171,6 +182,11 @@ type System struct {
 	smart   []*core.SmartIndex
 	history *History
 	metrics *metrics.Registry
+	slowlog *telemetry.Slowlog
+	// latWall/latSim are the fleet-level query latency histograms exported
+	// as feisu_query_wall_seconds / feisu_query_sim_seconds.
+	latWall *metrics.Histogram
+	latSim  *metrics.Histogram
 
 	convMu sync.Mutex
 	convs  map[string]*ingest.Converter
@@ -218,6 +234,11 @@ func New(cfg Config) (*System, error) {
 		cfg: cfg, model: model, fabric: fabric, router: router, hdfs: hdfs, ffs: ffs,
 		metrics: metrics.NewRegistry(),
 	}
+	sys.latWall = sys.metrics.HistogramWith("feisu_query_wall_seconds")
+	sys.latSim = sys.metrics.HistogramWith("feisu_query_sim_seconds")
+	if cfg.SlowQueryWallThreshold > 0 || cfg.SlowQuerySimThreshold > 0 {
+		sys.slowlog = telemetry.NewSlowlog(cfg.SlowlogCapacity, cfg.SlowQueryWallThreshold, cfg.SlowQuerySimThreshold)
+	}
 
 	leafName := func(i int) string { return fmt.Sprintf("leaf%d", i) }
 	for i := 0; i < cfg.Leaves; i++ {
@@ -259,9 +280,12 @@ func New(cfg Config) (*System, error) {
 		mcfg.Observer = sys.history
 	}
 	sys.master = cluster.NewMaster(mcfg)
+	sys.metrics.RegisterCounterWith("feisu_queries_total", &sys.master.Queries)
+	sys.metrics.RegisterCounterWith("feisu_query_errors_total", &sys.master.QueryErrs)
 
 	for i := 0; i < cfg.Leaves; i++ {
 		var reader exec.PartitionReader = exec.NewStoreReader(router)
+		leafLabel := metrics.L("leaf", leafName(i))
 		if cfg.CacheBytes > 0 {
 			cr := cache.NewReader(reader, cache.Options{
 				CapacityBytes: cfg.CacheBytes,
@@ -269,12 +293,35 @@ func New(cfg Config) (*System, error) {
 				Model:         model,
 			})
 			cr.RegisterMetrics(sys.metrics, leafName(i)+".cache.")
+			sys.metrics.RegisterCounterWith("feisu_cache_hits_total", &cr.Hits, leafLabel)
+			sys.metrics.RegisterCounterWith("feisu_cache_misses_total", &cr.Misses, leafLabel)
+			sys.metrics.RegisterCounterWith("feisu_cache_evictions_total", &cr.Evictions, leafLabel)
+			sys.metrics.RegisterGaugeFunc("feisu_cache_bytes", func() float64 { return float64(cr.Bytes()) }, leafLabel)
+			sys.metrics.GaugeWith("feisu_cache_capacity_bytes", leafLabel).Set(float64(cfg.CacheBytes))
+			sys.metrics.RegisterGaugeFunc("feisu_cache_hit_ratio", func() float64 {
+				h, m := cr.Hits.Value(), cr.Misses.Value()
+				if h+m == 0 {
+					return 0
+				}
+				return float64(h) / float64(h+m)
+			}, leafLabel)
 			sys.caches = append(sys.caches, cr)
 			reader = cr
 		}
 		idx := sys.newIndex()
 		if si, ok := idx.(*core.SmartIndex); ok {
 			si.RegisterMetrics(sys.metrics, leafName(i)+".index.")
+			sys.metrics.RegisterGaugeFunc("feisu_index_bytes", func() float64 {
+				_, bytes, _ := si.IndexLoad()
+				return float64(bytes)
+			}, leafLabel)
+			sys.metrics.RegisterGaugeFunc("feisu_index_entries", func() float64 {
+				entries, _, _ := si.IndexLoad()
+				return float64(entries)
+			}, leafLabel)
+			if cfg.IndexMemoryBytes > 0 {
+				sys.metrics.GaugeWith("feisu_index_budget_bytes", leafLabel).Set(float64(cfg.IndexMemoryBytes))
+			}
 		}
 		leaf := &cluster.LeafServer{
 			Name:           leafName(i),
@@ -288,6 +335,8 @@ func New(cfg Config) (*System, error) {
 		}
 		leaf.Register()
 		leaf.RegisterMetrics(sys.metrics, leafName(i)+".")
+		sys.metrics.RegisterCounterWith("feisu_leaf_tasks_total", &leaf.Tasks, leafLabel)
+		sys.metrics.RegisterCounterWith("feisu_leaf_spills_total", &leaf.Spills, leafLabel)
 		sys.leaves = append(sys.leaves, leaf)
 	}
 	for i := 0; i < cfg.Stems; i++ {
@@ -428,7 +477,56 @@ func (s *System) QueryStats(ctx context.Context, sql string, opts ...QueryOption
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return s.master.Submit(ctx, sql, o)
+	if s.slowlog.Enabled() {
+		// Trace every query so slow entries carry a per-stage breakdown;
+		// the spans are cheap (in-process pointers, no serialization).
+		o.Trace = true
+	}
+	res, stats, err := s.master.Submit(ctx, sql, o)
+	if stats != nil {
+		s.latWall.Observe(stats.WallTime.Seconds())
+		s.latSim.Observe(stats.SimTime.Seconds())
+		if s.slowlog.Slow(stats.WallTime, stats.SimTime) {
+			s.slowlog.Record(telemetry.SlowQuery{
+				When:        time.Now(),
+				SQL:         sql,
+				Fingerprint: stats.Fingerprint,
+				Wall:        stats.WallTime,
+				Sim:         stats.SimTime,
+				Tasks:       stats.Tasks,
+				Reused:      stats.ReusedTasks,
+				Backups:     stats.BackupTasks,
+				Failed:      stats.TasksFailed,
+				Stages:      telemetry.StagesFromTrace(stats.Trace),
+				Counters:    telemetry.CountersFromTrace(stats.Trace),
+			})
+		}
+	}
+	return res, stats, err
+}
+
+// ClusterHealth returns the master's aggregate fleet view: per-node
+// alive/degraded/dead state with the load gauges carried by heartbeats.
+// Render it with ClusterHealth().Render() (the \top dashboard).
+func (s *System) ClusterHealth() cluster.ClusterHealth {
+	return s.master.Manager.Health()
+}
+
+// Slowlog returns the slow-query ring buffer, or nil when no slow-query
+// threshold is configured.
+func (s *System) Slowlog() *telemetry.Slowlog { return s.slowlog }
+
+// StartTelemetry starts the HTTP exporter on addr (host:port; port 0 picks
+// an ephemeral port — read it back via Server.Addr). It serves /metrics in
+// Prometheus text format, /healthz, /debug/slowlog, and pprof when
+// enablePprof is set. Callers own the returned server and should Close it.
+func (s *System) StartTelemetry(addr string, enablePprof bool) (*telemetry.Server, error) {
+	return telemetry.Start(addr, telemetry.Options{
+		Registry:    s.metrics,
+		Health:      s.master.Manager.Health,
+		Slowlog:     s.slowlog,
+		EnablePprof: enablePprof,
+	})
 }
 
 // IndexStats aggregates SmartIndex counters across leaves (zero stats when

@@ -53,6 +53,8 @@ type Reader struct {
 	// HerdWaits counts reads that joined an in-flight fetch instead of
 	// issuing a duplicate storage read.
 	HerdWaits metrics.Counter
+	// Evictions counts chunks pushed out by LRU capacity pressure.
+	Evictions metrics.Counter
 }
 
 type item struct {
@@ -82,6 +84,7 @@ func (r *Reader) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	reg.Register(prefix+"misses", &r.Misses)
 	reg.Register(prefix+"bypass", &r.Bypass)
 	reg.Register(prefix+"herd_waits", &r.HerdWaits)
+	reg.Register(prefix+"evictions", &r.Evictions)
 }
 
 // Meta delegates to the wrapped reader.
@@ -236,6 +239,7 @@ func (r *Reader) evict(it *item) {
 	r.unlink(it)
 	delete(r.items, it.key)
 	r.bytes -= it.size
+	r.Evictions.Inc()
 }
 
 // Bytes returns resident cached bytes.
@@ -243,6 +247,12 @@ func (r *Reader) Bytes() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.bytes
+}
+
+// CacheLoad reports the cache's heartbeat gauges. It implements
+// cluster.CacheLoadReporter without importing the cluster package.
+func (r *Reader) CacheLoad() (hits, misses, evictions, bytes, capacity int64) {
+	return r.Hits.Value(), r.Misses.Value(), r.Evictions.Value(), r.Bytes(), r.opt.CapacityBytes
 }
 
 // MissRatio returns misses / (hits + misses); 0 with no traffic.

@@ -60,6 +60,9 @@ type QueryOptions struct {
 
 // QueryStats reports how a query executed.
 type QueryStats struct {
+	// Fingerprint identifies the logical query (plan fingerprint); the
+	// slow-query log groups entries by it.
+	Fingerprint string
 	Tasks       int
 	TasksFailed int
 	BackupTasks int

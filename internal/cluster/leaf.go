@@ -175,10 +175,28 @@ func billSpans(span *trace.Span, bill *sim.Bill) {
 	}
 }
 
+// LoadSnapshot assembles the leaf's current load: task pressure plus the
+// index and cache gauges, discovered through the reporter interfaces so the
+// index/cache packages stay ignorant of the cluster layer.
+func (l *LeafServer) LoadSnapshot() LoadSnapshot {
+	s := LoadSnapshot{
+		ActiveTasks: int(l.active.Load()),
+		TasksDone:   l.Tasks.Value(),
+	}
+	if rep, ok := l.Index.(IndexLoadReporter); ok && rep != nil {
+		s.IndexEntries, s.IndexBytes, s.IndexBudget = rep.IndexLoad()
+	}
+	if rep, ok := l.Reader.(CacheLoadReporter); ok && rep != nil {
+		s.CacheHits, s.CacheMisses, s.CacheEvictions, s.CacheBytes, s.CacheCapacity = rep.CacheLoad()
+	}
+	return s
+}
+
 // HeartbeatOnce sends one heartbeat to the master.
 func (l *LeafServer) HeartbeatOnce(ctx context.Context, master string) error {
+	load := l.LoadSnapshot()
 	_, err := l.Fabric.Call(ctx, l.Name, master, transport.Control,
-		heartbeatMsg{Name: l.Name, Kind: KindLeaf, Active: int(l.active.Load())}, 64)
+		heartbeatMsg{Name: l.Name, Kind: KindLeaf, Active: load.ActiveTasks, Load: load}, 64)
 	return err
 }
 
@@ -202,6 +220,8 @@ type heartbeatMsg struct {
 	Name   string
 	Kind   WorkerKind
 	Active int
+	// Load is the worker's full load snapshot (Load.ActiveTasks == Active).
+	Load LoadSnapshot
 }
 
 func heartbeatLoop(stop <-chan struct{}, interval time.Duration, beat func()) {

@@ -25,8 +25,9 @@ type ClusterManager struct {
 type workerState struct {
 	kind     WorkerKind
 	lastBeat time.Time
-	active   int // tasks reported by the last heartbeat
-	inflight int // tasks dispatched by this master and not yet finished
+	active   int          // tasks reported by the last heartbeat
+	inflight int          // tasks dispatched by this master and not yet finished
+	load     LoadSnapshot // full load snapshot from the last heartbeat
 }
 
 // NewClusterManager returns a manager with the given liveness window.
@@ -37,18 +38,10 @@ func NewClusterManager(window time.Duration) *ClusterManager {
 	return &ClusterManager{Now: time.Now, LivenessWindow: window, workers: make(map[string]*workerState)}
 }
 
-// Heartbeat records a beat from a worker.
+// Heartbeat records a beat from a worker that reports only its active task
+// count (no full load snapshot).
 func (m *ClusterManager) Heartbeat(name string, kind WorkerKind, activeTasks int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	w, ok := m.workers[name]
-	if !ok {
-		w = &workerState{}
-		m.workers[name] = w
-	}
-	w.kind = kind
-	w.lastBeat = m.Now()
-	w.active = activeTasks
+	m.HeartbeatLoad(name, kind, LoadSnapshot{ActiveTasks: activeTasks})
 }
 
 // Forget removes a worker (decommission).

@@ -117,7 +117,9 @@ func NewMaster(cfg MasterConfig) *Master {
 func (m *Master) handle(ctx context.Context, from string, payload any) (any, error) {
 	switch msg := payload.(type) {
 	case heartbeatMsg:
-		m.Manager.Heartbeat(msg.Name, msg.Kind, msg.Active)
+		load := msg.Load
+		load.ActiveTasks = msg.Active
+		m.Manager.HeartbeatLoad(msg.Name, msg.Kind, load)
 		return nil, nil
 	case catalogOp:
 		m.Jobs.RegisterTable(msg.Table)
@@ -218,6 +220,7 @@ func (m *Master) submit(ctx context.Context, sql string, opts QueryOptions) (*ex
 	if err != nil {
 		return nil, nil, err
 	}
+	stats.Fingerprint = p.Fingerprint
 
 	// Cross-domain authorization: the job credential must map into every
 	// storage domain the query touches (§V-A).

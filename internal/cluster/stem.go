@@ -29,6 +29,8 @@ type StemServer struct {
 	Parallelism int
 
 	active atomic.Int32
+	queued atomic.Int32 // tasks admitted but waiting for a parallelism slot
+	tasks  atomic.Int64 // lifetime dispatched tasks
 	life   lifecycle
 }
 
@@ -79,7 +81,10 @@ func (s *StemServer) runJob(ctx context.Context, job stemJobMsg) (any, error) {
 	for _, task := range job.Tasks {
 		leaf := job.Assign[task.Ordinal]
 		wg.Add(1)
+		s.queued.Add(1)
 		sem <- struct{}{}
+		s.queued.Add(-1)
+		s.tasks.Add(1)
 		go func(task plan.TaskSpec, leaf string) {
 			defer wg.Done()
 			defer func() { <-sem }()
@@ -173,10 +178,20 @@ func (s *StemServer) runOne(ctx context.Context, job stemJobMsg, task plan.TaskS
 	return res, st
 }
 
+// LoadSnapshot assembles the stem's current load.
+func (s *StemServer) LoadSnapshot() LoadSnapshot {
+	return LoadSnapshot{
+		ActiveTasks: int(s.active.Load()),
+		QueueDepth:  int(s.queued.Load()),
+		TasksDone:   s.tasks.Load(),
+	}
+}
+
 // HeartbeatOnce sends one heartbeat to the master.
 func (s *StemServer) HeartbeatOnce(ctx context.Context, master string) error {
+	load := s.LoadSnapshot()
 	_, err := s.Fabric.Call(ctx, s.Name, master, transport.Control,
-		heartbeatMsg{Name: s.Name, Kind: KindStem, Active: int(s.active.Load())}, 64)
+		heartbeatMsg{Name: s.Name, Kind: KindStem, Active: load.ActiveTasks, Load: load}, 64)
 	return err
 }
 

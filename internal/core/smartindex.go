@@ -449,6 +449,15 @@ func (s *SmartIndex) Stats() Stats {
 	}
 }
 
+// IndexLoad reports the index's heartbeat gauges: cached bitmap count and
+// memory bytes vs. budget. It implements cluster.IndexLoadReporter without
+// importing the cluster package.
+func (s *SmartIndex) IndexLoad() (entries, bytes, budget int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.entries)), s.bytes, s.opt.MemoryBudget
+}
+
 // RegisterMetrics publishes the index's counters into a central registry
 // under the given name prefix (e.g. "leaf0.index.").
 func (s *SmartIndex) RegisterMetrics(reg *metrics.Registry, prefix string) {

@@ -1,0 +1,277 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Histogram bucket geometry. Buckets are log-linear: 8 linear sub-buckets
+// per power of two, covering 2^histMinExp .. 2^histMaxExp. Reporting a
+// bucket's midpoint bounds the relative quantile error by 1/16 ≈ 6.3%.
+// The footprint is fixed at histNumBuckets uint32 slots (~2 KB) regardless
+// of how many values are observed.
+const (
+	// histExactLimit is the raw-retention threshold: histograms with at
+	// most this many observations keep the raw values and report exact
+	// quantiles; past it they fold into the fixed bucket array.
+	histExactLimit = 128
+
+	histSubBuckets = 8
+	histMinExp     = -34 // 2^-34 ≈ 58 ps when values are seconds
+	histMaxExp     = 30  // 2^30 ≈ 34 years when values are seconds
+	histNumBuckets = (histMaxExp - histMinExp) * histSubBuckets
+)
+
+// Histogram records float64 observations and reports count, mean and
+// quantiles. Memory is bounded: up to histExactLimit raw values are kept
+// for exact small-sample quantiles; beyond that, observations live in a
+// fixed array of log-spaced buckets (O(buckets), not O(observations)),
+// and quantiles become approximate within one bucket's width. Mean, Count,
+// Sum, Min and Max stay exact at every size. The zero value is ready to use.
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      float64
+	min, max float64
+	// raw holds the values while count <= histExactLimit; nil afterwards.
+	raw []float64
+	// buckets[i] counts observations in log bucket i; allocated lazily on
+	// the first observation past histExactLimit. under counts observations
+	// <= 0 (or below the smallest bucket), which log buckets cannot hold.
+	buckets []uint32
+	under   int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if h.buckets == nil && h.count <= histExactLimit {
+		h.raw = append(h.raw, v)
+		h.mu.Unlock()
+		return
+	}
+	if h.buckets == nil {
+		// Crossing the threshold: fold the retained raw values into the
+		// fixed bucket array and drop them.
+		h.buckets = make([]uint32, histNumBuckets)
+		for _, rv := range h.raw {
+			h.bucketize(rv)
+		}
+		h.raw = nil
+	}
+	h.bucketize(v)
+	h.mu.Unlock()
+}
+
+// bucketize adds one value to the bucket array. Caller holds h.mu and has
+// ensured h.buckets is allocated.
+func (h *Histogram) bucketize(v float64) {
+	idx, ok := bucketIndex(v)
+	if !ok {
+		h.under++
+		return
+	}
+	h.buckets[idx]++
+}
+
+// bucketIndex maps a value to its log bucket, or ok=false for values the
+// log scale cannot represent (v <= 0 or below the smallest bucket; values
+// above the largest bucket clamp into it).
+func bucketIndex(v float64) (int, bool) {
+	if v <= 0 {
+		return 0, false
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	octave := exp - 1          // floor(log2 v)
+	if octave < histMinExp {
+		return 0, false
+	}
+	if octave >= histMaxExp {
+		return histNumBuckets - 1, true
+	}
+	sub := int((frac - 0.5) * 2 * histSubBuckets)
+	if sub >= histSubBuckets {
+		sub = histSubBuckets - 1
+	}
+	return (octave-histMinExp)*histSubBuckets + sub, true
+}
+
+// bucketUpper returns bucket i's exclusive upper bound. Sub-buckets are
+// linear within an octave (HDR-histogram style, matching bucketIndex):
+// bucket (octave, sub) spans [2^octave·(1+sub/8), 2^octave·(1+(sub+1)/8)).
+func bucketUpper(i int) float64 {
+	octave := i/histSubBuckets + histMinExp
+	sub := i % histSubBuckets
+	return math.Exp2(float64(octave)) * (1 + float64(sub+1)/histSubBuckets)
+}
+
+// bucketMid returns bucket i's midpoint, the representative value reported
+// for quantiles that land inside it (≤ 1/16 ≈ 6.3% relative error).
+func bucketMid(i int) float64 {
+	octave := i/histSubBuckets + histMinExp
+	sub := i % histSubBuckets
+	return math.Exp2(float64(octave)) * (1 + (float64(sub)+0.5)/histSubBuckets)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return int(h.count)
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1), or 0 with no
+// observations. Exact while at most histExactLimit values have been
+// observed; within one log-linear bucket (≤6.3% relative) afterwards. The extremes
+// stay exact at every size: Quantile(0) == Min, Quantile(1) == Max.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank >= h.count {
+		return h.max
+	}
+	if rank == 1 {
+		return h.min
+	}
+	if h.buckets == nil {
+		sorted := append([]float64(nil), h.raw...)
+		sort.Float64s(sorted)
+		return sorted[rank-1]
+	}
+	cum := h.under
+	if cum >= rank {
+		return h.min
+	}
+	for i, n := range h.buckets {
+		cum += int64(n)
+		if cum >= rank {
+			mid := bucketMid(i)
+			// Clamp to the observed range so bucket midpoints never
+			// report values outside [min, max].
+			if mid < h.min {
+				mid = h.min
+			}
+			if mid > h.max {
+				mid = h.max
+			}
+			return mid
+		}
+	}
+	return h.max
+}
+
+// Min returns the smallest observation (0 with none).
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation (0 with none).
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Reset discards all observations and returns to exact (raw) mode.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.count, h.sum, h.min, h.max, h.under = 0, 0, 0, 0, 0
+	h.raw = nil
+	h.buckets = nil
+	h.mu.Unlock()
+}
+
+// Bucket is one cumulative histogram bucket: Count observations were <=
+// UpperBound.
+type Bucket struct {
+	UpperBound float64
+	Count      int64
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram for export.
+// Buckets are cumulative with strictly ascending upper bounds; only bucket
+// boundaries where the count grows are included (the encoder adds the
+// implicit le="+Inf" = Count bucket).
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     float64
+	Min     float64
+	Max     float64
+	Buckets []Bucket
+}
+
+// Snapshot captures the histogram for export. It bucketizes raw-mode
+// values through the same log scale so the exposition shape is identical
+// before and after the exact-retention threshold.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count == 0 {
+		return snap
+	}
+	var counts []uint32
+	under := h.under
+	if h.buckets != nil {
+		counts = h.buckets
+	} else {
+		counts = make([]uint32, histNumBuckets)
+		for _, v := range h.raw {
+			if idx, ok := bucketIndex(v); ok {
+				counts[idx]++
+			} else {
+				under++
+			}
+		}
+	}
+	cum := under
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		cum += int64(n)
+		snap.Buckets = append(snap.Buckets, Bucket{UpperBound: bucketUpper(i), Count: cum})
+	}
+	if under > 0 {
+		// Values <= 0 (or below the scale) appear as a leading bucket at
+		// the smallest representable bound.
+		low := Bucket{UpperBound: bucketUpper(0) / 2, Count: under}
+		snap.Buckets = append([]Bucket{low}, snap.Buckets...)
+	}
+	return snap
+}

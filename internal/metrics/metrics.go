@@ -1,12 +1,16 @@
-// Package metrics provides the lightweight counters, histograms and
-// windowed throughput meters used across Feisu's servers for monitoring and
-// for the benchmark harness' reporting.
+// Package metrics provides the lightweight counters, gauges, histograms
+// and windowed throughput meters used across Feisu's servers for
+// monitoring and for the benchmark harness' reporting. A Registry collects
+// them — flat named counters for quick dumps, plus labeled families
+// (name + key=value labels, e.g. leaf="leaf0") that back the Prometheus
+// exposition of internal/telemetry.
 package metrics
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -24,66 +28,26 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Histogram records observations and reports quantiles. It keeps raw values;
-// Feisu's per-query volumes are small enough that exact quantiles are fine.
-type Histogram struct {
-	mu   sync.Mutex
-	vals []float64
+// Gauge is an atomic float64 gauge: a value that can go up and down (queue
+// depth, resident bytes, hit ratio).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the gauge.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
-	h.mu.Lock()
-	h.vals = append(h.vals, v)
-	h.mu.Unlock()
-}
-
-// Count returns the number of observations.
-func (h *Histogram) Count() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.vals)
-}
-
-// Mean returns the arithmetic mean, or 0 with no observations.
-func (h *Histogram) Mean() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if len(h.vals) == 0 {
-		return 0
-	}
-	sum := 0.0
-	for _, v := range h.vals {
-		sum += v
-	}
-	return sum / float64(len(h.vals))
-}
-
-// Quantile returns the q-quantile (0 <= q <= 1), or 0 with no observations.
-func (h *Histogram) Quantile(q float64) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if len(h.vals) == 0 {
-		return 0
-	}
-	sorted := append([]float64(nil), h.vals...)
-	sort.Float64s(sorted)
-	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
-}
-
-// Reset discards all observations.
-func (h *Histogram) Reset() {
-	h.mu.Lock()
-	h.vals = h.vals[:0]
-	h.mu.Unlock()
-}
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // WindowMeter groups observations into fixed-size windows (e.g. "queries
 // 1-500, 501-1000, ...") and reports the per-window mean — the series shape
@@ -115,16 +79,26 @@ func (m *WindowMeter) Observe(v float64) {
 	}
 }
 
-// Series returns the sealed per-window means, plus the partial window's mean
-// when it has any observations.
+// Series returns the sealed per-window means only. The trailing partial
+// window — whose mean is computed over fewer observations and would skew a
+// warmup series' tail — is reported separately by Partial, so callers can
+// always tell a sealed window from an in-progress one.
 func (m *WindowMeter) Series() []float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := append([]float64(nil), m.means...)
-	if len(m.window) > 0 {
-		out = append(out, mean(m.window))
+	return append([]float64(nil), m.means...)
+}
+
+// Partial returns the in-progress window's mean and how many observations
+// it holds; n is 0 (and the mean meaningless) when the last window sealed
+// exactly.
+func (m *WindowMeter) Partial() (mean_ float64, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.window) == 0 {
+		return 0, 0
 	}
-	return out
+	return mean(m.window), len(m.window)
 }
 
 func mean(vals []float64) float64 {
@@ -135,19 +109,85 @@ func mean(vals []float64) float64 {
 	return sum / float64(len(vals))
 }
 
-// Registry is a named collection of counters, for exposing server state.
-// It is the central per-deployment metrics surface: the master, leaves,
-// SmartIndex and the SSD cache register their counters into one registry
-// so a single Snapshot shows the whole system's state.
+// Label is one key=value pair attached to a labeled metric.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// FamilyType tags a metric family's kind for exposition.
+type FamilyType int
+
+// Family types.
+const (
+	TypeCounter FamilyType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+// String returns the Prometheus TYPE keyword.
+func (t FamilyType) String() string {
+	switch t {
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	default:
+		return "counter"
+	}
+}
+
+// Sample is one labeled instance within a family.
+type Sample struct {
+	Labels []Label // sorted by key
+	Value  float64
+	// Hist is set instead of Value for histogram families.
+	Hist *HistogramSnapshot
+}
+
+// Family is all samples sharing one metric name and type.
+type Family struct {
+	Name    string
+	Type    FamilyType
+	Samples []Sample
+}
+
+// Registry is a named collection of metrics exposing server state. It is
+// the central per-deployment metrics surface: the master, leaves,
+// SmartIndex and the SSD cache register into one registry so a single
+// snapshot shows the whole system's state. It holds two layers:
+//
+//   - flat counters (Counter / Register / Snapshot / String), the quick
+//     "leaf0.index.hits=12" dump surfaced by cmd/feisu's \metrics;
+//   - labeled families (CounterWith / GaugeWith / HistogramWith /
+//     RegisterGaugeFunc ...), e.g. feisu_index_bytes{leaf="leaf0"}, which
+//     back the Prometheus exposition.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	labeled  map[string]*labeledEntry // key: name + canonical label string
+	order    []string                 // insertion order of labeled keys (stable snapshots re-sort by name)
+}
+
+// labeledEntry is one labeled metric binding.
+type labeledEntry struct {
+	name   string
+	labels []Label
+	typ    FamilyType
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64 // gauge callback, evaluated at snapshot time
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{counters: make(map[string]*Counter)} }
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter), labeled: make(map[string]*labeledEntry)}
+}
 
-// Counter returns (creating if needed) the named counter.
+// Counter returns (creating if needed) the named flat counter.
 func (r *Registry) Counter(name string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -173,7 +213,7 @@ func (r *Registry) Register(name string, c *Counter) {
 	r.mu.Unlock()
 }
 
-// Snapshot returns a copy of all counter values.
+// Snapshot returns a copy of all flat counter values.
 func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -184,7 +224,7 @@ func (r *Registry) Snapshot() map[string]int64 {
 	return out
 }
 
-// String renders the snapshot sorted by name.
+// String renders the flat snapshot sorted by name.
 func (r *Registry) String() string {
 	snap := r.Snapshot()
 	names := make([]string, 0, len(snap))
@@ -197,4 +237,157 @@ func (r *Registry) String() string {
 		s += fmt.Sprintf("%s=%d ", n, snap[n])
 	}
 	return s
+}
+
+// canonLabels sorts a copy of the labels by key.
+func canonLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// labeledKey builds the identity of a labeled metric.
+func labeledKey(name string, labels []Label) string {
+	var sb strings.Builder
+	sb.WriteString(name)
+	for _, l := range labels {
+		sb.WriteByte(0)
+		sb.WriteString(l.Key)
+		sb.WriteByte(1)
+		sb.WriteString(l.Value)
+	}
+	return sb.String()
+}
+
+// getOrCreate finds or installs a labeled entry. Caller must not hold r.mu.
+func (r *Registry) getOrCreate(name string, labels []Label, typ FamilyType, build func() *labeledEntry) *labeledEntry {
+	labels = canonLabels(labels)
+	key := labeledKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.labeled[key]; ok {
+		return e
+	}
+	e := build()
+	e.name, e.labels, e.typ = name, labels, typ
+	r.labeled[key] = e
+	r.order = append(r.order, key)
+	return e
+}
+
+// CounterWith returns (creating if needed) the labeled counter.
+func (r *Registry) CounterWith(name string, labels ...Label) *Counter {
+	e := r.getOrCreate(name, labels, TypeCounter, func() *labeledEntry { return &labeledEntry{c: &Counter{}} })
+	return e.c
+}
+
+// GaugeWith returns (creating if needed) the labeled gauge.
+func (r *Registry) GaugeWith(name string, labels ...Label) *Gauge {
+	e := r.getOrCreate(name, labels, TypeGauge, func() *labeledEntry { return &labeledEntry{g: &Gauge{}} })
+	return e.g
+}
+
+// HistogramWith returns (creating if needed) the labeled histogram.
+func (r *Registry) HistogramWith(name string, labels ...Label) *Histogram {
+	e := r.getOrCreate(name, labels, TypeHistogram, func() *labeledEntry { return &labeledEntry{h: &Histogram{}} })
+	return e.h
+}
+
+// RegisterCounterWith adopts an externally owned counter as a labeled
+// metric (same sharing rationale as Register). Nil-safe.
+func (r *Registry) RegisterCounterWith(name string, c *Counter, labels ...Label) {
+	if r == nil || c == nil {
+		return
+	}
+	r.getOrCreate(name, labels, TypeCounter, func() *labeledEntry { return &labeledEntry{c: c} })
+}
+
+// RegisterGaugeFunc installs a gauge whose value is computed by fn at
+// snapshot time — the natural shape for values derived from component
+// state (SmartIndex resident bytes, cache hit ratio) without a write on
+// the hot path. fn runs outside the registry lock and must be safe to call
+// from any goroutine. Nil-safe.
+func (r *Registry) RegisterGaugeFunc(name string, fn func() float64, labels ...Label) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.getOrCreate(name, labels, TypeGauge, func() *labeledEntry { return &labeledEntry{fn: fn} })
+}
+
+// sanitizeName maps an arbitrary metric name onto the Prometheus
+// identifier alphabet [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			if i == 0 && r >= '0' && r <= '9' {
+				sb.WriteByte('_')
+			}
+			sb.WriteByte('_')
+			continue
+		}
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}
+
+// Families snapshots every metric — labeled families plus the flat
+// counters (exported under their sanitized names with no labels) — sorted
+// by family name, with samples sorted by label string. Gauge callbacks are
+// evaluated outside the registry lock, so a slow callback cannot block
+// registrations on the query hot path.
+func (r *Registry) Families() []Family {
+	r.mu.Lock()
+	entries := make([]*labeledEntry, 0, len(r.order))
+	for _, key := range r.order {
+		entries = append(entries, r.labeled[key])
+	}
+	flat := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		flat[name] = c
+	}
+	r.mu.Unlock()
+
+	byName := make(map[string]*Family)
+	var names []string
+	add := func(name string, typ FamilyType, s Sample) {
+		f, ok := byName[name]
+		if !ok {
+			f = &Family{Name: name, Type: typ}
+			byName[name] = f
+			names = append(names, name)
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	for _, e := range entries {
+		name := sanitizeName(e.name)
+		switch {
+		case e.c != nil:
+			add(name, TypeCounter, Sample{Labels: e.labels, Value: float64(e.c.Value())})
+		case e.g != nil:
+			add(name, TypeGauge, Sample{Labels: e.labels, Value: e.g.Value()})
+		case e.fn != nil:
+			add(name, TypeGauge, Sample{Labels: e.labels, Value: e.fn()})
+		case e.h != nil:
+			snap := e.h.Snapshot()
+			add(name, TypeHistogram, Sample{Labels: e.labels, Hist: &snap})
+		}
+	}
+	for name, c := range flat {
+		add(sanitizeName(name), TypeCounter, Sample{Value: float64(c.Value())})
+	}
+
+	out := make([]Family, 0, len(byName))
+	for _, name := range names {
+		f := byName[name]
+		sort.Slice(f.Samples, func(i, j int) bool {
+			return labeledKey("", f.Samples[i].Labels) < labeledKey("", f.Samples[j].Labels)
+		})
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }

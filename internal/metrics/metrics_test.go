@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -33,6 +34,41 @@ func TestCounterConcurrent(t *testing.T) {
 	}
 }
 
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Errorf("zero gauge = %v", g.Value())
+	}
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Errorf("Value = %v", g.Value())
+	}
+	g.Add(-1.5)
+	if g.Value() != 2 {
+		t.Errorf("after Add = %v", g.Value())
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 8000 {
+		t.Errorf("Value = %v, want 8000", g.Value())
+	}
+}
+
+// TestHistogram pins the exact small-sample behaviour: below the raw
+// retention threshold, quantiles are exact.
 func TestHistogram(t *testing.T) {
 	var h Histogram
 	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Count() != 0 {
@@ -65,22 +101,164 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestHistogramBoundedMemory is the leak fix's contract: memory is
+// O(buckets), not O(observations) — after a million observations, no raw
+// values are retained and the bucket array has its fixed size.
+func TestHistogramBoundedMemory(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1_000_000; i++ {
+		h.Observe(float64(i%10_000) + 0.5)
+	}
+	if h.raw != nil {
+		t.Fatalf("raw values retained past the threshold: %d", len(h.raw))
+	}
+	if len(h.buckets) != histNumBuckets {
+		t.Fatalf("bucket array = %d slots, want fixed %d", len(h.buckets), histNumBuckets)
+	}
+	if h.Count() != 1_000_000 {
+		t.Errorf("Count = %d", h.Count())
+	}
+}
+
+// TestHistogramQuantileAccuracy: bucketed quantiles stay within one
+// log-linear bucket (midpoint error ≤ 1/16 ≈ 6.3%) of the exact value,
+// and the extremes stay exact.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	n := 100_000
+	for i := 1; i <= n; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("p0 = %v, want exact min 1", got)
+	}
+	if got := h.Quantile(1); got != float64(n) {
+		t.Errorf("p100 = %v, want exact max %d", got, n)
+	}
+	if got, want := h.Mean(), float64(n+1)/2; math.Abs(got-want) > 1e-6*want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	maxRel := 1.0/16 + 1e-9
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99, 0.999} {
+		exact := math.Ceil(q * float64(n))
+		got := h.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > maxRel {
+			t.Errorf("p%v = %v, exact %v, rel err %.3f > %.3f", q*100, got, exact, rel, maxRel)
+		}
+	}
+}
+
+// TestHistogramNonPositive: zeros and negatives cannot live on a log
+// scale; they must still be counted and surface through min/quantile(0).
+func TestHistogramNonPositive(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 200; i++ {
+		h.Observe(0)
+		h.Observe(-2.5)
+		h.Observe(1.0)
+	}
+	if h.Count() != 600 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Min() != -2.5 {
+		t.Errorf("Min = %v", h.Min())
+	}
+	if got := h.Quantile(0.1); got != -2.5 {
+		t.Errorf("p10 = %v, want min (non-positive region)", got)
+	}
+	if got := h.Quantile(1); got != 1 {
+		t.Errorf("p100 = %v", got)
+	}
+}
+
+// TestHistogramSnapshot: cumulative buckets ascend and end at Count, in
+// both raw and bucketed mode.
+func TestHistogramSnapshot(t *testing.T) {
+	for _, n := range []int{50, 50_000} { // below and above the threshold
+		var h Histogram
+		for i := 1; i <= n; i++ {
+			h.Observe(float64(i))
+		}
+		snap := h.Snapshot()
+		if snap.Count != int64(n) {
+			t.Fatalf("n=%d: Count = %d", n, snap.Count)
+		}
+		if len(snap.Buckets) == 0 {
+			t.Fatalf("n=%d: no buckets", n)
+		}
+		prevBound := math.Inf(-1)
+		prevCount := int64(0)
+		for _, b := range snap.Buckets {
+			if b.UpperBound <= prevBound {
+				t.Fatalf("n=%d: bucket bounds not ascending: %v then %v", n, prevBound, b.UpperBound)
+			}
+			if b.Count < prevCount {
+				t.Fatalf("n=%d: cumulative counts decreased: %d then %d", n, prevCount, b.Count)
+			}
+			prevBound, prevCount = b.UpperBound, b.Count
+		}
+		if prevCount != int64(n) {
+			t.Fatalf("n=%d: last cumulative count = %d, want %d", n, prevCount, n)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(float64(i*1000 + j + 1))
+				if j%100 == 0 {
+					_ = h.Quantile(0.5)
+					_ = h.Snapshot()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("Count = %d", h.Count())
+	}
+}
+
+// TestWindowMeter: Series holds sealed windows only; the trailing partial
+// window is reported separately so callers can tell them apart.
 func TestWindowMeter(t *testing.T) {
 	m := NewWindowMeter(3)
 	for _, v := range []float64{1, 2, 3, 10, 20, 30, 100} {
 		m.Observe(v)
 	}
 	s := m.Series()
-	if len(s) != 3 || s[0] != 2 || s[1] != 20 || s[2] != 100 {
-		t.Errorf("Series = %v", s)
+	if len(s) != 2 || s[0] != 2 || s[1] != 20 {
+		t.Errorf("Series = %v, want sealed windows only [2 20]", s)
+	}
+	pm, pn := m.Partial()
+	if pn != 1 || pm != 100 {
+		t.Errorf("Partial = (%v, %d), want (100, 1)", pm, pn)
+	}
+	// Sealing the partial window moves it into Series.
+	m.Observe(200)
+	m.Observe(300)
+	if s := m.Series(); len(s) != 3 || s[2] != 200 {
+		t.Errorf("Series after seal = %v", s)
+	}
+	if _, pn := m.Partial(); pn != 0 {
+		t.Errorf("Partial after exact seal reports n=%d, want 0", pn)
 	}
 }
 
 func TestWindowMeterDefaultSize(t *testing.T) {
 	m := NewWindowMeter(0)
 	m.Observe(5)
-	if s := m.Series(); len(s) != 1 || s[0] != 5 {
-		t.Errorf("Series = %v", s)
+	if s := m.Series(); len(s) != 0 {
+		t.Errorf("Series = %v, want empty (window not sealed)", s)
+	}
+	if pm, pn := m.Partial(); pn != 1 || pm != 5 {
+		t.Errorf("Partial = (%v, %d)", pm, pn)
 	}
 }
 
@@ -100,4 +278,61 @@ func TestRegistry(t *testing.T) {
 	if strings.Index(s, "a=") > strings.Index(s, "b=") {
 		t.Error("String should sort names")
 	}
+}
+
+// TestRegistryLabeled: identical name+labels return the same metric;
+// different labels are distinct samples of one family.
+func TestRegistryLabeled(t *testing.T) {
+	r := NewRegistry()
+	c0 := r.CounterWith("feisu_tasks_total", L("leaf", "leaf0"))
+	c1 := r.CounterWith("feisu_tasks_total", L("leaf", "leaf1"))
+	if c0 == c1 {
+		t.Fatal("different labels must yield different counters")
+	}
+	if again := r.CounterWith("feisu_tasks_total", L("leaf", "leaf0")); again != c0 {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	c0.Add(2)
+	c1.Add(5)
+	r.GaugeWith("feisu_bytes", L("leaf", "leaf0")).Set(42)
+	r.RegisterGaugeFunc("feisu_ratio", func() float64 { return 0.25 })
+	r.HistogramWith("feisu_lat_seconds").Observe(0.5)
+
+	fams := r.Families()
+	byName := make(map[string]Family)
+	for i, f := range fams {
+		byName[f.Name] = f
+		if i > 0 && fams[i-1].Name >= f.Name {
+			t.Errorf("families not sorted: %q before %q", fams[i-1].Name, f.Name)
+		}
+	}
+	tasks, ok := byName["feisu_tasks_total"]
+	if !ok || len(tasks.Samples) != 2 {
+		t.Fatalf("feisu_tasks_total family = %+v", tasks)
+	}
+	if tasks.Samples[0].Labels[0].Value != "leaf0" || tasks.Samples[0].Value != 2 {
+		t.Errorf("sample ordering/value wrong: %+v", tasks.Samples)
+	}
+	if g := byName["feisu_ratio"]; g.Type != TypeGauge || g.Samples[0].Value != 0.25 {
+		t.Errorf("gauge func family = %+v", g)
+	}
+	if h := byName["feisu_lat_seconds"]; h.Type != TypeHistogram || h.Samples[0].Hist.Count != 1 {
+		t.Errorf("histogram family = %+v", h)
+	}
+}
+
+// TestRegistryFamiliesIncludeFlat: legacy dotted counters surface in
+// Families under sanitized names.
+func TestRegistryFamiliesIncludeFlat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("leaf0.index.hits").Add(7)
+	for _, f := range r.Families() {
+		if f.Name == "leaf0_index_hits" {
+			if f.Samples[0].Value != 7 {
+				t.Errorf("value = %v", f.Samples[0].Value)
+			}
+			return
+		}
+	}
+	t.Fatal("flat counter missing from Families")
 }

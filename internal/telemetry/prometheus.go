@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// WriteText renders metric families in the Prometheus text exposition
+// format (version 0.0.4): a `# TYPE` header per family, one sample line
+// per label set, and histograms expanded into cumulative `_bucket{le=...}`
+// series plus `_sum` and `_count`. Families are assumed pre-sorted by name
+// (metrics.Registry.Families guarantees it), which keeps scrapes diffable.
+func WriteText(w io.Writer, fams []metrics.Family) error {
+	var sb strings.Builder
+	for _, f := range fams {
+		sb.WriteString("# TYPE ")
+		sb.WriteString(f.Name)
+		sb.WriteByte(' ')
+		sb.WriteString(f.Type.String())
+		sb.WriteByte('\n')
+		for _, s := range f.Samples {
+			if f.Type == metrics.TypeHistogram && s.Hist != nil {
+				writeHistogram(&sb, f.Name, s)
+				continue
+			}
+			writeSample(&sb, f.Name, s.Labels, "", "", s.Value)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// writeHistogram expands one histogram sample into its bucket/sum/count
+// series. Bucket counts are cumulative; the mandatory le="+Inf" bucket
+// equals the total count.
+func writeHistogram(sb *strings.Builder, name string, s metrics.Sample) {
+	h := s.Hist
+	for _, b := range h.Buckets {
+		writeSample(sb, name+"_bucket", s.Labels, "le", formatValue(b.UpperBound), float64(b.Count))
+	}
+	writeSample(sb, name+"_bucket", s.Labels, "le", "+Inf", float64(h.Count))
+	writeSample(sb, name+"_sum", s.Labels, "", "", h.Sum)
+	writeSample(sb, name+"_count", s.Labels, "", "", float64(h.Count))
+}
+
+// writeSample emits one exposition line. extraKey/extraVal append a
+// synthetic label (the histogram `le` bound) after the sample's own labels.
+func writeSample(sb *strings.Builder, name string, labels []metrics.Label, extraKey, extraVal string, v float64) {
+	sb.WriteString(name)
+	if len(labels) > 0 || extraKey != "" {
+		sb.WriteByte('{')
+		first := true
+		for _, l := range labels {
+			if !first {
+				sb.WriteByte(',')
+			}
+			first = false
+			sb.WriteString(l.Key)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(l.Value))
+			sb.WriteByte('"')
+		}
+		if extraKey != "" {
+			if !first {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(extraKey)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(extraVal))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(v))
+	sb.WriteByte('\n')
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// formatValue renders a float the way Prometheus expects: shortest exact
+// decimal, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,185 @@
+// Package telemetry is Feisu's fleet-observability surface: an optional
+// net/http exporter serving Prometheus-format metrics (/metrics), a
+// cluster health probe (/healthz), the slow-query log (/debug/slowlog)
+// and, behind a flag, pprof. It complements the per-query trace spans of
+// package trace: spans answer "where did this query go", telemetry answers
+// "how is the fleet doing" without attaching a tracer to each request.
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+)
+
+// Options configure the exporter.
+type Options struct {
+	// Registry supplies the metric families for /metrics.
+	Registry *metrics.Registry
+	// Health, when set, supplies the fleet view: /healthz and the
+	// feisu_node_* series on /metrics.
+	Health func() cluster.ClusterHealth
+	// Slowlog, when set, backs /debug/slowlog.
+	Slowlog *Slowlog
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+// Server is a running exporter.
+type Server struct {
+	opt Options
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (host:port; port 0 picks an ephemeral port) and
+// serves the telemetry endpoints until Close.
+func Start(addr string, opt Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{opt: opt, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
+	if opt.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with an ephemeral port).
+func (s *Server) Addr() string {
+	return s.ln.Addr().String()
+}
+
+// URL returns the exporter's base URL.
+func (s *Server) URL() string {
+	return "http://" + s.Addr()
+}
+
+// Close stops the exporter.
+func (s *Server) Close() error {
+	return s.srv.Close()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	fams := s.opt.Registry.Families()
+	if s.opt.Health != nil {
+		fams = mergeFamilies(fams, healthFamilies(s.opt.Health()))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WriteText(w, fams)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.opt.Health == nil {
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	h := s.opt.Health()
+	if h.Healthy() {
+		fmt.Fprintf(w, "ok: %d nodes alive\n", h.Alive)
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintf(w, "unhealthy: %d alive, %d degraded, %d dead\n", h.Alive, h.Degraded, h.Dead)
+	for _, n := range h.Nodes {
+		if n.State != cluster.StateAlive {
+			fmt.Fprintf(w, "  %s (%s): %s, last heartbeat %s ago\n", n.Name, n.Kind, n.State, n.Age.Round(time.Millisecond))
+		}
+	}
+}
+
+func (s *Server) handleSlowlog(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.opt.Slowlog == nil {
+		fmt.Fprintln(w, "slowlog is not enabled")
+		return
+	}
+	fmt.Fprintf(w, "slow queries recorded: %d (showing most recent %d)\n\n",
+		s.opt.Slowlog.Total(), len(s.opt.Slowlog.Entries()))
+	fmt.Fprint(w, RenderSlowlog(s.opt.Slowlog.Entries()))
+}
+
+// healthFamilies converts a ClusterHealth view into gauge families. Load
+// gauges are emitted only for non-stale nodes — a dead leaf's series
+// disappears from the scrape rather than freezing at its last value —
+// while feisu_node_up and feisu_node_stale always report every known node.
+func healthFamilies(h cluster.ClusterHealth) []metrics.Family {
+	mk := func(name string) metrics.Family {
+		return metrics.Family{Name: name, Type: metrics.TypeGauge}
+	}
+	up := mk("feisu_node_up")
+	stale := mk("feisu_node_stale")
+	active := mk("feisu_node_active_tasks")
+	queue := mk("feisu_node_queue_depth")
+	done := mk("feisu_node_tasks_done")
+	idxBytes := mk("feisu_node_index_bytes")
+	idxEntries := mk("feisu_node_index_entries")
+	idxBudget := mk("feisu_node_index_budget_bytes")
+	cacheRatio := mk("feisu_node_cache_hit_ratio")
+	cacheEvict := mk("feisu_node_cache_evictions")
+	cacheBytes := mk("feisu_node_cache_bytes")
+
+	for _, n := range h.Nodes {
+		labels := []metrics.Label{metrics.L("kind", n.Kind.String()), metrics.L("node", n.Name)}
+		add := func(f *metrics.Family, v float64) {
+			f.Samples = append(f.Samples, metrics.Sample{Labels: labels, Value: v})
+		}
+		add(&up, boolGauge(n.State != cluster.StateDead))
+		add(&stale, boolGauge(n.Stale))
+		if n.Stale {
+			continue
+		}
+		add(&active, float64(n.Load.ActiveTasks))
+		add(&queue, float64(n.Load.QueueDepth))
+		add(&done, float64(n.Load.TasksDone))
+		add(&idxBytes, float64(n.Load.IndexBytes))
+		add(&idxEntries, float64(n.Load.IndexEntries))
+		if n.Load.IndexBudget > 0 {
+			add(&idxBudget, float64(n.Load.IndexBudget))
+		}
+		if n.Load.CacheHits+n.Load.CacheMisses > 0 {
+			add(&cacheRatio, n.Load.CacheHitRatio())
+		}
+		add(&cacheEvict, float64(n.Load.CacheEvictions))
+		add(&cacheBytes, float64(n.Load.CacheBytes))
+	}
+	var out []metrics.Family
+	for _, f := range []metrics.Family{up, stale, active, queue, done, idxBytes, idxEntries, idxBudget, cacheRatio, cacheEvict, cacheBytes} {
+		if len(f.Samples) > 0 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// mergeFamilies combines two family sets back into one name-sorted list.
+func mergeFamilies(a, b []metrics.Family) []metrics.Family {
+	out := append(append([]metrics.Family(nil), a...), b...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

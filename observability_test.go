@@ -66,15 +66,15 @@ func TestExplainAnalyzeFederated(t *testing.T) {
 	text := sb.String()
 
 	for _, want := range []string{
-		"broadcast",         // the plan half: dim shipped to leaves
-		"execution trace:",  // the analyze half
-		"master/load-dims",  // dim materialization from /ffs/
-		"leaf/",             // per-task leaf spans
-		"scan",              // scan stage with row counters
-		"rows.scanned",      // scan counters
-		"index.hit",         // SmartIndex answered the warmed predicate
-		"cache.",            // SSD cache activity (hit or miss)
-		"reply-transfer",    // result transfer back up the tree
+		"broadcast",        // the plan half: dim shipped to leaves
+		"execution trace:", // the analyze half
+		"master/load-dims", // dim materialization from /ffs/
+		"leaf/",            // per-task leaf spans
+		"scan",             // scan stage with row counters
+		"rows.scanned",     // scan counters
+		"index.hit",        // SmartIndex answered the warmed predicate
+		"cache.",           // SSD cache activity (hit or miss)
+		"reply-transfer",   // result transfer back up the tree
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("EXPLAIN ANALYZE output missing %q:\n%s", want, text)

@@ -6,6 +6,14 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -17,5 +25,8 @@ go test ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== telemetry smoke (exporter on an ephemeral port)"
+go run ./cmd/feisu -smoke-telemetry -rows 256 -parts 2
 
 echo "verify: OK"
