@@ -35,6 +35,7 @@ var registry = []struct {
 	{"ablations", "design-choice ablations (DESIGN.md §5)", experiments.Ablations},
 	{"trace", "per-stage execution profile from query traces", experiments.TraceProfile},
 	{"fleet", "fleet telemetry: latency quantiles while SmartIndex warms", experiments.Fleet},
+	{"chaos", "correctness under seeded fault injection (retries/hedges/partials)", experiments.Chaos},
 }
 
 func main() {
@@ -42,8 +43,12 @@ func main() {
 	scaleName := flag.String("scale", "default", "small | default | big")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/slowlog here during -exp fleet (e.g. 127.0.0.1:9090)")
+	seed := flag.Int64("seed", 1, "chaos fault-schedule seed for -exp chaos (same seed = same schedule)")
+	short := flag.Bool("short", false, "trim -exp chaos to a smoke-sized query stream")
 	flag.Parse()
 	experiments.TelemetryAddr = *metricsAddr
+	experiments.ChaosSeed = *seed
+	experiments.ChaosShort = *short
 
 	if *list {
 		for _, e := range registry {

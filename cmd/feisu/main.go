@@ -30,6 +30,7 @@ import (
 	"time"
 
 	feisu "repro"
+	"repro/internal/chaos"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -47,12 +48,21 @@ func main() {
 	slowWall := flag.Duration("slow", 0, "record queries with wall time >= this in the slow-query log")
 	slowSim := flag.Duration("slow-sim", 0, "record queries with simulated time >= this in the slow-query log")
 	smoke := flag.Bool("smoke-telemetry", false, "start the exporter on an ephemeral port, scrape it once, and exit (CI smoke test)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "enable the deterministic fault-injection plane with this seed (0 = off); same seed = same failure schedule")
 	flag.Parse()
 
 	cfg := feisu.Config{
 		Leaves:                 *leaves,
 		SlowQueryWallThreshold: *slowWall,
 		SlowQuerySimThreshold:  *slowSim,
+	}
+	if *chaosSeed != 0 {
+		cfg.Chaos = chaos.Default(*chaosSeed)
+		// Background ticking: kills/stragglers/partitions arrive on a wall
+		// clock while the session runs.
+		cfg.Chaos.Lifecycle.TickInterval = 500 * time.Millisecond
+		cfg.TaskTimeout = 250 * time.Millisecond
+		fmt.Fprintf(os.Stderr, "chaos: fault injection enabled, seed %d\n", *chaosSeed)
 	}
 	if *smoke {
 		smokeTelemetry(cfg, *rows, *parts)

@@ -4,10 +4,13 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/exec"
 	"repro/internal/plan"
 	"repro/internal/sqlparser"
@@ -132,6 +135,161 @@ func generateEquivalenceQueries(n int, seed int64) []string {
 		}
 	}
 	return out
+}
+
+// chaosStream runs the fixed query stream twice (warmup pass, then a
+// recorded pass) on a fresh system and returns the recorded pass's rendered
+// rows and per-query SmartIndex hit counts, plus the plane's fired-fault
+// schedule. mut customizes the Config (nil chaos = the fault-free baseline).
+func chaosStream(t *testing.T, queries []string, mut func(*Config)) (rows []string, hits []int64, events []chaos.Event) {
+	t.Helper()
+	cfg := Config{Leaves: 4, HeartbeatInterval: -1}
+	if mut != nil {
+		mut(&cfg)
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ctx := context.Background()
+	spec := workload.T1Spec()
+	spec.Partitions = 4
+	spec.RowsPerPart = 256
+	meta, err := workload.Generate(ctx, sys.Router(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterTable(ctx, meta); err != nil {
+		t.Fatal(err)
+	}
+
+	rows = make([]string, len(queries))
+	hits = make([]int64, len(queries))
+	for pass := 0; pass < 2; pass++ {
+		for i, q := range queries {
+			sys.ChaosTick()
+			res, stats, err := sys.QueryStats(ctx, q)
+			if err != nil {
+				seed := int64(0)
+				if cfg.Chaos != nil {
+					seed = cfg.Chaos.Seed
+				}
+				t.Fatalf("query %q (pass %d, chaos seed %d): %v", q, pass, seed, err)
+			}
+			if pass == 1 {
+				rows[i] = renderRows(res)
+				hits[i] = stats.Scan.IndexHits
+			}
+		}
+	}
+	if p := sys.Chaos(); p != nil {
+		events = p.Events()
+	}
+	return rows, hits, events
+}
+
+// lifecycleEvents filters a schedule down to the controller's kill/restart/
+// straggle/partition decisions, which depend only on the seed and the tick
+// count — the replay-stable core of a system-level run.
+func lifecycleEvents(events []chaos.Event) []chaos.Event {
+	var out []chaos.Event
+	for _, e := range events {
+		if e.Site == "lifecycle" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestEquivalenceUnderChaos is the correctness-under-failure invariant: a
+// fixed workload run under seeded fault injection returns exactly the rows
+// of the fault-free run. Delay-only chaos (no retries fire) must also
+// preserve SmartIndex hit counts after warmup; full chaos — leaf kills,
+// message drops, read errors, corrupting reads — must still produce
+// identical rows, because every failed task is retried to completion.
+func TestEquivalenceUnderChaos(t *testing.T) {
+	queries := generateEquivalenceQueries(20, 777)
+
+	// Hedging duplicates work nondeterministically (it is keyed off
+	// wall-clock EWMAs), so the strict index-count comparison disables it
+	// on both sides.
+	baseRows, baseHits, _ := chaosStream(t, queries, func(c *Config) {
+		c.HedgeDelay = -1
+	})
+	warm := int64(0)
+	for _, h := range baseHits {
+		warm += h
+	}
+	if warm == 0 {
+		t.Fatal("baseline recorded no SmartIndex hits after warmup; the strict comparison is vacuous")
+	}
+
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			// Phase 1 — delay-only chaos: messages and reads are slowed but
+			// never lost, so execution is identical modulo time. Rows and
+			// per-query index hits must match the baseline exactly.
+			rows, hits, _ := chaosStream(t, queries, func(c *Config) {
+				c.HedgeDelay = -1
+				c.Chaos = &chaos.Config{
+					Seed: seed,
+					Transport: chaos.TransportChaos{
+						Delay:    0.3,
+						MaxDelay: 500 * time.Microsecond,
+					},
+					Storage: chaos.StorageChaos{
+						SlowRead:      0.2,
+						SlowReadDelay: 200 * time.Microsecond,
+					},
+				}
+			})
+			for i := range queries {
+				if rows[i] != baseRows[i] {
+					t.Fatalf("delay-only chaos diverged on %q:\nchaos: %s\nclean: %s", queries[i], rows[i], baseRows[i])
+				}
+				if hits[i] != baseHits[i] {
+					t.Fatalf("delay-only chaos changed index hits on %q: %d vs %d", queries[i], hits[i], baseHits[i])
+				}
+			}
+
+			// Phase 2 — full chaos: kills, drops, duplicates, read errors
+			// and corrupting reads (caught by block checksums). Retries and
+			// hedges may reorder and re-execute work, so index counts are
+			// off the table, but the rows must still be byte-identical.
+			fullChaos := func(c *Config) {
+				c.Chaos = chaos.Default(seed)
+				c.Chaos.Lifecycle.TickInterval = 0 // ChaosTick per query
+				// Pairwise partitions can outlive a query's retry budget
+				// (they heal on a later tick); they get their own coverage
+				// in the soak test, where partial results are acceptable.
+				c.Chaos.Lifecycle.Partition = 0
+				c.TaskTimeout = 250 * time.Millisecond
+			}
+			rows, _, events := chaosStream(t, queries, fullChaos)
+			for i := range queries {
+				if rows[i] != baseRows[i] {
+					t.Fatalf("full chaos (seed %d) diverged on %q:\nchaos: %s\nclean: %s", seed, queries[i], rows[i], baseRows[i])
+				}
+			}
+			if len(events) == 0 {
+				t.Fatal("full chaos fired no faults; the equivalence run proved nothing")
+			}
+
+			// Replay: a second system on the same seed must reproduce the
+			// identical lifecycle schedule (kills, restarts, straggles),
+			// tick for tick.
+			_, _, replay := chaosStream(t, queries, fullChaos)
+			want, got := lifecycleEvents(events), lifecycleEvents(replay)
+			if len(want) == 0 {
+				t.Fatal("no lifecycle events fired; raise the kill rate so replay is exercised")
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("same seed %d replayed a different lifecycle schedule:\nfirst:  %v\nsecond: %v", seed, want, got)
+			}
+		})
+	}
 }
 
 func TestGeneratedQueriesCanonicalFixedPoint(t *testing.T) {

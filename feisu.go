@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/auth"
 	"repro/internal/cache"
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -164,6 +165,19 @@ type Config struct {
 	SlowQuerySimThreshold time.Duration
 	// SlowlogCapacity bounds the slow-query ring buffer (default 128).
 	SlowlogCapacity int
+	// Chaos enables the deterministic fault-injection plane (internal/chaos)
+	// over the deployment's transport, stores and leaf lifecycle. nil runs
+	// fault-free. With Chaos.Lifecycle.TickInterval > 0 the controller ticks
+	// in the background; otherwise drive it via ChaosTick.
+	Chaos *chaos.Config
+	// RetryBackoff is the base of the exponential backoff between backup
+	// task attempts; 0 defaults to 1ms when chaos is enabled (immediate
+	// retries otherwise).
+	RetryBackoff time.Duration
+	// HedgeDelay is how long a stem waits on a straggler-flagged leaf
+	// before firing a speculative duplicate task; 0 uses the master's
+	// default, negative disables hedging.
+	HedgeDelay time.Duration
 }
 
 // System is an in-process Feisu deployment.
@@ -187,6 +201,12 @@ type System struct {
 	// as feisu_query_wall_seconds / feisu_query_sim_seconds.
 	latWall *metrics.Histogram
 	latSim  *metrics.Histogram
+
+	chaosPlane *chaos.Plane
+	chaosCtl   *chaos.Controller
+	// beatInterval is the background heartbeat cadence (0 when heartbeats
+	// are manual); chaos restarts use it to resume a revived leaf's loop.
+	beatInterval time.Duration
 
 	convMu sync.Mutex
 	convs  map[string]*ingest.Converter
@@ -216,18 +236,34 @@ func New(cfg Config) (*System, error) {
 	topo := transport.NewTopology()
 	fabric := transport.NewFabric(topo, transport.Options{Model: model})
 
+	var plane *chaos.Plane
+	if cfg.Chaos != nil {
+		plane = chaos.New(*cfg.Chaos)
+		if cfg.RetryBackoff == 0 {
+			cfg.RetryBackoff = time.Millisecond
+		}
+	}
+	// wrapStore threads every store through the chaos plane so injected
+	// read faults hit all tiers (local FS, HDFS, Fatman) uniformly.
+	wrapStore := func(s storage.Store) storage.Store {
+		if plane == nil {
+			return s
+		}
+		return plane.WrapStore(s)
+	}
+
 	hdfs := storage.NewHDFS("hdfs", model)
 	ffs := storage.NewFatman("ffs", model)
-	router := storage.NewRouter(storage.NewMemFS("", model))
+	router := storage.NewRouter(wrapStore(storage.NewMemFS("", model)))
 	if cfg.StorageMaxConcurrentReads > 0 {
 		// The paper's resource agreement: Feisu must not over-schedule
 		// reads against a business-critical storage system.
 		agreement := storage.Agreement{MaxConcurrentReads: cfg.StorageMaxConcurrentReads}
-		router.Register(storage.NewThrottled(hdfs, agreement))
-		router.Register(storage.NewThrottled(ffs, agreement))
+		router.Register(wrapStore(storage.NewThrottled(hdfs, agreement)))
+		router.Register(wrapStore(storage.NewThrottled(ffs, agreement)))
 	} else {
-		router.Register(hdfs)
-		router.Register(ffs)
+		router.Register(wrapStore(hdfs))
+		router.Register(wrapStore(ffs))
 	}
 
 	sys := &System{
@@ -266,6 +302,8 @@ func New(cfg Config) (*System, error) {
 		Quotas:             quotas,
 		MaxQueryBytes:      1 << 20,
 		DefaultTaskTimeout: cfg.TaskTimeout,
+		RetryBackoff:       cfg.RetryBackoff,
+		HedgeDelay:         cfg.HedgeDelay,
 		LivenessWindow:     time.Minute,
 		LocalityOff:        cfg.LocalityOff,
 		Metrics:            sys.metrics,
@@ -282,6 +320,10 @@ func New(cfg Config) (*System, error) {
 	sys.master = cluster.NewMaster(mcfg)
 	sys.metrics.RegisterCounterWith("feisu_queries_total", &sys.master.Queries)
 	sys.metrics.RegisterCounterWith("feisu_query_errors_total", &sys.master.QueryErrs)
+	sys.metrics.RegisterCounterWith("feisu_task_retries_total", &sys.master.Retries)
+	sys.metrics.RegisterCounterWith("feisu_hedges_fired_total", &sys.master.HedgesFired)
+	sys.metrics.RegisterCounterWith("feisu_hedges_won_total", &sys.master.HedgesWon)
+	sys.metrics.RegisterCounterWith("feisu_partial_results_total", &sys.master.Partials)
 
 	for i := 0; i < cfg.Leaves; i++ {
 		var reader exec.PartitionReader = exec.NewStoreReader(router)
@@ -362,8 +404,51 @@ func New(cfg Config) (*System, error) {
 		}
 		sys.StartHeartbeats(interval)
 	}
+	if plane != nil {
+		// Arm the interceptor only after boot: the initial heartbeat round
+		// that registers every worker must not itself be dropped, or the
+		// deployment would start with phantom-dead leaves.
+		fabric.SetInterceptor(plane)
+		sys.chaosPlane = plane
+		plane.RegisterMetrics(sys.metrics)
+		targets := make([]chaos.Target, len(sys.leaves))
+		for i, l := range sys.leaves {
+			targets[i] = &leafTarget{sys: sys, leaf: l}
+		}
+		peers := []string{"master"}
+		for _, st := range sys.stems {
+			peers = append(peers, st.Name)
+		}
+		sys.chaosCtl = plane.NewController(targets, peers)
+		sys.chaosCtl.Start() // no-op unless Lifecycle.TickInterval > 0
+	}
 	return sys, nil
 }
+
+// leafTarget adapts a leaf server to the chaos controller: a kill takes the
+// node off the fabric and halts its heartbeats, a restart re-registers it
+// and announces liveness immediately.
+type leafTarget struct {
+	sys  *System
+	leaf *cluster.LeafServer
+}
+
+func (t *leafTarget) ID() string { return t.leaf.Name }
+
+func (t *leafTarget) Kill() {
+	t.sys.fabric.SetDown(t.leaf.Name, true)
+	t.leaf.Stop()
+}
+
+func (t *leafTarget) Restart() {
+	t.sys.fabric.SetDown(t.leaf.Name, false)
+	_ = t.leaf.HeartbeatOnce(context.Background(), "master")
+	if t.sys.beatInterval > 0 {
+		t.leaf.Start("master", t.sys.beatInterval)
+	}
+}
+
+func (t *leafTarget) SetStall(d time.Duration) { t.leaf.SetStall(d) }
 
 // newIndex builds one leaf's index per the config.
 func (s *System) newIndex() exec.IndexSource {
@@ -405,6 +490,7 @@ func (s *System) Heartbeat() error {
 // StartHeartbeats runs periodic heartbeats until Close, and sweeps expired
 // SmartIndex entries on the same cadence (the TTL retirement of §IV-C2).
 func (s *System) StartHeartbeats(interval time.Duration) {
+	s.beatInterval = interval
 	for _, l := range s.leaves {
 		l.Start("master", interval)
 	}
@@ -432,6 +518,9 @@ func (s *System) StartHeartbeats(interval time.Duration) {
 
 // Close stops background loops.
 func (s *System) Close() {
+	if s.chaosCtl != nil {
+		s.chaosCtl.Stop() // heals active faults so shutdown sees every node
+	}
 	for _, l := range s.leaves {
 		l.Stop()
 	}
@@ -515,6 +604,22 @@ func (s *System) ClusterHealth() cluster.ClusterHealth {
 // Slowlog returns the slow-query ring buffer, or nil when no slow-query
 // threshold is configured.
 func (s *System) Slowlog() *telemetry.Slowlog { return s.slowlog }
+
+// Chaos returns the fault-injection plane, or nil when Config.Chaos was not
+// set. Use it to read the fired-fault schedule (Events) and counters.
+func (s *System) Chaos() *chaos.Plane { return s.chaosPlane }
+
+// ChaosController returns the lifecycle chaos controller, or nil without
+// chaos. Deterministic tests drive it via ChaosTick instead.
+func (s *System) ChaosController() *chaos.Controller { return s.chaosCtl }
+
+// ChaosTick advances lifecycle chaos one deterministic step (kill/restart/
+// straggle/partition decisions). No-op without chaos.
+func (s *System) ChaosTick() {
+	if s.chaosCtl != nil {
+		s.chaosCtl.Tick()
+	}
+}
 
 // StartTelemetry starts the HTTP exporter on addr (host:port; port 0 picks
 // an ephemeral port — read it back via Server.Addr). It serves /metrics in
@@ -602,6 +707,21 @@ func WithoutResultReuse() QueryOption {
 // "EXPLAIN ANALYZE", but the result set stays the query's own rows.
 func WithTrace() QueryOption {
 	return func(o *cluster.QueryOptions) { o.Trace = true }
+}
+
+// WithPartialResults degrades instead of failing: tasks that exhaust their
+// retries are dropped from the result, reported per leaf in
+// QueryStats.TaskErrors, and Result.ProcessedRatio reflects the loss. At
+// least one task must still succeed.
+func WithPartialResults() QueryOption {
+	return func(o *cluster.QueryOptions) { o.PartialResults = true }
+}
+
+// WithHedging overrides the hedge delay for this query: a speculative
+// duplicate of any task placed on a straggler-flagged leaf fires after d,
+// first result wins. Negative d disables hedging for the query.
+func WithHedging(d time.Duration) QueryOption {
+	return func(o *cluster.QueryOptions) { o.HedgeDelay = d }
 }
 
 // Explain plans the query without executing it and returns a human-readable

@@ -1,0 +1,276 @@
+package chaos
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Target is a cluster node the Controller can degrade. feisu.System adapts
+// each leaf server (fabric down-flag + server stop/restart + stall knob)
+// into this interface.
+type Target interface {
+	// ID names the target (its fabric node name).
+	ID() string
+	// Kill crashes the target: unreachable on the fabric, server halted.
+	Kill()
+	// Restart revives a killed target and re-announces it (heartbeat).
+	Restart()
+	// SetStall adds a per-task pause (0 clears it) — a straggler knob.
+	SetStall(d time.Duration)
+}
+
+// Controller drives lifecycle chaos over a set of targets on a
+// deterministic tick schedule. Each Tick draws kill/straggle/partition
+// decisions from the plane's "lifecycle" stream; because ticks are
+// totally ordered (callers tick from one goroutine, or the built-in
+// ticker does), the schedule is a pure function of seed and tick count.
+type Controller struct {
+	p       *Plane
+	cfg     LifecycleChaos
+	targets []Target
+	peers   []string // partition counterparties: master and stems
+
+	mu         sync.Mutex
+	tick       int
+	down       map[string]int // target ID -> ticks until restart
+	straggling map[string]int // target ID -> ticks until stall clears
+	parts      map[[2]string]int
+	stop       chan struct{}
+	done       chan struct{}
+}
+
+// NewController builds a controller over targets; peers are the node names
+// partitions may cut targets off from (typically the master and stems).
+func (p *Plane) NewController(targets []Target, peers []string) *Controller {
+	cfg := p.cfg.Lifecycle
+	if cfg.DownTicks <= 0 {
+		cfg.DownTicks = 2
+	}
+	if cfg.MaxDown <= 0 {
+		cfg.MaxDown = 1
+	}
+	if cfg.StraggleTicks <= 0 {
+		cfg.StraggleTicks = 2
+	}
+	if cfg.PartitionTicks <= 0 {
+		cfg.PartitionTicks = 1
+	}
+	return &Controller{
+		p:          p,
+		cfg:        cfg,
+		targets:    targets,
+		peers:      peers,
+		down:       make(map[string]int),
+		straggling: make(map[string]int),
+		parts:      make(map[[2]string]int),
+	}
+}
+
+// Tick advances the chaos clock one step: expired faults heal, then new
+// kill/straggle/partition decisions are drawn. Safe for concurrent use,
+// but determinism requires totally ordered ticks.
+func (c *Controller) Tick() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick++
+	c.expireLocked()
+	if !c.cfg.Enabled() || len(c.targets) == 0 {
+		return
+	}
+	c.maybeKillLocked()
+	c.maybeStraggleLocked()
+	c.maybePartitionLocked()
+}
+
+// Ticks reports how many ticks have elapsed.
+func (c *Controller) Ticks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tick
+}
+
+// expireLocked heals faults whose duration has elapsed.
+func (c *Controller) expireLocked() {
+	for id, left := range c.down {
+		if left--; left > 0 {
+			c.down[id] = left
+			continue
+		}
+		delete(c.down, id)
+		if t := c.target(id); t != nil {
+			t.Restart()
+			c.p.Restarts.Inc()
+			c.p.note("lifecycle", "restart", id)
+		}
+	}
+	for id, left := range c.straggling {
+		if left--; left > 0 {
+			c.straggling[id] = left
+			continue
+		}
+		delete(c.straggling, id)
+		if t := c.target(id); t != nil {
+			t.SetStall(0)
+		}
+	}
+	for pair, left := range c.parts {
+		if left--; left > 0 {
+			c.parts[pair] = left
+			continue
+		}
+		delete(c.parts, pair)
+		c.p.Heal(pair[0], pair[1])
+		c.p.note("lifecycle", "heal", pair[0]+"|"+pair[1])
+	}
+}
+
+func (c *Controller) target(id string) Target {
+	for _, t := range c.targets {
+		if t.ID() == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// aliveLocked returns targets currently up, in stable (slice) order.
+func (c *Controller) aliveLocked() []Target {
+	out := make([]Target, 0, len(c.targets))
+	for _, t := range c.targets {
+		if _, dead := c.down[t.ID()]; !dead {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (c *Controller) maybeKillLocked() {
+	if !c.p.decide("lifecycle", c.cfg.Kill, "kill?", "") {
+		return
+	}
+	alive := c.aliveLocked()
+	// Never kill the last alive target, and respect the concurrency cap.
+	if len(alive) <= 1 || len(c.down) >= c.cfg.MaxDown {
+		return
+	}
+	victim := alive[c.p.intn("lifecycle", len(alive))]
+	victim.Kill()
+	c.down[victim.ID()] = c.cfg.DownTicks
+	c.p.Kills.Inc()
+	c.p.note("lifecycle", "kill", victim.ID())
+}
+
+func (c *Controller) maybeStraggleLocked() {
+	if c.cfg.StraggleDelay <= 0 || !c.p.decide("lifecycle", c.cfg.Straggle, "straggle?", "") {
+		return
+	}
+	alive := c.aliveLocked()
+	if len(alive) == 0 {
+		return
+	}
+	t := alive[c.p.intn("lifecycle", len(alive))]
+	if _, already := c.straggling[t.ID()]; already {
+		c.straggling[t.ID()] = c.cfg.StraggleTicks // extend
+		return
+	}
+	t.SetStall(c.cfg.StraggleDelay)
+	c.straggling[t.ID()] = c.cfg.StraggleTicks
+	c.p.Straggles.Inc()
+	c.p.note("lifecycle", "straggle", t.ID())
+}
+
+func (c *Controller) maybePartitionLocked() {
+	if len(c.peers) == 0 || !c.p.decide("lifecycle", c.cfg.Partition, "partition?", "") {
+		return
+	}
+	alive := c.aliveLocked()
+	if len(alive) == 0 {
+		return
+	}
+	t := alive[c.p.intn("lifecycle", len(alive))]
+	peer := c.peers[c.p.intn("lifecycle", len(c.peers))]
+	pair := pairKey(t.ID(), peer)
+	if _, already := c.parts[pair]; already {
+		c.parts[pair] = c.cfg.PartitionTicks
+		return
+	}
+	c.p.Partition(t.ID(), peer)
+	c.parts[pair] = c.cfg.PartitionTicks
+	c.p.note("lifecycle", "partition", pair[0]+"|"+pair[1])
+}
+
+// Heal restores every active fault: down targets restart, stalls clear,
+// partitions lift. The tick counter keeps its value.
+func (c *Controller) Heal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]string, 0, len(c.down))
+	for id := range c.down {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		delete(c.down, id)
+		if t := c.target(id); t != nil {
+			t.Restart()
+			c.p.Restarts.Inc()
+			c.p.note("lifecycle", "restart", id)
+		}
+	}
+	for id := range c.straggling {
+		delete(c.straggling, id)
+		if t := c.target(id); t != nil {
+			t.SetStall(0)
+		}
+	}
+	for pair := range c.parts {
+		delete(c.parts, pair)
+		c.p.Heal(pair[0], pair[1])
+	}
+}
+
+// Start launches the background ticker when TickInterval is positive; with
+// a zero interval it is a no-op (callers tick manually). Stop is required
+// after a successful Start.
+func (c *Controller) Start() {
+	if c.cfg.TickInterval <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.stop != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	stop, done := c.stop, c.done
+	c.mu.Unlock()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(c.cfg.TickInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				c.Tick()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the background ticker (if running) and heals all faults so
+// shutdown finds every node reachable.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	stop, done := c.stop, c.done
+	c.stop, c.done = nil, nil
+	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	c.Heal()
+}

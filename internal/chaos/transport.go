@@ -1,0 +1,45 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/transport"
+)
+
+// ErrPartitioned is returned for calls blocked by an active pairwise
+// partition.
+var ErrPartitioned = errors.New("chaos: network partition")
+
+// Intercept implements transport.Interceptor: one decision stream per
+// directed link keeps schedules independent across links.
+func (p *Plane) Intercept(ctx context.Context, from, to string, class transport.Class, size int64) transport.Fault {
+	if p.Partitioned(from, to) {
+		p.Partitions.Inc()
+		return transport.Fault{Drop: true, Err: ErrPartitioned}
+	}
+	t := p.cfg.Transport
+	if !t.Enabled() {
+		return transport.Fault{}
+	}
+	site := "transport/" + from + "->" + to
+	link := from + "->" + to
+	drop := t.Drop
+	if class == transport.Control {
+		drop += t.DropControl
+	}
+	if p.decide(site+"/drop", drop, "drop", link) {
+		p.Drops.Inc()
+		return transport.Fault{Drop: true}
+	}
+	var f transport.Fault
+	if t.MaxDelay > 0 && p.decide(site+"/delay", t.Delay, "delay", link) {
+		p.Delays.Inc()
+		f.Delay = p.duration(site+"/delay", t.MaxDelay)
+	}
+	if p.decide(site+"/dup", t.Duplicate, "dup", link) {
+		p.Dups.Inc()
+		f.Duplicate = true
+	}
+	return f
+}

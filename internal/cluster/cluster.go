@@ -56,6 +56,24 @@ type QueryOptions struct {
 	// scan with index/cache counters) into QueryStats.Trace. EXPLAIN
 	// ANALYZE forces it on.
 	Trace bool
+	// PartialResults degrades instead of failing: tasks that exhaust their
+	// retries are dropped from the result and reported per-leaf in
+	// QueryStats.TaskErrors. At least one task must succeed.
+	PartialResults bool
+	// HedgeDelay launches a speculative duplicate of a task placed on a
+	// straggler-flagged leaf after this pause, first result wins; 0 uses
+	// the cluster default, negative disables hedging for the query.
+	HedgeDelay time.Duration
+}
+
+// TaskError reports one task dropped from a partial result.
+type TaskError struct {
+	// Ordinal is the task's position in the physical plan.
+	Ordinal int
+	// Leaf is the last leaf the task failed on.
+	Leaf string
+	// Err is the final error message.
+	Err string
 }
 
 // QueryStats reports how a query executed.
@@ -67,7 +85,15 @@ type QueryStats struct {
 	TasksFailed int
 	BackupTasks int
 	ReusedTasks int
-	Scan        exec.ScanStats
+	// HedgedTasks counts speculative duplicates launched against
+	// straggler-flagged leaves; HedgesWon counts those that beat the
+	// primary attempt.
+	HedgedTasks int
+	HedgesWon   int
+	// TaskErrors lists tasks dropped from a partial result (only populated
+	// under QueryOptions.PartialResults).
+	TaskErrors []TaskError
+	Scan       exec.ScanStats
 	// SimTime is the cost-model response time: the critical path through
 	// leaves and stems plus result transfers (DESIGN.md §2).
 	SimTime time.Duration
@@ -140,6 +166,13 @@ type stemJobMsg struct {
 	// merged partial, so the master's identical-task futures hold exact
 	// payloads (result sharing, §III-C).
 	PerTask bool
+	// Backup maps task ordinals to a second leaf for hedged execution:
+	// the stem launches a speculative duplicate there after HedgeDelay
+	// unless the primary has already answered (first result wins).
+	Backup map[int]string
+	// HedgeDelay is how long the stem waits on the primary before firing
+	// the backup; required when Backup is non-empty.
+	HedgeDelay time.Duration
 }
 
 // taskStatus reports one task's outcome inside a stem reply.
@@ -150,6 +183,17 @@ type taskStatus struct {
 	SimTime  time.Duration
 	Size     int64
 	DevBytes map[string]int64
+	// Wall is the stem-observed wall time of the winning attempt, the
+	// input to the master's straggler EWMA.
+	Wall time.Duration
+	// Hedged marks a task that fired its backup; HedgeWon marks the backup
+	// as the winning attempt.
+	Hedged   bool
+	HedgeWon bool
+	// Unreachable marks a failure caused by the leaf being unknown/down on
+	// the fabric — the master turns this into an immediate suspicion
+	// instead of waiting out the liveness window.
+	Unreachable bool
 }
 
 // stemReply is a stem's answer: merged bottom-up, or per task when the

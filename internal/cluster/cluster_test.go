@@ -249,7 +249,7 @@ func TestLeafFailureBackupTasks(t *testing.T) {
 
 func TestStragglerTimeoutBackup(t *testing.T) {
 	tc := newTestCluster(t, 2, 0, 2, nil)
-	tc.leaves[0].Delay = 300 * time.Millisecond // straggler
+	tc.leaves[0].SetStall(300 * time.Millisecond) // straggler
 	res, stats := tc.query("SELECT COUNT(*) FROM logs", QueryOptions{TaskTimeout: 50 * time.Millisecond})
 	if res.Rows[0][0].I != 200 {
 		t.Errorf("count = %v", res.Rows[0][0])
@@ -263,8 +263,8 @@ func TestPartialResultUnderTimeLimit(t *testing.T) {
 	tc := newTestCluster(t, 2, 0, 4, nil)
 	// Both leaves are slow; per-task timeout + retries exhaust, but the
 	// ratio option accepts whatever completed.
-	tc.leaves[0].Delay = 250 * time.Millisecond
-	tc.leaves[1].Delay = 250 * time.Millisecond
+	tc.leaves[0].SetStall(250 * time.Millisecond)
+	tc.leaves[1].SetStall(250 * time.Millisecond)
 	res, stats, err := tc.master.Submit(context.Background(), "SELECT COUNT(*) FROM logs",
 		QueryOptions{TimeLimit: 600 * time.Millisecond, MinProcessedRatio: 0.25})
 	if err != nil {
@@ -283,7 +283,7 @@ func TestPartialResultUnderTimeLimit(t *testing.T) {
 
 func TestDeadlineWithoutRatioFails(t *testing.T) {
 	tc := newTestCluster(t, 1, 0, 2, nil)
-	tc.leaves[0].Delay = 300 * time.Millisecond
+	tc.leaves[0].SetStall(300 * time.Millisecond)
 	_, _, err := tc.master.Submit(context.Background(), "SELECT COUNT(*) FROM logs",
 		QueryOptions{TimeLimit: 60 * time.Millisecond})
 	if err == nil {
@@ -302,8 +302,8 @@ func TestNoLeavesError(t *testing.T) {
 func TestResultReuseAcrossConcurrentQueries(t *testing.T) {
 	tc := newTestCluster(t, 2, 1, 2, nil)
 	// Slow leaves widen the overlap window.
-	tc.leaves[0].Delay = 40 * time.Millisecond
-	tc.leaves[1].Delay = 40 * time.Millisecond
+	tc.leaves[0].SetStall(40 * time.Millisecond)
+	tc.leaves[1].SetStall(40 * time.Millisecond)
 	const q = "SELECT COUNT(*) FROM logs WHERE v = 7"
 	var wg sync.WaitGroup
 	counts := make([]int64, 4)
@@ -690,7 +690,7 @@ func TestJobManagerHelpers(t *testing.T) {
 
 func TestSubmitContextCancellation(t *testing.T) {
 	tc := newTestCluster(t, 1, 0, 2, nil)
-	tc.leaves[0].Delay = 200 * time.Millisecond
+	tc.leaves[0].SetStall(200 * time.Millisecond)
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		time.Sleep(20 * time.Millisecond)

@@ -121,6 +121,7 @@ func (m *ClusterManager) HeartbeatLoad(name string, kind WorkerKind, load LoadSn
 	w.lastBeat = m.Now()
 	w.active = load.ActiveTasks
 	w.load = load
+	w.suspect = false // a beat proves the worker reachable again
 }
 
 // Health returns the aggregate fleet view at the current time.
@@ -133,7 +134,7 @@ func (m *ClusterManager) Health() ClusterHealth {
 		age := now.Sub(w.lastBeat)
 		state := StateAlive
 		switch {
-		case age > m.LivenessWindow:
+		case w.suspect || age > m.LivenessWindow:
 			state = StateDead
 		case age > m.LivenessWindow/2:
 			state = StateDegraded

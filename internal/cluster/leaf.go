@@ -34,9 +34,10 @@ type LeafServer struct {
 	SpillThreshold int64
 	// SpillPrefix is where spilled results go (e.g. "/hdfs/feisu-tmp").
 	SpillPrefix string
-	// Delay injects a fixed pause per task (straggler fault injection).
-	Delay time.Duration
 
+	// stall is a per-task pause in nanoseconds (straggler fault injection),
+	// atomic because the chaos controller flips it while tasks run.
+	stall    atomic.Int64
 	active   atomic.Int32
 	spillSeq atomic.Int64
 	life     lifecycle
@@ -59,6 +60,17 @@ func (l *LeafServer) Register() {
 	l.Fabric.Register(l.Name, l.handle)
 }
 
+// SetStall sets the per-task pause (0 clears it) — the straggler knob the
+// chaos controller drives concurrently with task execution.
+func (l *LeafServer) SetStall(d time.Duration) {
+	l.stall.Store(int64(d))
+}
+
+// Stall returns the current per-task pause.
+func (l *LeafServer) Stall() time.Duration {
+	return time.Duration(l.stall.Load())
+}
+
 // handle dispatches incoming messages.
 func (l *LeafServer) handle(ctx context.Context, from string, payload any) (any, error) {
 	switch msg := payload.(type) {
@@ -79,9 +91,9 @@ func (l *LeafServer) runTask(ctx context.Context, msg taskMsg) (any, error) {
 	ctx, span := trace.StartSpan(ctx, "leaf/"+l.Name)
 	defer span.Finish()
 	span.SetAttr("partition", msg.Task.Partition.Path)
-	if l.Delay > 0 {
+	if d := l.Stall(); d > 0 {
 		select {
-		case <-time.After(l.Delay):
+		case <-time.After(d):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}

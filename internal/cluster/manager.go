@@ -28,7 +28,18 @@ type workerState struct {
 	active   int          // tasks reported by the last heartbeat
 	inflight int          // tasks dispatched by this master and not yet finished
 	load     LoadSnapshot // full load snapshot from the last heartbeat
+	// suspect marks a worker an unreachable dispatch flagged before its
+	// heartbeat lapses; cleared by the next heartbeat.
+	suspect bool
+	// taskEWMA smooths the worker's observed task wall times (nanoseconds)
+	// for straggler detection; 0 until the first report.
+	taskEWMA float64
 }
+
+// taskEWMAAlpha is the smoothing factor for per-worker task wall times:
+// recent tasks dominate, so a leaf that turns slow is flagged within a few
+// tasks and recovers as quickly once its times normalize.
+const taskEWMAAlpha = 0.3
 
 // NewClusterManager returns a manager with the given liveness window.
 func NewClusterManager(window time.Duration) *ClusterManager {
@@ -51,23 +62,96 @@ func (m *ClusterManager) Forget(name string) {
 	m.mu.Unlock()
 }
 
-// Alive reports whether a worker's heartbeat is fresh.
+// Alive reports whether a worker's heartbeat is fresh and it is not a
+// suspect.
 func (m *ClusterManager) Alive(name string) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	w, ok := m.workers[name]
-	return ok && m.Now().Sub(w.lastBeat) <= m.LivenessWindow
+	return ok && !w.suspect && m.Now().Sub(w.lastBeat) <= m.LivenessWindow
 }
 
-// AliveWorkers returns the fresh workers of a kind, sorted by name.
+// AliveWorkers returns the fresh, non-suspect workers of a kind, sorted by
+// name.
 func (m *ClusterManager) AliveWorkers(kind WorkerKind) []string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	now := m.Now()
 	var out []string
 	for name, w := range m.workers {
-		if w.kind == kind && now.Sub(w.lastBeat) <= m.LivenessWindow {
+		if w.kind == kind && !w.suspect && now.Sub(w.lastBeat) <= m.LivenessWindow {
 			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarkSuspect flags a worker whose dispatches fail as unreachable before
+// its heartbeat lapses, so retries and new placements skip it immediately —
+// the liveness window alone would keep routing work at a crashed leaf for
+// up to a full window. The next heartbeat clears the flag.
+func (m *ClusterManager) MarkSuspect(name string) {
+	m.mu.Lock()
+	if w, ok := m.workers[name]; ok {
+		w.suspect = true
+	}
+	m.mu.Unlock()
+}
+
+// ReportTaskTime feeds a completed task's wall time into the worker's EWMA
+// for straggler detection.
+func (m *ClusterManager) ReportTaskTime(name string, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	m.mu.Lock()
+	if w, ok := m.workers[name]; ok {
+		if w.taskEWMA == 0 {
+			w.taskEWMA = float64(d)
+		} else {
+			w.taskEWMA = (1-taskEWMAAlpha)*w.taskEWMA + taskEWMAAlpha*float64(d)
+		}
+	}
+	m.mu.Unlock()
+}
+
+// Stragglers returns the workers of a kind whose smoothed task wall time
+// exceeds factor × the median across workers with data. With fewer than
+// two measured workers there is no population to compare against and the
+// result is empty.
+func (m *ClusterManager) Stragglers(kind WorkerKind, factor float64) []string {
+	if factor <= 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	type sample struct {
+		name string
+		ewma float64
+	}
+	var samples []sample
+	for name, w := range m.workers {
+		if w.kind == kind && w.taskEWMA > 0 {
+			samples = append(samples, sample{name, w.taskEWMA})
+		}
+	}
+	if len(samples) < 2 {
+		return nil
+	}
+	sorted := make([]float64, len(samples))
+	for i, s := range samples {
+		sorted[i] = s.ewma
+	}
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		median = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
+	var out []string
+	for _, s := range samples {
+		if s.ewma > factor*median {
+			out = append(out, s.name)
 		}
 	}
 	sort.Strings(out)

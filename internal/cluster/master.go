@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
@@ -44,6 +45,17 @@ type MasterConfig struct {
 	DefaultTaskTimeout time.Duration
 	// MaxTaskRetries bounds backup attempts per task.
 	MaxTaskRetries int
+	// RetryBackoff is the base of the exponential backoff between backup
+	// attempts (base<<attempt plus deterministic jitter); 0 retries
+	// immediately.
+	RetryBackoff time.Duration
+	// HedgeDelay is how long a stem waits on a straggler-flagged leaf
+	// before firing a speculative duplicate task; 0 uses a default,
+	// negative disables hedging.
+	HedgeDelay time.Duration
+	// StragglerFactor flags a leaf as a straggler when its smoothed task
+	// wall time exceeds this multiple of the fleet median; 0 uses 3.
+	StragglerFactor float64
 	// LivenessWindow configures the cluster manager.
 	LivenessWindow time.Duration
 	// LocalityOff disables locality-aware placement (ablation).
@@ -81,12 +93,28 @@ type Master struct {
 	// Queries counts submissions; QueryErrs counts the ones that failed.
 	Queries   metrics.Counter
 	QueryErrs metrics.Counter
+	// Recovery counters: backup (retry) attempts, hedges fired and won,
+	// and queries that degraded to a partial result.
+	Retries     metrics.Counter
+	HedgesFired metrics.Counter
+	HedgesWon   metrics.Counter
+	Partials    metrics.Counter
 }
+
+// defaultHedgeDelay is how long a stem waits before firing a speculative
+// duplicate when the master's config leaves HedgeDelay zero.
+const defaultHedgeDelay = 30 * time.Millisecond
 
 // NewMaster builds and registers a master on the fabric.
 func NewMaster(cfg MasterConfig) *Master {
 	if cfg.MaxTaskRetries <= 0 {
 		cfg.MaxTaskRetries = 2
+	}
+	if cfg.HedgeDelay == 0 {
+		cfg.HedgeDelay = defaultHedgeDelay
+	}
+	if cfg.StragglerFactor <= 0 {
+		cfg.StragglerFactor = 3
 	}
 	m := &Master{
 		cfg:     cfg,
@@ -110,6 +138,10 @@ func NewMaster(cfg MasterConfig) *Master {
 	cfg.Fabric.Register(cfg.Name, m.handle)
 	cfg.Metrics.Register("master.queries", &m.Queries)
 	cfg.Metrics.Register("master.query_errors", &m.QueryErrs)
+	cfg.Metrics.Register("master.task_retries", &m.Retries)
+	cfg.Metrics.Register("master.hedges_fired", &m.HedgesFired)
+	cfg.Metrics.Register("master.hedges_won", &m.HedgesWon)
+	cfg.Metrics.Register("master.partial_results", &m.Partials)
 	return m
 }
 
@@ -313,6 +345,15 @@ func (m *Master) submit(ctx context.Context, sql string, opts QueryOptions) (*ex
 		if stats.BackupTasks > 0 {
 			root.Count("tasks.backup", int64(stats.BackupTasks))
 		}
+		if stats.HedgedTasks > 0 {
+			root.Count("tasks.hedged", int64(stats.HedgedTasks))
+		}
+		if stats.HedgesWon > 0 {
+			root.Count("tasks.hedge_won", int64(stats.HedgesWon))
+		}
+		if len(stats.TaskErrors) > 0 {
+			root.Count("tasks.dropped", int64(len(stats.TaskErrors)))
+		}
 		root.Finish()
 	}
 	if stmt.Analyze {
@@ -421,6 +462,8 @@ type taskDone struct {
 	err      error
 	reused   bool
 	backups  int
+	hedged   bool
+	hedgeWon bool
 	devBytes map[string]int64
 }
 
@@ -483,10 +526,12 @@ func (m *Master) runAll(ctx context.Context, p *plan.PhysicalPlan, tasks []plan.
 		// below is the synchronization point — no WaitGroup needed, and the
 		// `go func() { wg.Wait() }()` this used to launch leaked a goroutine
 		// per query.
+		backup, hedgeDelay := m.planHedges(owned, assign, opts)
 		byStem := m.groupByStem(owned, assign)
 		for stemName, group := range byStem {
 			go func(stemName string, group []plan.TaskSpec) {
-				job := stemJobMsg{Plan: p, Tasks: group, Assign: assign, TaskTimeout: timeout, PerTask: !opts.DisableReuse}
+				job := stemJobMsg{Plan: p, Tasks: group, Assign: assign, TaskTimeout: timeout,
+					PerTask: !opts.DisableReuse, Backup: backup, HedgeDelay: hedgeDelay}
 				reply, err := m.callStem(ctx, stemName, job)
 				for _, t := range group {
 					d := taskDone{ordinal: t.Ordinal, leaf: assign[t.Ordinal]}
@@ -496,8 +541,17 @@ func (m *Master) runAll(ctx context.Context, p *plan.PhysicalPlan, tasks []plan.
 						d.simTime = st.SimTime
 						d.devBytes = st.DevBytes
 						d.res = reply.PerTask[t.Ordinal]
+						d.leaf = st.Leaf // the winning attempt's leaf (may be the hedge backup)
+						d.hedged, d.hedgeWon = st.Hedged, st.HedgeWon
+						m.Manager.ReportTaskTime(st.Leaf, st.Wall)
 					} else if ok {
 						d.err = errors.New(st.Err)
+						d.hedged = st.Hedged
+						if st.Unreachable {
+							// Dispatch hit an unknown/down node: suspect it now
+							// rather than waiting out the liveness window.
+							m.Manager.MarkSuspect(st.Leaf)
+						}
 					} else {
 						d.err = fmt.Errorf("cluster: stem %s lost task %d", stemName, t.Ordinal)
 					}
@@ -523,8 +577,17 @@ func (m *Master) runAll(ctx context.Context, p *plan.PhysicalPlan, tasks []plan.
 	for i := 0; i < len(tasks); i++ {
 		select {
 		case d := <-results:
+			if d.hedged {
+				stats.HedgedTasks++
+				m.HedgesFired.Inc()
+			}
+			if d.hedgeWon {
+				stats.HedgesWon++
+				m.HedgesWon.Inc()
+			}
 			if d.err != nil {
 				stats.TasksFailed++
+				stats.TaskErrors = append(stats.TaskErrors, TaskError{Ordinal: d.ordinal, Leaf: d.leaf, Err: d.err.Error()})
 				continue
 			}
 			completed++
@@ -560,12 +623,56 @@ func (m *Master) runAll(ctx context.Context, p *plan.PhysicalPlan, tasks []plan.
 		if opts.MinProcessedRatio > 0 && ratio >= opts.MinProcessedRatio {
 			return merged, nil // partial result accepted (§III-B)
 		}
+		if opts.PartialResults && completed > 0 {
+			// Graceful degradation: return what completed; the dropped
+			// tasks are reported per leaf in stats.TaskErrors.
+			m.Partials.Inc()
+			return merged, nil
+		}
 		if deadlineHit {
 			return nil, fmt.Errorf("%w: %d/%d tasks", ErrDeadline, completed, len(tasks))
 		}
 		return nil, fmt.Errorf("cluster: %d of %d tasks failed permanently", stats.TasksFailed, len(tasks))
 	}
 	return merged, nil
+}
+
+// planHedges picks a backup leaf for every owned task placed on a
+// straggler-flagged leaf (smoothed task time above StragglerFactor × the
+// fleet median). The stem fires the backup after hedgeDelay, first result
+// wins — the paper's backup-task defense, armed before the timeout fires.
+func (m *Master) planHedges(owned []plan.TaskSpec, assign map[int]string, opts QueryOptions) (map[int]string, time.Duration) {
+	hedgeDelay := opts.HedgeDelay
+	if hedgeDelay == 0 {
+		hedgeDelay = m.cfg.HedgeDelay
+	}
+	if hedgeDelay <= 0 {
+		return nil, 0
+	}
+	stragglers := m.Manager.Stragglers(KindLeaf, m.cfg.StragglerFactor)
+	if len(stragglers) == 0 {
+		return nil, 0
+	}
+	slow := make(map[string]bool, len(stragglers))
+	for _, s := range stragglers {
+		slow[s] = true
+	}
+	var backup map[int]string
+	for _, t := range owned {
+		leaf := assign[t.Ordinal]
+		if !slow[leaf] {
+			continue
+		}
+		alt, err := m.Scheduler.Place(t, map[string]bool{leaf: true})
+		if err != nil || alt == leaf {
+			continue // nowhere else to hedge to
+		}
+		if backup == nil {
+			backup = make(map[int]string)
+		}
+		backup[t.Ordinal] = alt
+	}
+	return backup, hedgeDelay
 }
 
 // completeOwned publishes an owned task's outcome to sharers.
@@ -579,28 +686,79 @@ func (m *Master) completeOwned(opts QueryOptions, t plan.TaskSpec, f *taskFuture
 }
 
 // retryTask issues backup tasks on other leaves until one succeeds or the
-// retry budget runs out.
+// retry budget runs out. Leaves the cluster manager no longer reports alive
+// (dead, degraded or suspect) are excluded from every attempt, and attempts
+// are spaced by exponential backoff with deterministic jitter so a burst of
+// failures does not hammer the survivors in lockstep.
 func (m *Master) retryTask(ctx context.Context, p *plan.PhysicalPlan, t plan.TaskSpec, firstLeaf string, timeout time.Duration, d taskDone) taskDone {
 	exclude := map[string]bool{firstLeaf: true}
 	for attempt := 0; attempt < m.cfg.MaxTaskRetries; attempt++ {
+		if m.cfg.RetryBackoff > 0 {
+			if !sleepCtx(ctx, retryDelay(m.cfg.RetryBackoff, t.Key(), attempt)) {
+				return d
+			}
+		}
 		if ctx.Err() != nil {
 			return d
 		}
+		m.excludeUnhealthy(exclude)
 		leaf, err := m.Scheduler.Place(t, exclude)
 		if err != nil {
 			return d
 		}
 		d.backups++
+		m.Retries.Inc()
 		res, st := m.localStem.runOne(ctx, stemJobMsg{Plan: p, TaskTimeout: timeout}, t, leaf)
 		if st.OK {
 			d.res, d.err, d.leaf, d.simTime = res, nil, leaf, st.SimTime
 			d.devBytes = st.DevBytes
+			m.Manager.ReportTaskTime(leaf, st.Wall)
 			return d
 		}
+		if st.Unreachable {
+			m.Manager.MarkSuspect(leaf)
+		}
 		d.err = errors.New(st.Err)
+		d.leaf = leaf
 		exclude[leaf] = true
 	}
 	return d
+}
+
+// excludeUnhealthy adds every leaf the manager does not report alive to the
+// exclusion set, so retries never route to dead, degraded or suspect nodes.
+func (m *Master) excludeUnhealthy(exclude map[string]bool) {
+	for _, n := range m.Manager.Health().Nodes {
+		if n.Kind == KindLeaf && n.State != StateAlive {
+			exclude[n.Name] = true
+		}
+	}
+}
+
+// retryDelay computes the pause before a backup attempt: base<<attempt plus
+// jitter in [0, base) hashed from the task key and attempt — deterministic
+// (replayable under a chaos seed) yet decorrelated across tasks.
+func retryDelay(base time.Duration, key string, attempt int) time.Duration {
+	if attempt > 16 {
+		attempt = 16
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d", key, attempt)
+	jitter := time.Duration(h.Sum64() % uint64(base))
+	return base<<attempt + jitter
+}
+
+// sleepCtx pauses for d, returning false if the context ended first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // groupByStem maps each owned task to a stem server (by its assigned

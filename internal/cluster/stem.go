@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -114,8 +115,76 @@ func (s *StemServer) runJob(ctx context.Context, job stemJobMsg) (any, error) {
 	return stemReply{Merged: merged, PerTask: perTask, Status: status}, nil
 }
 
-// runOne executes a single task on its leaf with the per-task timeout.
+// runOne executes one task, hedging a speculative duplicate on the job's
+// backup leaf when the scheduler flagged the primary's placement as a
+// straggler: the backup fires after HedgeDelay (or immediately if the
+// primary fails first) and the first successful attempt wins; the loser's
+// context is cancelled.
 func (s *StemServer) runOne(ctx context.Context, job stemJobMsg, task plan.TaskSpec, leaf string) (*exec.TaskResult, taskStatus) {
+	start := time.Now()
+	backup, hedgeable := job.Backup[task.Ordinal]
+	if !hedgeable || backup == leaf || job.HedgeDelay <= 0 {
+		res, st := s.attempt(ctx, job, task, leaf)
+		st.Wall = time.Since(start)
+		return res, st
+	}
+	type outcome struct {
+		res    *exec.TaskResult
+		st     taskStatus
+		backup bool
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan outcome, 2) // buffered: the abandoned loser must not block
+	launch := func(on string, isBackup bool) {
+		go func() {
+			res, st := s.attempt(hctx, job, task, on)
+			results <- outcome{res, st, isBackup}
+		}()
+	}
+	launch(leaf, false)
+	hedge := time.NewTimer(job.HedgeDelay)
+	defer hedge.Stop()
+	fire := func() {
+		s.tasks.Add(1)
+		launch(backup, true)
+	}
+	inflight, fired := 1, false
+	var lastFail outcome
+	for inflight > 0 {
+		select {
+		case <-hedge.C:
+			if !fired {
+				fired = true
+				inflight++
+				fire()
+			}
+		case out := <-results:
+			inflight--
+			if out.st.OK {
+				cancel() // first result wins
+				out.st.Hedged = fired
+				out.st.HedgeWon = out.backup
+				out.st.Wall = time.Since(start)
+				return out.res, out.st
+			}
+			lastFail = out
+			if !fired {
+				// The primary failed before the hedge delay elapsed; fire
+				// the backup now instead of waiting out the timer.
+				fired = true
+				inflight++
+				fire()
+			}
+		}
+	}
+	lastFail.st.Hedged = fired
+	lastFail.st.Wall = time.Since(start)
+	return lastFail.res, lastFail.st
+}
+
+// attempt executes a single task on one leaf with the per-task timeout.
+func (s *StemServer) attempt(ctx context.Context, job stemJobMsg, task plan.TaskSpec, leaf string) (*exec.TaskResult, taskStatus) {
 	st := taskStatus{Leaf: leaf}
 	tctx := ctx
 	if job.TaskTimeout > 0 {
@@ -128,6 +197,7 @@ func (s *StemServer) runOne(ctx context.Context, job stemJobMsg, task plan.TaskS
 	raw, err := s.Fabric.Call(tctx, s.Name, leaf, transport.Control, taskMsg{Task: task}, 256)
 	if err != nil {
 		st.Err = err.Error()
+		st.Unreachable = errors.Is(err, transport.ErrUnknownNode)
 		return nil, st
 	}
 	reply, ok := raw.(taskReply)

@@ -158,6 +158,10 @@ func (b *Block) ComputeStats() BlockStats {
 type ColExtent struct {
 	Off int64
 	Len int64
+	// CRC is the IEEE CRC-32 of the payload bytes, letting range readers
+	// detect corrupt returns from a faulty storage tier before decoding.
+	// 0 means "not recorded" (files written before checksums existed).
+	CRC uint32
 }
 
 // Marshal serializes the block. It returns the bytes together with the

@@ -3,12 +3,31 @@ package colstore
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 
 	"repro/internal/bloom"
 	"repro/internal/types"
 )
+
+// ErrChecksum reports a column payload whose bytes do not match the CRC
+// recorded in the footer — a corrupt read from the storage tier. Callers
+// treat it as a retryable read failure (a replica or retry may be clean).
+var ErrChecksum = errors.New("colstore: column checksum mismatch")
+
+// VerifyExtent checks payload bytes against the extent's recorded CRC.
+// Extents with CRC 0 (pre-checksum files) are accepted unverified.
+func VerifyExtent(e ColExtent, payload []byte) error {
+	if e.CRC == 0 {
+		return nil
+	}
+	if got := crc32.ChecksumIEEE(payload); got != e.CRC {
+		return fmt.Errorf("%w: got %08x want %08x", ErrChecksum, got, e.CRC)
+	}
+	return nil
+}
 
 // File format:
 //
@@ -162,7 +181,11 @@ func (w *Writer) flushBlock() error {
 	}
 	meta.ColExtents = make([]ColExtent, len(extents))
 	for i, e := range extents {
-		meta.ColExtents[i] = ColExtent{Off: meta.Offset + e.Off, Len: e.Len}
+		meta.ColExtents[i] = ColExtent{
+			Off: meta.Offset + e.Off,
+			Len: e.Len,
+			CRC: crc32.ChecksumIEEE(payload[e.Off : e.Off+e.Len]),
+		}
 	}
 	w.buf.Write(payload)
 	w.blocks = append(w.blocks, meta)
@@ -209,6 +232,7 @@ func (w *Writer) marshalFooter() []byte {
 			f = binary.AppendUvarint(f, uint64(cs.NullCount))
 			f = binary.AppendUvarint(f, uint64(bm.ColExtents[ci].Off))
 			f = binary.AppendUvarint(f, uint64(bm.ColExtents[ci].Len))
+			f = binary.AppendUvarint(f, uint64(bm.ColExtents[ci].CRC))
 			if cs.Bloom != nil {
 				bf := cs.Bloom.Marshal()
 				f = append(f, 1)
@@ -333,6 +357,11 @@ func ParseFooter(f []byte) (*FileMeta, error) {
 				return nil, fmt.Errorf("colstore: truncated column extent length")
 			}
 			f = f[off:]
+			ec, off := binary.Uvarint(f)
+			if off <= 0 {
+				return nil, fmt.Errorf("colstore: truncated column extent checksum")
+			}
+			f = f[off:]
 			if len(f) == 0 {
 				return nil, fmt.Errorf("colstore: truncated bloom flag")
 			}
@@ -350,7 +379,7 @@ func ParseFooter(f []byte) (*FileMeta, error) {
 				cs.Bloom = filt
 				f = f[off+int(bl):]
 			}
-			bm.ColExtents[c] = ColExtent{Off: int64(eo), Len: int64(el)}
+			bm.ColExtents[c] = ColExtent{Off: int64(eo), Len: int64(el), CRC: uint32(ec)}
 			bm.Stats.Columns[c] = cs
 		}
 		meta.Blocks = append(meta.Blocks, bm)

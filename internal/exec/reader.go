@@ -83,6 +83,9 @@ func (sr *StoreReader) Column(ctx context.Context, path string, meta *colstore.F
 	if err != nil {
 		return nil, err
 	}
+	if err := colstore.VerifyExtent(ext, payload); err != nil {
+		return nil, fmt.Errorf("exec: read %s block %d col %d: %w", path, block, col, err)
+	}
 	c, err := colstore.DecodeColumn(meta.Schema.Fields[col].Type, payload)
 	if err != nil {
 		return nil, fmt.Errorf("exec: decode %s block %d col %d: %w", path, block, col, err)

@@ -2,6 +2,7 @@ package sqlparser
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/types"
@@ -131,10 +132,20 @@ type Literal struct{ Value types.Value }
 
 func (*Literal) exprNode() {}
 
-// String renders the literal; strings use SQL single quotes.
+// String renders the literal; strings use SQL single quotes. Doubles
+// render in plain decimal with a forced fraction point — the dialect has
+// no exponent syntax, and an integral-looking rendering ("-0" for -0.0)
+// would re-parse as BIGINT and break the canonical fixed point.
 func (l *Literal) String() string {
-	if l.Value.T == types.String {
+	switch l.Value.T {
+	case types.String:
 		return "'" + strings.ReplaceAll(l.Value.S, "'", "''") + "'"
+	case types.Float64:
+		s := strconv.FormatFloat(l.Value.F, 'f', -1, 64)
+		if !strings.ContainsRune(s, '.') {
+			s += ".0"
+		}
+		return s
 	}
 	return l.Value.String()
 }

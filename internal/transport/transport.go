@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -52,6 +53,32 @@ func (c Class) String() string {
 
 // ErrUnknownNode is returned when the destination is not registered.
 var ErrUnknownNode = errors.New("transport: unknown node")
+
+// ErrInjected is the default error for messages failed by an Interceptor
+// (fault injection); recovery paths treat it like any delivery failure.
+var ErrInjected = errors.New("transport: injected fault")
+
+// Fault is an Interceptor's decision for one message. The zero value
+// delivers the message untouched.
+type Fault struct {
+	// Drop fails the call without delivering.
+	Drop bool
+	// Err overrides the error returned for a dropped message
+	// (defaults to ErrInjected).
+	Err error
+	// Delay pauses delivery (bounded by the call context).
+	Delay time.Duration
+	// Duplicate delivers the message twice, modeling at-least-once
+	// retransmission; handlers are expected to be idempotent.
+	Duplicate bool
+}
+
+// Interceptor inspects every Call before delivery and can inject faults —
+// the hook the chaos plane (internal/chaos) drives. Implementations must be
+// safe for concurrent use.
+type Interceptor interface {
+	Intercept(ctx context.Context, from, to string, class Class, size int64) Fault
+}
 
 // Handler processes one message addressed to a node.
 type Handler func(ctx context.Context, from string, payload any) (any, error)
@@ -132,8 +159,9 @@ type Fabric struct {
 	opt  Options
 	topo *Topology
 
-	mu    sync.RWMutex
-	nodes map[string]*endpoint
+	mu          sync.RWMutex
+	nodes       map[string]*endpoint
+	interceptor Interceptor
 
 	// per-class counters
 	Msgs  [3]metrics.Counter
@@ -185,15 +213,45 @@ func (f *Fabric) SetDown(node string, down bool) {
 	f.mu.Unlock()
 }
 
+// SetInterceptor installs (or, with nil, removes) the fault-injection hook
+// consulted on every Call.
+func (f *Fabric) SetInterceptor(i Interceptor) {
+	f.mu.Lock()
+	f.interceptor = i
+	f.mu.Unlock()
+}
+
 // Call delivers a message and waits for the reply. size is the simulated
 // payload size in bytes (in-process payloads are passed by reference; the
 // size feeds the cost model and counters).
 func (f *Fabric) Call(ctx context.Context, from, to string, class Class, payload any, size int64) (any, error) {
 	f.mu.RLock()
 	ep, ok := f.nodes[to]
+	icpt := f.interceptor
+	down := ok && ep.down
 	f.mu.RUnlock()
-	if !ok || ep.down {
+	if !ok || down {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+
+	duplicate := false
+	if icpt != nil {
+		fault := icpt.Intercept(ctx, from, to, class, size)
+		if fault.Drop {
+			err := fault.Err
+			if err == nil {
+				err = ErrInjected
+			}
+			return nil, fmt.Errorf("transport: %s call %s->%s: %w", class, from, to, err)
+		}
+		if fault.Delay > 0 {
+			select {
+			case <-time.After(fault.Delay):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("transport: %s call %s->%s: %w", class, from, to, ctx.Err())
+			}
+		}
+		duplicate = fault.Duplicate
 	}
 
 	// Write/Read traffic competes for the endpoint's worker slots;
@@ -212,6 +270,15 @@ func (f *Fabric) Call(ctx context.Context, from, to string, class Class, payload
 	if b := storage.BillFrom(ctx); b != nil && f.opt.Model != nil {
 		if hops := f.topo.Hops(from, to); hops > 0 {
 			b.ChargeTransfer(f.opt.Model, size, hops)
+		}
+	}
+	if duplicate {
+		// At-least-once retransmission: the first delivery's reply is lost,
+		// the duplicate's reply is the one the caller sees.
+		f.Msgs[class].Inc()
+		f.Bytes[class].Add(size)
+		if _, err := ep.handler(ctx, from, payload); err != nil {
+			return nil, err
 		}
 	}
 	return ep.handler(ctx, from, payload)

@@ -26,7 +26,16 @@ go test ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== go test -race -count=2 (chaos + cluster recovery, repeated)"
+go test -race -count=2 ./internal/cluster/... ./internal/chaos/...
+
+echo "== fuzz smoke (FuzzParse, 10s)"
+go test -fuzz=FuzzParse -fuzztime=10s -run='^$' ./internal/sqlparser
+
 echo "== telemetry smoke (exporter on an ephemeral port)"
 go run ./cmd/feisu -smoke-telemetry -rows 256 -parts 2
+
+echo "== chaos smoke (seeded fault injection, seed 1)"
+go run ./cmd/feisu-bench -exp chaos -seed 1 -short -scale small
 
 echo "verify: OK"
