@@ -1,4 +1,4 @@
-.PHONY: build test race vet verify bench
+.PHONY: build test race vet verify bench bench-smoke
 
 build:
 	go build ./...
@@ -18,3 +18,9 @@ verify:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# bench-smoke runs the trimmed experiment streams that gate on a floor
+# (chaos correctness, parscan 2x scan-time speedup) — fast enough for CI.
+bench-smoke:
+	go run ./cmd/feisu-bench -exp chaos -seed 1 -short -scale small
+	go run ./cmd/feisu-bench -exp parscan -short -scale small

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +37,7 @@ var registry = []struct {
 	{"trace", "per-stage execution profile from query traces", experiments.TraceProfile},
 	{"fleet", "fleet telemetry: latency quantiles while SmartIndex warms", experiments.Fleet},
 	{"chaos", "correctness under seeded fault injection (retries/hedges/partials)", experiments.Chaos},
+	{"parscan", "intra-task parallel scan speedup at 1/2/4/8 workers", experiments.Parscan},
 }
 
 func main() {
@@ -44,11 +46,13 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/slowlog here during -exp fleet (e.g. 127.0.0.1:9090)")
 	seed := flag.Int64("seed", 1, "chaos fault-schedule seed for -exp chaos (same seed = same schedule)")
-	short := flag.Bool("short", false, "trim -exp chaos to a smoke-sized query stream")
+	short := flag.Bool("short", false, "trim -exp chaos/parscan to a smoke-sized query stream")
+	jsonPath := flag.String("json", "", "also write the run's reports to this file as JSON")
 	flag.Parse()
 	experiments.TelemetryAddr = *metricsAddr
 	experiments.ChaosSeed = *seed
 	experiments.ChaosShort = *short
+	experiments.ParscanShort = *short
 
 	if *list {
 		for _, e := range registry {
@@ -70,6 +74,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	var reports []*experiments.Report
 	ran := 0
 	for _, e := range registry {
 		if *exp != "all" && *exp != e.id {
@@ -79,14 +84,29 @@ func main() {
 		start := time.Now()
 		rep, err := e.run(scale)
 		if err != nil {
+			if rep != nil {
+				fmt.Println(rep.String())
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
 			os.Exit(1)
 		}
 		fmt.Println(rep.String())
 		fmt.Printf("(%s took %s)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		reports = append(reports, rep)
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal reports: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
 	}
 }

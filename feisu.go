@@ -178,6 +178,11 @@ type Config struct {
 	// before firing a speculative duplicate task; 0 uses the master's
 	// default, negative disables hedging.
 	HedgeDelay time.Duration
+	// ScanWorkers bounds each leaf task's intra-task scan parallelism
+	// (goroutines scanning a partition's blocks concurrently). 0 defaults
+	// to GOMAXPROCS on the leaf; negative forces serial scans. Query
+	// results are identical for any setting.
+	ScanWorkers int
 }
 
 // System is an in-process Feisu deployment.
@@ -304,6 +309,7 @@ func New(cfg Config) (*System, error) {
 		DefaultTaskTimeout: cfg.TaskTimeout,
 		RetryBackoff:       cfg.RetryBackoff,
 		HedgeDelay:         cfg.HedgeDelay,
+		ScanWorkers:        cfg.ScanWorkers,
 		LivenessWindow:     time.Minute,
 		LocalityOff:        cfg.LocalityOff,
 		Metrics:            sys.metrics,

@@ -76,6 +76,20 @@ func (b *Bitmap) Clear(i int) {
 	b.words[i/wordBits] &^= uint64(1) << uint(i%wordBits)
 }
 
+// SetWord overwrites the 64-bit word holding bits [wi*64, wi*64+64) — the
+// bulk store used by the vectorized predicate kernels, which accumulate
+// match bits in a register and flush whole words. Bits beyond Len are
+// masked off.
+func (b *Bitmap) SetWord(wi int, w uint64) {
+	if wi < 0 || wi >= len(b.words) {
+		panic(fmt.Sprintf("bitmap: word %d out of range [0,%d)", wi, len(b.words)))
+	}
+	b.words[wi] = w
+	if wi == len(b.words)-1 {
+		b.clearTail()
+	}
+}
+
 // Get reports whether bit i is set.
 func (b *Bitmap) Get(i int) bool {
 	b.checkIndex(i)

@@ -97,6 +97,12 @@ type QueryStats struct {
 	// SimTime is the cost-model response time: the critical path through
 	// leaves and stems plus result transfers (DESIGN.md §2).
 	SimTime time.Duration
+	// ScanSimTime is the busiest leaf's execution-only simulated time
+	// (storage reads + predicate CPU), excluding RPC and result-transfer
+	// latency. It isolates the component that intra-task scan parallelism
+	// (TaskSpec.Workers) divides; the fixed transport costs in SimTime do
+	// not shrink with worker count.
+	ScanSimTime time.Duration
 	// WallTime is the real in-process execution time.
 	WallTime time.Duration
 	// BytesByDevice reports simulated bytes read per device class.
@@ -177,10 +183,14 @@ type stemJobMsg struct {
 
 // taskStatus reports one task's outcome inside a stem reply.
 type taskStatus struct {
-	OK       bool
-	Err      string
-	Leaf     string
-	SimTime  time.Duration
+	OK      bool
+	Err     string
+	Leaf    string
+	SimTime time.Duration
+	// ScanSim is the leaf-execution component of SimTime: storage reads
+	// plus predicate CPU, before spill-fetch and reply-transfer costs are
+	// folded in. This is the part intra-task scan parallelism divides.
+	ScanSim  time.Duration
 	Size     int64
 	DevBytes map[string]int64
 	// Wall is the stem-observed wall time of the winning attempt, the

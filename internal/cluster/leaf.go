@@ -99,7 +99,7 @@ func (l *LeafServer) runTask(ctx context.Context, msg taskMsg) (any, error) {
 		}
 	}
 	bill := sim.NewBill()
-	res, err := exec.RunTask(storage.WithBill(ctx, bill), msg.Task, l.Reader, l.Index)
+	res, err := exec.RunTaskModel(storage.WithBill(ctx, bill), msg.Task, l.Reader, l.Index, l.Model)
 	if err != nil {
 		return nil, err
 	}

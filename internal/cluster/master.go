@@ -56,6 +56,10 @@ type MasterConfig struct {
 	// StragglerFactor flags a leaf as a straggler when its smoothed task
 	// wall time exceeds this multiple of the fleet median; 0 uses 3.
 	StragglerFactor float64
+	// ScanWorkers sets the intra-task scan parallelism stamped on every
+	// dispatched task (plan.TaskSpec.Workers); 0 lets leaves default to
+	// GOMAXPROCS, negative forces serial scans.
+	ScanWorkers int
 	// LivenessWindow configures the cluster manager.
 	LivenessWindow time.Duration
 	// LocalityOff disables locality-aware placement (ablation).
@@ -303,6 +307,15 @@ func (m *Master) submit(ctx context.Context, sql string, opts QueryOptions) (*ex
 	dspan.Finish()
 
 	tasks := p.Tasks()
+	if m.cfg.ScanWorkers != 0 {
+		w := m.cfg.ScanWorkers
+		if w < 0 {
+			w = 1
+		}
+		for i := range tasks {
+			tasks[i].Workers = w
+		}
+	}
 	stats.Tasks = len(tasks)
 	ectx, espan := trace.StartSpan(ctx, "master/execute")
 	merged, err := m.runAll(ectx, p, tasks, opts, stats)
@@ -458,6 +471,7 @@ type taskDone struct {
 	ordinal  int
 	res      *exec.TaskResult
 	simTime  time.Duration
+	scanSim  time.Duration
 	leaf     string
 	err      error
 	reused   bool
@@ -539,6 +553,7 @@ func (m *Master) runAll(ctx context.Context, p *plan.PhysicalPlan, tasks []plan.
 						d.err = err
 					} else if st, ok := reply.Status[t.Ordinal]; ok && st.OK {
 						d.simTime = st.SimTime
+						d.scanSim = st.ScanSim
 						d.devBytes = st.DevBytes
 						d.res = reply.PerTask[t.Ordinal]
 						d.leaf = st.Leaf // the winning attempt's leaf (may be the hedge backup)
@@ -572,6 +587,7 @@ func (m *Master) runAll(ctx context.Context, p *plan.PhysicalPlan, tasks []plan.
 	var merged *exec.TaskResult
 	completed := 0
 	leafBusy := make(map[string]time.Duration)
+	leafScan := make(map[string]time.Duration)
 	devBytes := make(map[string]int64)
 	deadlineHit := false
 	for i := 0; i < len(tasks); i++ {
@@ -594,6 +610,7 @@ func (m *Master) runAll(ctx context.Context, p *plan.PhysicalPlan, tasks []plan.
 			stats.BackupTasks += d.backups
 			if d.leaf != "" {
 				leafBusy[d.leaf] += d.simTime
+				leafScan[d.leaf] += d.scanSim
 			}
 			for dev, n := range d.devBytes {
 				devBytes[dev] += n
@@ -616,6 +633,11 @@ func (m *Master) runAll(ctx context.Context, p *plan.PhysicalPlan, tasks []plan.
 		}
 	}
 	stats.SimTime = busiest
+	for _, b := range leafScan {
+		if b > stats.ScanSimTime {
+			stats.ScanSimTime = b
+		}
+	}
 	stats.BytesByDevice = devBytes
 
 	if stats.TasksFailed > 0 {
@@ -711,6 +733,7 @@ func (m *Master) retryTask(ctx context.Context, p *plan.PhysicalPlan, t plan.Tas
 		res, st := m.localStem.runOne(ctx, stemJobMsg{Plan: p, TaskTimeout: timeout}, t, leaf)
 		if st.OK {
 			d.res, d.err, d.leaf, d.simTime = res, nil, leaf, st.SimTime
+			d.scanSim = st.ScanSim
 			d.devBytes = st.DevBytes
 			m.Manager.ReportTaskTime(leaf, st.Wall)
 			return d

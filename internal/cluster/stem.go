@@ -205,6 +205,9 @@ func (s *StemServer) attempt(ctx context.Context, job stemJobMsg, task plan.Task
 		st.Err = fmt.Sprintf("unexpected reply %T", raw)
 		return nil, st
 	}
+	// The leaf's reply carries its execution-only bill; spill-fetch and
+	// reply-transfer costs accrue on top of it below.
+	st.ScanSim = reply.SimTime
 	res := reply.Result
 	if reply.SpillPath != "" {
 		bill := sim.NewBill()

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strings"
 
@@ -137,18 +138,22 @@ func NewGroups(numAggs int) *Groups {
 	return &Groups{NumAggs: numAggs, M: make(map[string]*Group)}
 }
 
-// GroupKey encodes key values into a map key.
+// GroupKey encodes key values into a map key. Each element is
+// self-delimiting (type byte, uvarint length, rendered value), so the
+// encoding is injective: no value containing a separator-like byte can make
+// two distinct key tuples collide (a NUL-joined encoding merged groups like
+// ["a\x00","b"] and ["a","\x00b"]).
 func GroupKey(keys []types.Value) string {
 	if len(keys) == 0 {
 		return ""
 	}
 	var sb strings.Builder
-	for i, k := range keys {
-		if i > 0 {
-			sb.WriteByte(0)
-		}
+	var lenBuf [binary.MaxVarintLen64]byte
+	for _, k := range keys {
 		sb.WriteByte(byte(k.T))
-		sb.WriteString(k.String())
+		s := k.String()
+		sb.Write(lenBuf[:binary.PutUvarint(lenBuf[:], uint64(len(s)))])
+		sb.WriteString(s)
 	}
 	return sb.String()
 }

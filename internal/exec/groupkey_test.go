@@ -1,0 +1,55 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestGroupKeyInjective is the regression test for the NUL-joined encoding,
+// which merged distinct GROUP BY tuples whenever a string value contained a
+// NUL followed by a byte that parsed as a type tag.
+func TestGroupKeyInjective(t *testing.T) {
+	s := func(vals ...string) []types.Value {
+		out := make([]types.Value, len(vals))
+		for i, v := range vals {
+			out[i] = types.NewString(v)
+		}
+		return out
+	}
+	tuples := [][]types.Value{
+		s("a\x00", "b"),
+		s("a", "\x00b"),
+		s("a\x00\x04b"), // embeds what used to be separator + type tag
+		s("a", "b"),
+		s("ab"),
+		s("a", ""),
+		s("", "a"),
+		s(""),
+		{},
+		{types.NewInt(1)},
+		{types.NewString("1")},
+		{types.NewFloat(1)},
+		{types.NullValue()},
+		{types.NewInt(12), types.NewInt(3)},
+		{types.NewInt(1), types.NewInt(23)},
+	}
+	seen := make(map[string]int)
+	for i, tup := range tuples {
+		k := GroupKey(tup)
+		if j, dup := seen[k]; dup {
+			t.Errorf("tuples %d and %d collide on key %q", j, i, k)
+		}
+		seen[k] = i
+	}
+}
+
+// TestGroupKeyDeterministic: equal tuples must keep mapping to equal keys
+// (the property Merge and the dimension hash join rely on).
+func TestGroupKeyDeterministic(t *testing.T) {
+	a := []types.Value{types.NewString("x\x00y"), types.NewInt(-5)}
+	b := []types.Value{types.NewString("x\x00y"), types.NewInt(-5)}
+	if GroupKey(a) != GroupKey(b) {
+		t.Fatal("equal tuples produced different keys")
+	}
+}

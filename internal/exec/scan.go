@@ -3,11 +3,15 @@ package exec
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/bitmap"
 	"repro/internal/colstore"
 	"repro/internal/plan"
+	"repro/internal/sim"
 	"repro/internal/sqlparser"
+	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/types"
 )
@@ -103,8 +107,17 @@ func estimateRow(vals []types.Value) int64 {
 
 // RunTask executes one sub-plan: scan the fact partition, filter with
 // SmartIndex assistance, join broadcast dimensions, and emit projected rows
-// or partial aggregates.
+// or partial aggregates. Billing uses only the context's bill; predicate
+// CPU time is not priced (local execution paths).
 func RunTask(ctx context.Context, task plan.TaskSpec, reader PartitionReader, idx IndexSource) (*TaskResult, error) {
+	return RunTaskModel(ctx, task, reader, idx, nil)
+}
+
+// RunTaskModel is RunTask with a cost model: when non-nil, predicate
+// evaluation over fetched column bytes is charged as CPU scan time, and a
+// task split across workers composes per-worker bills along the critical
+// path. Leaves pass their model; local/test paths pass nil.
+func RunTaskModel(ctx context.Context, task plan.TaskSpec, reader PartitionReader, idx IndexSource, model *sim.CostModel) (*TaskResult, error) {
 	p := task.Plan
 	// The scan span collects the per-task breakdown behind EXPLAIN
 	// ANALYZE: index and cache instrumentation downstream counts into it
@@ -123,6 +136,7 @@ func RunTask(ctx context.Context, task plan.TaskSpec, reader PartitionReader, id
 		meta:   meta,
 		reader: reader,
 		idx:    idx,
+		model:  model,
 		fact:   p.Fact().Ref.Binding(),
 	}
 	if err := s.resolveColumns(); err != nil {
@@ -136,14 +150,36 @@ func RunTask(ctx context.Context, task plan.TaskSpec, reader PartitionReader, id
 	if p.Mode == plan.ModeAgg {
 		res.Groups = NewGroups(len(p.Aggs))
 	}
-	for bi := range meta.Blocks {
-		res.Stats.BlocksTotal++
-		done, err := s.scanBlock(bi, res)
-		if err != nil {
-			return nil, err
+	nb := len(meta.Blocks)
+	workers := effectiveWorkers(task.Workers, nb, p)
+	switch {
+	case p.ScanLimit >= 0:
+		// Pushed-down LIMIT stops mid-stream; its cross-block early exit
+		// is inherently serial, so it keeps the direct-accumulation path.
+		for bi := 0; bi < nb; bi++ {
+			res.Stats.BlocksTotal++
+			done, err := s.scanBlock(bi, res)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				break
+			}
 		}
-		if done {
-			break
+	case workers <= 1:
+		// Serial reference path: per-block partials merged in block order —
+		// the same result structure the parallel path produces, so both are
+		// bit-identical (float aggregation order included).
+		for bi := 0; bi < nb; bi++ {
+			part, err := s.scanBlockPartial(bi)
+			if err != nil {
+				return nil, err
+			}
+			mergePartial(res, part)
+		}
+	default:
+		if err := s.scanParallel(ctx, workers, nb, res); err != nil {
+			return nil, err
 		}
 	}
 	span.Count("blocks.total", res.Stats.BlocksTotal)
@@ -158,6 +194,115 @@ func RunTask(ctx context.Context, task plan.TaskSpec, reader PartitionReader, id
 	return res, nil
 }
 
+// effectiveWorkers resolves the intra-task parallelism degree: the task's
+// request (0 means GOMAXPROCS), clamped to the block count. LIMIT pushdown
+// forces serial execution because its early exit crosses block boundaries.
+func effectiveWorkers(requested, blocks int, p *plan.PhysicalPlan) int {
+	if p.ScanLimit >= 0 {
+		return 1
+	}
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > blocks {
+		w = blocks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// scanBlockPartial scans one block into a fresh partial result. Partials are
+// merged in ascending block order by both the serial and parallel paths, so
+// float aggregation order — and therefore every output bit — is independent
+// of the worker count.
+func (s *scanner) scanBlockPartial(bi int) (*TaskResult, error) {
+	part := &TaskResult{}
+	if s.plan.Mode == plan.ModeAgg {
+		part.Groups = NewGroups(len(s.plan.Aggs))
+	}
+	part.Stats.BlocksTotal++
+	if _, err := s.scanBlock(bi, part); err != nil {
+		return nil, err
+	}
+	return part, nil
+}
+
+// mergePartial folds one block's partial into the task result.
+func mergePartial(res, part *TaskResult) {
+	res.Stats.Add(part.Stats)
+	res.Rows = append(res.Rows, part.Rows...)
+	if part.Groups != nil && res.Groups != nil {
+		res.Groups.Merge(part.Groups)
+	}
+}
+
+// scanParallel fans the task's blocks over a bounded worker pool. Blocks are
+// statically striped (worker w takes blocks w, w+N, w+2N, ...) so each
+// worker's charge set — and hence its bill — is deterministic regardless of
+// goroutine scheduling. Worker bills compose into the task bill along the
+// critical path: resource totals sum, elapsed time advances by the slowest
+// worker, which is what models intra-node parallel speedup in simulation.
+func (s *scanner) scanParallel(ctx context.Context, workers, nb int, res *TaskResult) error {
+	partials := make([]*TaskResult, nb)
+	errs := make([]error, nb)
+	parentBill := storage.BillFrom(ctx)
+	bills := make([]*sim.Bill, 0, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wctx := ctx
+		if parentBill != nil {
+			b := sim.NewBill()
+			bills = append(bills, b)
+			wctx = storage.WithBill(ctx, b)
+		}
+		ws := s.forWorker(wctx)
+		wg.Add(1)
+		go func(w int, ws *scanner) {
+			defer wg.Done()
+			for bi := w; bi < nb; bi += workers {
+				part, err := ws.scanBlockPartial(bi)
+				if err != nil {
+					errs[bi] = err
+					return
+				}
+				partials[bi] = part
+			}
+		}(w, ws)
+	}
+	wg.Wait()
+	if parentBill != nil {
+		parentBill.AddParallel(bills...)
+	}
+	for bi := 0; bi < nb; bi++ {
+		// Errors surface in block order: the lowest failing block wins, so
+		// the reported error does not depend on worker interleaving. A nil
+		// partial past a failing block belongs to the same stripe and is
+		// never reached.
+		if errs[bi] != nil {
+			return errs[bi]
+		}
+		if partials[bi] != nil {
+			mergePartial(res, partials[bi])
+		}
+	}
+	return nil
+}
+
+// forWorker derives a worker-private scanner: shared read-only task state
+// (plan, meta, resolved columns, dimension hash tables), private context
+// (carrying the worker's bill) and per-block scratch.
+func (s *scanner) forWorker(ctx context.Context) *scanner {
+	ws := *s
+	ws.ctx = ctx
+	ws.block = 0
+	ws.cols = nil
+	ws.stats = nil
+	return &ws
+}
+
 // scanner carries per-task state.
 type scanner struct {
 	ctx    context.Context
@@ -166,6 +311,7 @@ type scanner struct {
 	meta   *colstore.FileMeta
 	reader PartitionReader
 	idx    IndexSource
+	model  *sim.CostModel // nil: predicate CPU time is not billed
 	fact   string
 
 	colIdx map[string]int // fact column name -> file ordinal
@@ -243,6 +389,14 @@ func (s *scanner) column(name string) (*colstore.Column, error) {
 	}
 	s.cols[ord] = c
 	s.stats.ColumnReads++
+	if s.model != nil {
+		// Predicate evaluation over the chunk is CPU work, priced per byte
+		// fetched; with several workers this lands on per-worker bills and
+		// composes along the critical path.
+		if b := storage.BillFrom(s.ctx); b != nil {
+			b.ChargeScan(s.model, s.meta.Blocks[s.block].ColExtents[ord].Len)
+		}
+	}
 	return c, nil
 }
 
@@ -342,13 +496,24 @@ func (s *scanner) clauseImpossible(cl plan.Clause, bm colstore.BlockMeta) bool {
 
 // atomImpossible reports whether stats prove no value satisfies the atom:
 // the min/max range for ordered comparisons, plus the block's bloom filter
-// for equality (the "range bloom" of paper Fig. 6).
+// for equality (the "range bloom" of paper Fig. 6). NULL handling leans on
+// EvalAtom's guard ordering: a NULL value (or NULL literal) is false before
+// negation applies, so NULL rows satisfy neither an atom nor its negation
+// and never block pruning on their own.
 func atomImpossible(a plan.Atom, st colstore.Stats) bool {
-	if a.Negated || a.Op == sqlparser.OpNe || a.Op == sqlparser.OpContains {
-		return false
-	}
-	if st.Min.IsNull() { // all-NULL block: no comparison matches
+	if st.Min.IsNull() {
+		// Min is NULL exactly when the chunk has no non-NULL value; an
+		// all-NULL (or empty) chunk satisfies no atom, negated included.
 		return true
+	}
+	if a.Val.IsNull() {
+		// A NULL literal matches nothing, for every operator.
+		return true
+	}
+	if a.Negated || a.Op == sqlparser.OpContains {
+		// Min/max say nothing about substring membership or about what a
+		// negation misses in a mixed-NULL chunk.
+		return false
 	}
 	if a.Op == sqlparser.OpEq && st.Bloom != nil && !st.Bloom.MayContain(colstore.BloomKey(a.Val)) {
 		return true
@@ -361,6 +526,10 @@ func atomImpossible(a plan.Atom, st colstore.Stats) bool {
 	switch a.Op {
 	case sqlparser.OpEq:
 		return cmpMin < 0 || cmpMax > 0
+	case sqlparser.OpNe:
+		// Every non-NULL value equals val, so != matches no non-NULL row;
+		// NULL rows match nothing regardless.
+		return cmpMin == 0 && cmpMax == 0
 	case sqlparser.OpLt:
 		return cmpMin <= 0 // val <= min: nothing below val
 	case sqlparser.OpLe:
@@ -472,9 +641,14 @@ func positive(a plan.Atom) plan.Atom {
 	return a
 }
 
-// evalAtomOverColumn evaluates the atom for every record. Repeated columns
-// use ANY-element semantics.
+// evalAtomOverColumn evaluates the atom for every record. Simple
+// comparisons over flat columns take the vectorized kernel; repeated
+// columns (ANY-element semantics), CONTAINS, negation and booleans fall
+// back to the row-wise tree walk.
 func evalAtomOverColumn(a plan.Atom, col *colstore.Column, n int) *bitmap.Bitmap {
+	if out, ok := evalAtomKernel(a, col, n); ok {
+		return out
+	}
 	out := bitmap.New(n)
 	if col.Offsets != nil {
 		for r := 0; r < n; r++ {

@@ -1,0 +1,195 @@
+package exec
+
+import (
+	"repro/internal/bitmap"
+	"repro/internal/colstore"
+	"repro/internal/plan"
+	"repro/internal/sqlparser"
+	"repro/internal/types"
+)
+
+// Vectorized predicate kernels: simple comparison atoms (=, !=, <, <=, >, >=
+// over INT/FLOAT/STRING columns) are evaluated for a whole column chunk in
+// one tight typed loop that accumulates match bits in a register word,
+// instead of boxing every row into a types.Value and walking the expression
+// tree. The kernels are exact drop-in replacements for the row-at-a-time
+// path: NULL rows never match, and float comparisons reproduce
+// types.Compare's ordering (including its NaN-compares-equal collapse) by
+// being written in terms of < and > only.
+
+// evalAtomKernel evaluates the atom over a flat (non-repeated) column in a
+// typed loop. ok=false means the caller must fall back to the row-wise path
+// (repeated columns, CONTAINS, negated atoms, boolean operands, or a length
+// mismatch). A type pairing that types.Compare rejects matches no row, so it
+// yields an all-false bitmap — exactly what per-row EvalAtom produces.
+func evalAtomKernel(a plan.Atom, col *colstore.Column, n int) (*bitmap.Bitmap, bool) {
+	if a.Negated || a.Op == sqlparser.OpContains || col.Offsets != nil || col.Len() != n {
+		return nil, false
+	}
+	if col.Nulls != nil && col.Nulls.Len() != n {
+		return nil, false
+	}
+	switch a.Op {
+	case sqlparser.OpEq, sqlparser.OpNe, sqlparser.OpLt, sqlparser.OpLe, sqlparser.OpGt, sqlparser.OpGe:
+	default:
+		return nil, false
+	}
+	if a.Val.IsNull() {
+		// EvalAtom is false for every row against a NULL literal.
+		return bitmap.New(n), true
+	}
+	out := bitmap.New(n)
+	switch col.Type {
+	case types.Int64:
+		switch a.Val.T {
+		case types.Int64:
+			kernelCompare(col.Ints, a.Val.I, a.Op, out)
+		case types.Float64:
+			kernelCompareIntFloat(col.Ints, a.Val.F, a.Op, out)
+		default:
+			// Incomparable literal: no row matches.
+		}
+	case types.Float64:
+		if a.Val.T.Numeric() {
+			kernelCompare(col.Floats, a.Val.AsFloat(), a.Op, out)
+		}
+	case types.String:
+		if a.Val.T == types.String {
+			kernelCompare(col.Strs, a.Val.S, a.Op, out)
+		}
+	default:
+		return nil, false // booleans keep the row-wise path
+	}
+	if col.Nulls != nil {
+		// Values at NULL positions are zero-filled and may have matched;
+		// NULL satisfies no comparison.
+		out.AndNot(col.Nulls)
+	}
+	return out, true
+}
+
+// kernelCompare runs one comparison over the whole value slice, flushing
+// match bits a word at a time. The predicates are expressed with < and >
+// only so that float semantics match types.Compare exactly: NaN is neither
+// below nor above any value, which Compare collapses to "equal".
+func kernelCompare[T int64 | float64 | string](vals []T, v T, op sqlparser.BinaryOp, out *bitmap.Bitmap) {
+	var w uint64
+	wi := 0
+	flush := func(i int) {
+		if i&63 == 63 {
+			out.SetWord(wi, w)
+			wi++
+			w = 0
+		}
+	}
+	switch op {
+	case sqlparser.OpEq:
+		for i, x := range vals {
+			if !(x < v) && !(x > v) {
+				w |= 1 << uint(i&63)
+			}
+			flush(i)
+		}
+	case sqlparser.OpNe:
+		for i, x := range vals {
+			if x < v || x > v {
+				w |= 1 << uint(i&63)
+			}
+			flush(i)
+		}
+	case sqlparser.OpLt:
+		for i, x := range vals {
+			if x < v {
+				w |= 1 << uint(i&63)
+			}
+			flush(i)
+		}
+	case sqlparser.OpLe:
+		for i, x := range vals {
+			if !(x > v) {
+				w |= 1 << uint(i&63)
+			}
+			flush(i)
+		}
+	case sqlparser.OpGt:
+		for i, x := range vals {
+			if x > v {
+				w |= 1 << uint(i&63)
+			}
+			flush(i)
+		}
+	case sqlparser.OpGe:
+		for i, x := range vals {
+			if !(x < v) {
+				w |= 1 << uint(i&63)
+			}
+			flush(i)
+		}
+	}
+	if len(vals)&63 != 0 {
+		out.SetWord(wi, w)
+	}
+}
+
+// kernelCompareIntFloat compares an INT column against a FLOAT literal in
+// the float domain, mirroring types.Compare's mixed-numeric promotion.
+func kernelCompareIntFloat(vals []int64, v float64, op sqlparser.BinaryOp, out *bitmap.Bitmap) {
+	var w uint64
+	wi := 0
+	flush := func(i int) {
+		if i&63 == 63 {
+			out.SetWord(wi, w)
+			wi++
+			w = 0
+		}
+	}
+	switch op {
+	case sqlparser.OpEq:
+		for i, x := range vals {
+			f := float64(x)
+			if !(f < v) && !(f > v) {
+				w |= 1 << uint(i&63)
+			}
+			flush(i)
+		}
+	case sqlparser.OpNe:
+		for i, x := range vals {
+			f := float64(x)
+			if f < v || f > v {
+				w |= 1 << uint(i&63)
+			}
+			flush(i)
+		}
+	case sqlparser.OpLt:
+		for i, x := range vals {
+			if float64(x) < v {
+				w |= 1 << uint(i&63)
+			}
+			flush(i)
+		}
+	case sqlparser.OpLe:
+		for i, x := range vals {
+			if !(float64(x) > v) {
+				w |= 1 << uint(i&63)
+			}
+			flush(i)
+		}
+	case sqlparser.OpGt:
+		for i, x := range vals {
+			if float64(x) > v {
+				w |= 1 << uint(i&63)
+			}
+			flush(i)
+		}
+	case sqlparser.OpGe:
+		for i, x := range vals {
+			if !(float64(x) < v) {
+				w |= 1 << uint(i&63)
+			}
+			flush(i)
+		}
+	}
+	if len(vals)&63 != 0 {
+		out.SetWord(wi, w)
+	}
+}

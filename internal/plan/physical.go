@@ -77,6 +77,11 @@ type TaskSpec struct {
 	Plan      *PhysicalPlan
 	Partition PartitionMeta
 	Ordinal   int
+	// Workers is the intra-task scan parallelism: how many goroutines the
+	// executor may use to scan this partition's blocks concurrently.
+	// 0 means GOMAXPROCS. Results are identical for any value, so Workers
+	// is execution tuning and stays out of Key.
+	Workers int
 }
 
 // Key identifies the task's work content; identical keys compute identical

@@ -1,0 +1,87 @@
+package feisu
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/workload"
+)
+
+// parallelScanRun executes a deterministic query stream on a fresh system
+// with the given intra-task scan parallelism and returns per-query rendered
+// rows and ScanStats plus the final aggregated SmartIndex counters. Hedging
+// is disabled: it duplicates tasks off wall-clock EWMAs, which would make
+// the strict stat comparison racy.
+func parallelScanRun(t *testing.T, workers int, wlSeed, qSeed int64) ([]string, []exec.ScanStats, core.Stats) {
+	t.Helper()
+	sys, err := New(Config{
+		Leaves:            4,
+		ScanWorkers:       workers,
+		CacheBytes:        64 << 20,
+		HeartbeatInterval: -1,
+		HedgeDelay:        -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ctx := context.Background()
+	spec := workload.T1Spec()
+	spec.Partitions = 4
+	spec.RowsPerPart = 384
+	spec.Seed = wlSeed
+	meta, err := workload.Generate(ctx, sys.Router(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterTable(ctx, meta); err != nil {
+		t.Fatal(err)
+	}
+	queries := generateEquivalenceQueries(30, qSeed)
+	rows := make([]string, len(queries))
+	scans := make([]exec.ScanStats, len(queries))
+	for i, q := range queries {
+		res, stats, err := sys.QueryStats(ctx, q)
+		if err != nil {
+			t.Fatalf("workers=%d query %q: %v", workers, q, err)
+		}
+		rows[i] = renderRows(res)
+		scans[i] = stats.Scan
+	}
+	return rows, scans, sys.IndexStats()
+}
+
+// TestParallelScanEquivalence is the tentpole invariant: the parallel leaf
+// scan (8 workers striping blocks) must be bit-identical to the serial path
+// (1 worker) — same rows, same per-query ScanStats, same SmartIndex
+// hit/miss/store counters — across three workload seeds. Run under -race by
+// scripts/verify.sh, this doubles as the concurrency-safety check for
+// SmartIndex and the SSD cache under concurrent scanners.
+func TestParallelScanEquivalence(t *testing.T) {
+	for _, seed := range []int64{11, 22, 33} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			serialRows, serialScans, serialIdx := parallelScanRun(t, 1, seed, seed*7)
+			parRows, parScans, parIdx := parallelScanRun(t, 8, seed, seed*7)
+			queries := generateEquivalenceQueries(30, seed*7)
+			for i := range serialRows {
+				if parRows[i] != serialRows[i] {
+					t.Fatalf("rows diverged on %q:\nparallel: %s\nserial:   %s", queries[i], parRows[i], serialRows[i])
+				}
+				if !reflect.DeepEqual(parScans[i], serialScans[i]) {
+					t.Fatalf("ScanStats diverged on %q:\nparallel: %+v\nserial:   %+v", queries[i], parScans[i], serialScans[i])
+				}
+			}
+			if serialIdx.Hits+serialIdx.DerivedHits == 0 {
+				t.Fatal("serial run recorded no SmartIndex hits; the comparison is vacuous")
+			}
+			if !reflect.DeepEqual(parIdx, serialIdx) {
+				t.Fatalf("SmartIndex counters diverged:\nparallel: %+v\nserial:   %+v", parIdx, serialIdx)
+			}
+		})
+	}
+}

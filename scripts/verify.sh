@@ -38,4 +38,7 @@ go run ./cmd/feisu -smoke-telemetry -rows 256 -parts 2
 echo "== chaos smoke (seeded fault injection, seed 1)"
 go run ./cmd/feisu-bench -exp chaos -seed 1 -short -scale small
 
+echo "== parscan smoke (intra-task parallel scan, 2x scan-time floor at 4 workers)"
+go run ./cmd/feisu-bench -exp parscan -short -scale small
+
 echo "verify: OK"
