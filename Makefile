@@ -12,7 +12,8 @@ race:
 vet:
 	go vet ./...
 
-# verify is the full pre-merge gate: vet + build + tier-1 tests + race suite.
+# verify is the full pre-merge gate: gofmt + vet + build + tier-1 tests +
+# race suite + internal/cluster coverage floor + experiment smokes.
 verify:
 	./scripts/verify.sh
 

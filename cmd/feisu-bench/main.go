@@ -38,6 +38,7 @@ var registry = []struct {
 	{"fleet", "fleet telemetry: latency quantiles while SmartIndex warms", experiments.Fleet},
 	{"chaos", "correctness under seeded fault injection (retries/hedges/partials)", experiments.Chaos},
 	{"parscan", "intra-task parallel scan speedup at 1/2/4/8 workers", experiments.Parscan},
+	{"admission", "admission control: tail latency and goodput vs offered load", experiments.Admission},
 }
 
 func main() {
@@ -53,6 +54,7 @@ func main() {
 	experiments.ChaosSeed = *seed
 	experiments.ChaosShort = *short
 	experiments.ParscanShort = *short
+	experiments.AdmissionShort = *short
 
 	if *list {
 		for _, e := range registry {

@@ -49,12 +49,20 @@ func main() {
 	slowSim := flag.Duration("slow-sim", 0, "record queries with simulated time >= this in the slow-query log")
 	smoke := flag.Bool("smoke-telemetry", false, "start the exporter on an ephemeral port, scrape it once, and exit (CI smoke test)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "enable the deterministic fault-injection plane with this seed (0 = off); same seed = same failure schedule")
+	maxQueries := flag.Int("max-queries", 0, "admission control: max concurrent queries (0 = unlimited, no admission queue)")
+	queueDepth := flag.Int("queue-depth", 0, "admission control: per-class queue depth (0 = 2x max-queries)")
+	queueDeadline := flag.Duration("queue-deadline", 0, "admission control: shed queries queued longer than this (0 = wait forever)")
+	leafSlots := flag.Int("leaf-slots", 0, "max concurrent task dispatches per leaf (0 = unbounded)")
 	flag.Parse()
 
 	cfg := feisu.Config{
 		Leaves:                 *leaves,
 		SlowQueryWallThreshold: *slowWall,
 		SlowQuerySimThreshold:  *slowSim,
+		MaxConcurrentQueries:   *maxQueries,
+		MaxQueueDepth:          *queueDepth,
+		QueueWaitDeadline:      *queueDeadline,
+		LeafSlots:              *leafSlots,
 	}
 	if *chaosSeed != 0 {
 		cfg.Chaos = chaos.Default(*chaosSeed)

@@ -1,0 +1,118 @@
+package feisu
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// newGoldenSystem builds a one-partition deployment whose plans and traces
+// are deterministic: serial scans (ScanWorkers -1), no background heartbeat
+// ticker, admission control on (so EXPLAIN ANALYZE carries the queue-wait
+// line), and T1 resident on the in-memory store so placement never depends
+// on replica choice.
+func newGoldenSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := New(Config{
+		Leaves:               2,
+		HeartbeatInterval:    -1,
+		ScanWorkers:          -1,
+		MaxConcurrentQueries: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+
+	spec := workload.T1Spec()
+	spec.PathPrefix = "/mem/t1"
+	spec.Partitions = 1
+	spec.RowsPerPart = 256
+	spec.Fields = 10
+	ctx := context.Background()
+	meta, err := workload.Generate(ctx, sys.Router(), spec)
+	if err == nil {
+		err = sys.RegisterTable(ctx, meta)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// normalizeTrace blanks the volatile tokens of an execution trace — sim and
+// wall durations vary with the host — while keeping structure, counters and
+// attributes exact.
+var durToken = regexp.MustCompile(`(sim|wall)=\S+`)
+
+func normalizeTrace(text string) string {
+	return durToken.ReplaceAllString(text, "$1=<dur>")
+}
+
+// checkGolden compares got against testdata/<name>.golden. Run with
+// UPDATE_GOLDEN=1 to regenerate the files after an intentional format
+// change (see docs/TESTING.md).
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if !strings.HasSuffix(got, "\n") {
+		got += "\n"
+	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s (run with UPDATE_GOLDEN=1 to create it): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden file.\ngot:\n%s\nwant:\n%s\n(run UPDATE_GOLDEN=1 go test if the change is intentional)",
+			path, got, want)
+	}
+}
+
+// resultText reassembles a textResult (EXPLAIN output) into the original
+// multi-line string.
+func resultText(res *Result) string {
+	lines := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		lines[i] = row[0].S
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestExplainGolden(t *testing.T) {
+	sys := newGoldenSystem(t)
+	res, err := sys.Query(context.Background(),
+		"EXPLAIN SELECT uid, clicks FROM T1 WHERE clicks > 3 AND dwell <= 120 ORDER BY uid LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "explain", resultText(res))
+}
+
+func TestExplainAnalyzeGolden(t *testing.T) {
+	sys := newGoldenSystem(t)
+	res, err := sys.Query(context.Background(),
+		"EXPLAIN ANALYZE SELECT COUNT(*), SUM(clicks) FROM T1 WHERE clicks > 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := normalizeTrace(resultText(res))
+	// The admission queue-wait line must be part of the golden trace.
+	if !strings.Contains(text, "admission") || !strings.Contains(text, "wait=") {
+		t.Fatalf("EXPLAIN ANALYZE trace lacks the admission queue-wait line:\n%s", text)
+	}
+	checkGolden(t, "explain_analyze", text)
+}

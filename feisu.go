@@ -57,7 +57,24 @@ type (
 	Result = exec.Result
 	// QueryStats reports how a query executed.
 	QueryStats = cluster.QueryStats
+	// Priority is a query's admission class.
+	Priority = cluster.Priority
+	// OverloadedError is the typed load-shedding error returned when
+	// admission control sheds a query; it carries a retry-after hint.
+	OverloadedError = cluster.OverloadedError
 )
+
+// Admission priority classes.
+const (
+	// PriorityInteractive is the default class (larger weighted-fair share).
+	PriorityInteractive = cluster.PriorityInteractive
+	// PriorityBatch marks throughput-oriented queries that yield to
+	// interactive traffic under load.
+	PriorityBatch = cluster.PriorityBatch
+)
+
+// ErrOverloaded matches (errors.Is) every admission-control shed.
+var ErrOverloaded = cluster.ErrOverloaded
 
 // Scalar type tags for Field definitions.
 const (
@@ -183,6 +200,21 @@ type Config struct {
 	// to GOMAXPROCS on the leaf; negative forces serial scans. Query
 	// results are identical for any setting.
 	ScanWorkers int
+	// MaxConcurrentQueries caps queries executing at once; excess
+	// submissions wait in the master's admission queue (weighted-fair
+	// between priority classes) and are shed with ErrOverloaded beyond
+	// MaxQueueDepth. <=0 disables admission control.
+	MaxConcurrentQueries int
+	// MaxQueueDepth bounds each priority class's admission queue; 0
+	// defaults to 2×MaxConcurrentQueries.
+	MaxQueueDepth int
+	// QueueWaitDeadline sheds queries still queued after this wait; 0 lets
+	// them wait as long as their context allows.
+	QueueWaitDeadline time.Duration
+	// LeafSlots caps concurrent task dispatches per leaf: the scheduler
+	// prefers leaves with spare slots and stems bound in-flight calls per
+	// leaf. <=0 means unbounded.
+	LeafSlots int
 }
 
 // System is an in-process Feisu deployment.
@@ -313,6 +345,11 @@ func New(cfg Config) (*System, error) {
 		LivenessWindow:     time.Minute,
 		LocalityOff:        cfg.LocalityOff,
 		Metrics:            sys.metrics,
+
+		MaxConcurrentQueries: cfg.MaxConcurrentQueries,
+		MaxQueueDepth:        cfg.MaxQueueDepth,
+		QueueWaitDeadline:    cfg.QueueWaitDeadline,
+		LeafSlots:            cfg.LeafSlots,
 	}
 	if cfg.PersonalizeThreshold > 0 {
 		sys.history = &History{
@@ -601,10 +638,11 @@ func (s *System) QueryStats(ctx context.Context, sql string, opts ...QueryOption
 }
 
 // ClusterHealth returns the master's aggregate fleet view: per-node
-// alive/degraded/dead state with the load gauges carried by heartbeats.
+// alive/degraded/dead state with the load gauges carried by heartbeats,
+// plus the admission-queue state when admission control is on.
 // Render it with ClusterHealth().Render() (the \top dashboard).
 func (s *System) ClusterHealth() cluster.ClusterHealth {
-	return s.master.Manager.Health()
+	return s.master.Health()
 }
 
 // Slowlog returns the slow-query ring buffer, or nil when no slow-query
@@ -634,7 +672,7 @@ func (s *System) ChaosTick() {
 func (s *System) StartTelemetry(addr string, enablePprof bool) (*telemetry.Server, error) {
 	return telemetry.Start(addr, telemetry.Options{
 		Registry:    s.metrics,
-		Health:      s.master.Manager.Health,
+		Health:      s.master.Health,
 		Slowlog:     s.slowlog,
 		EnablePprof: enablePprof,
 	})
@@ -728,6 +766,19 @@ func WithPartialResults() QueryOption {
 // first result wins. Negative d disables hedging for the query.
 func WithHedging(d time.Duration) QueryOption {
 	return func(o *cluster.QueryOptions) { o.HedgeDelay = d }
+}
+
+// WithPriority sets the query's admission class (interactive by default).
+// Batch queries yield execution slots to interactive traffic under load.
+func WithPriority(p Priority) QueryOption {
+	return func(o *cluster.QueryOptions) { o.Priority = p }
+}
+
+// WithQueueDeadline bounds this query's admission-queue wait; past it the
+// query is shed with an *OverloadedError (errors.Is(err, ErrOverloaded))
+// carrying a retry-after hint. Overrides Config.QueueWaitDeadline.
+func WithQueueDeadline(d time.Duration) QueryOption {
+	return func(o *cluster.QueryOptions) { o.QueueDeadline = d }
 }
 
 // Explain plans the query without executing it and returns a human-readable

@@ -40,6 +40,14 @@ func (k WorkerKind) String() string {
 type QueryOptions struct {
 	// Token authenticates the caller with the entry guard.
 	Token string
+	// Priority is the query's admission class (interactive by default).
+	// Batch queries get a smaller weighted-fair share of execution slots
+	// under load.
+	Priority Priority
+	// QueueDeadline bounds how long this query may wait in the admission
+	// queue before being shed with *OverloadedError; 0 uses the cluster
+	// default (MasterConfig.QueueWaitDeadline).
+	QueueDeadline time.Duration
 	// TimeLimit bounds wall-clock execution; expired queries return the
 	// partial result accumulated so far when MinProcessedRatio is met
 	// (paper §III-B: "directly limit the total elapse time").
@@ -94,6 +102,12 @@ type QueryStats struct {
 	// under QueryOptions.PartialResults).
 	TaskErrors []TaskError
 	Scan       exec.ScanStats
+	// QueueWait is the time spent in the master's admission queue before an
+	// execution slot was granted (0 when admission control is off or the
+	// query was admitted immediately).
+	QueueWait time.Duration
+	// Priority is the admission class the query ran under.
+	Priority Priority
 	// SimTime is the cost-model response time: the critical path through
 	// leaves and stems plus result transfers (DESIGN.md §2).
 	SimTime time.Duration
@@ -179,6 +193,9 @@ type stemJobMsg struct {
 	// HedgeDelay is how long the stem waits on the primary before firing
 	// the backup; required when Backup is non-empty.
 	HedgeDelay time.Duration
+	// LeafSlots bounds the stem's concurrent calls per leaf — the stem-side
+	// half of the scheduler's per-leaf slot accounting. <=0 means unbounded.
+	LeafSlots int
 }
 
 // taskStatus reports one task's outcome inside a stem reply.

@@ -101,6 +101,9 @@ type NodeHealth struct {
 type ClusterHealth struct {
 	Nodes                 []NodeHealth // sorted by name
 	Alive, Degraded, Dead int
+	// Admission is the master's admission-queue state (zero/disabled when
+	// the view comes straight from a ClusterManager or admission is off).
+	Admission AdmissionSnapshot
 }
 
 // Healthy reports whether every known node is alive.
@@ -165,6 +168,7 @@ func (m *ClusterManager) Health() ClusterHealth {
 func (h ClusterHealth) Render() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "cluster: %d alive, %d degraded, %d dead\n", h.Alive, h.Degraded, h.Dead)
+	sb.WriteString(h.Admission.Render())
 	fmt.Fprintf(&sb, "%-8s %-5s %-9s %6s %6s %6s %10s %12s %7s %9s %s\n",
 		"NODE", "KIND", "STATE", "ACTIVE", "QUEUE", "INFLT", "TASKS", "IDX_BYTES", "IDX_N", "CACHE_HIT", "AGE")
 	for _, n := range h.Nodes {

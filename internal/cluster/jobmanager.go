@@ -84,6 +84,15 @@ func (j *JobManager) claimTask(key string) (*taskFuture, bool) {
 	return f, true
 }
 
+// InflightTasks returns the number of task futures currently registered —
+// a monotone-while-blocked gauge deterministic test barriers poll to know
+// every task of a gated query has been claimed.
+func (j *JobManager) InflightTasks() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.inflight)
+}
+
 // completeTask publishes a task result and retires the future.
 func (j *JobManager) completeTask(key string, f *taskFuture, res *exec.TaskResult, err error) {
 	f.result, f.err = res, err

@@ -158,8 +158,11 @@ func (m *ClusterManager) Stragglers(kind WorkerKind, factor float64) []string {
 	return out
 }
 
-// Load returns the worker's known load (heartbeat-reported plus tasks this
-// master has in flight).
+// Load returns the worker's known load: the last heartbeat's active plus
+// queued tasks (LoadSnapshot pressure) plus tasks this master has dispatched
+// and not yet seen finish. The scheduler breaks locality ties by this value,
+// so a leaf with a deep execution queue sheds new placements to its
+// replicas.
 func (m *ClusterManager) Load(name string) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -167,7 +170,7 @@ func (m *ClusterManager) Load(name string) int {
 	if !ok {
 		return 0
 	}
-	return w.active + w.inflight
+	return w.active + w.load.QueueDepth + w.inflight
 }
 
 // AddInflight adjusts the dispatch-side load tracker.

@@ -60,6 +60,25 @@ type MasterConfig struct {
 	// dispatched task (plan.TaskSpec.Workers); 0 lets leaves default to
 	// GOMAXPROCS, negative forces serial scans.
 	ScanWorkers int
+	// MaxConcurrentQueries caps queries executing at once; excess submissions
+	// wait in the admission queue. <=0 disables admission control.
+	MaxConcurrentQueries int
+	// MaxQueueDepth bounds each priority class's admission queue; arrivals
+	// beyond it are shed with *OverloadedError. 0 defaults to
+	// 2×MaxConcurrentQueries.
+	MaxQueueDepth int
+	// QueueWaitDeadline sheds queries still queued after this wait; 0 lets
+	// them wait as long as their context allows. QueryOptions.QueueDeadline
+	// overrides per query.
+	QueueWaitDeadline time.Duration
+	// InteractiveWeight / BatchWeight set the weighted-fair dequeue shares;
+	// 0 defaults to 4:1.
+	InteractiveWeight int
+	BatchWeight       int
+	// LeafSlots caps concurrent task placements per leaf (scheduler side)
+	// and concurrent in-flight leaf calls per stem job (stem side); <=0
+	// means unbounded.
+	LeafSlots int
 	// LivenessWindow configures the cluster manager.
 	LivenessWindow time.Duration
 	// LocalityOff disables locality-aware placement (ablation).
@@ -86,6 +105,11 @@ type Master struct {
 	Manager   *ClusterManager
 	Scheduler *JobScheduler
 	Guard     *EntryGuard
+	// Admission is the bounded query queue; nil when admission control is
+	// off (MaxConcurrentQueries <= 0).
+	Admission *AdmissionController
+	// queueWait records admitted queries' queue time in seconds.
+	queueWait *metrics.Histogram
 	reader    *exec.StoreReader
 	localStem *StemServer
 
@@ -128,11 +152,21 @@ func NewMaster(cfg MasterConfig) *Master {
 		reader:  exec.NewStoreReader(cfg.Router),
 	}
 	m.Scheduler = &JobScheduler{
-		Manager:     m.Manager,
-		Router:      cfg.Router,
-		Topo:        cfg.Fabric.Topology(),
-		LocalityOff: cfg.LocalityOff,
+		Manager:      m.Manager,
+		Locator:      cfg.Router,
+		Topo:         cfg.Fabric.Topology(),
+		SlotsPerLeaf: cfg.LeafSlots,
+		LocalityOff:  cfg.LocalityOff,
 	}
+	m.Admission = NewAdmissionController(AdmissionConfig{
+		MaxConcurrent: cfg.MaxConcurrentQueries,
+		MaxQueueDepth: cfg.MaxQueueDepth,
+		QueueDeadline: cfg.QueueWaitDeadline,
+		Weights: [numPriorities]int{
+			PriorityInteractive: cfg.InteractiveWeight,
+			PriorityBatch:       cfg.BatchWeight,
+		},
+	})
 	if cfg.Authority != nil {
 		m.Guard = &EntryGuard{Authority: cfg.Authority, Quotas: cfg.Quotas, MaxQueryBytes: cfg.MaxQueryBytes}
 	}
@@ -146,6 +180,21 @@ func NewMaster(cfg MasterConfig) *Master {
 	cfg.Metrics.Register("master.hedges_fired", &m.HedgesFired)
 	cfg.Metrics.Register("master.hedges_won", &m.HedgesWon)
 	cfg.Metrics.Register("master.partial_results", &m.Partials)
+	if m.Admission != nil && cfg.Metrics != nil {
+		m.queueWait = cfg.Metrics.HistogramWith("feisu_admission_wait_seconds")
+		for c := Priority(0); c < numPriorities; c++ {
+			c := c
+			label := metrics.Label{Key: "class", Value: c.String()}
+			cfg.Metrics.RegisterCounterWith("feisu_admission_admitted_total", &m.Admission.Admitted[c], label)
+			cfg.Metrics.RegisterCounterWith("feisu_admission_shed_total", &m.Admission.Shed[c], label)
+			cfg.Metrics.RegisterGaugeFunc("feisu_admission_queue_depth", func() float64 {
+				return float64(m.Admission.QueueDepth(c))
+			}, label)
+		}
+		cfg.Metrics.RegisterGaugeFunc("feisu_admission_running", func() float64 {
+			return float64(m.Admission.Running())
+		})
+	}
 	return m
 }
 
@@ -171,6 +220,14 @@ func (m *Master) handle(ctx context.Context, from string, payload any) (any, err
 	default:
 		return nil, fmt.Errorf("cluster: master %s: unknown message %T", m.cfg.Name, payload)
 	}
+}
+
+// Health returns the fleet view with this master's admission state folded
+// in (the ClusterManager alone cannot see the admission queue).
+func (m *Master) Health() ClusterHealth {
+	h := m.Manager.Health()
+	h.Admission = m.Admission.Snapshot()
+	return h
 }
 
 // Standby reports whether the master is a backup.
@@ -275,11 +332,33 @@ func (m *Master) submit(ctx context.Context, sql string, opts QueryOptions) (*ex
 	if stmt.Analyze {
 		opts.Trace = true
 	}
+
+	// Admission control: wait for an execution slot (weighted-fair between
+	// classes) or shed with a typed retry-after error. Everything above is
+	// cheap planning work; the slot bounds actual execution.
+	stats.Priority = opts.Priority
+	release, queueWait, err := m.Admission.Admit(ctx, opts.Priority, opts.QueueDeadline)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer release()
+	stats.QueueWait = queueWait
+	if m.queueWait != nil {
+		m.queueWait.Observe(queueWait.Seconds())
+	}
+
 	var root *trace.Span
 	if opts.Trace {
 		root = trace.New("master/query")
 		stats.Trace = root
 		ctx = trace.NewContext(ctx, root)
+		if m.Admission != nil {
+			aspan := root.Child("master/admission")
+			aspan.SetAttr("class", opts.Priority.String())
+			aspan.SetAttr("wait", queueWait.String())
+			aspan.SetWall(queueWait)
+			aspan.Finish()
+		}
 	}
 
 	if m.cfg.Observer != nil {
@@ -524,6 +603,16 @@ func (m *Master) runAll(ctx context.Context, p *plan.PhysicalPlan, tasks []plan.
 
 	// Dispatch owned tasks grouped per stem; fall back to direct leaf
 	// calls when no stem servers are alive.
+	// heldSlots tracks owned tasks' placement slots (charged by PlanAll);
+	// each is released when the task's terminal outcome is collected, so
+	// concurrent queries' placements see each other's live claims. Only the
+	// collection loop below touches it.
+	heldSlots := make(map[int]string)
+	defer func() {
+		for _, leaf := range heldSlots {
+			m.Scheduler.ReleaseTask(leaf)
+		}
+	}()
 	if len(owned) > 0 {
 		assign, err := m.Scheduler.PlanAll(owned)
 		if err != nil {
@@ -540,12 +629,16 @@ func (m *Master) runAll(ctx context.Context, p *plan.PhysicalPlan, tasks []plan.
 		// below is the synchronization point — no WaitGroup needed, and the
 		// `go func() { wg.Wait() }()` this used to launch leaked a goroutine
 		// per query.
+		for ord, leaf := range assign {
+			heldSlots[ord] = leaf
+		}
 		backup, hedgeDelay := m.planHedges(owned, assign, opts)
 		byStem := m.groupByStem(owned, assign)
 		for stemName, group := range byStem {
 			go func(stemName string, group []plan.TaskSpec) {
 				job := stemJobMsg{Plan: p, Tasks: group, Assign: assign, TaskTimeout: timeout,
-					PerTask: !opts.DisableReuse, Backup: backup, HedgeDelay: hedgeDelay}
+					PerTask: !opts.DisableReuse, Backup: backup, HedgeDelay: hedgeDelay,
+					LeafSlots: m.Scheduler.SlotsPerLeaf}
 				reply, err := m.callStem(ctx, stemName, job)
 				for _, t := range group {
 					d := taskDone{ordinal: t.Ordinal, leaf: assign[t.Ordinal]}
@@ -593,6 +686,10 @@ func (m *Master) runAll(ctx context.Context, p *plan.PhysicalPlan, tasks []plan.
 	for i := 0; i < len(tasks); i++ {
 		select {
 		case d := <-results:
+			if leaf, ok := heldSlots[d.ordinal]; ok {
+				m.Scheduler.ReleaseTask(leaf)
+				delete(heldSlots, d.ordinal)
+			}
 			if d.hedged {
 				stats.HedgedTasks++
 				m.HedgesFired.Inc()

@@ -6,9 +6,14 @@ import (
 	"sync"
 
 	"repro/internal/plan"
-	"repro/internal/storage"
 	"repro/internal/transport"
 )
+
+// Locator resolves a partition path to the nodes holding a replica of it.
+// *storage.Router implements it; tests inject fixed placements.
+type Locator interface {
+	Locations(path string) []string
+}
 
 // JobScheduler creates scheduling plans: it places each sub-plan on the
 // leaf that holds the data when available, otherwise on a replica holder,
@@ -16,11 +21,20 @@ import (
 // and the lightest load (paper §III-B: "Feisu always schedules a task to
 // the leaf server that contains the data if the server is available ...
 // otherwise to an available server that has a low network transfer
-// overhead").
+// overhead"). Placement is load-aware: ties at equal locality break by the
+// live heartbeat load (active + queued tasks plus this master's in-flight
+// dispatches), and SlotsPerLeaf caps how many concurrent tasks a leaf may
+// be assigned — a saturated holder sheds new placements to a replica
+// instead of queueing blind behind its backlog.
 type JobScheduler struct {
 	Manager *ClusterManager
-	Router  *storage.Router
+	Locator Locator
 	Topo    *transport.Topology
+	// SlotsPerLeaf caps a leaf's concurrent task load at placement time;
+	// <=0 means unbounded. When every candidate is saturated the cap is
+	// waived and the least-loaded candidate is used: the admission queue
+	// upstream, not placement failure, is the overload defense.
+	SlotsPerLeaf int
 	// LocalityOff disables data-locality placement (ablation benchmark):
 	// tasks land on uniformly random alive leaves.
 	LocalityOff bool
@@ -31,6 +45,12 @@ type JobScheduler struct {
 
 // Place picks a leaf for the task, excluding the given nodes (used when
 // issuing backup tasks). It returns an error when no leaf is alive.
+//
+// Selection order:
+//  1. among candidates under the slot cap (all candidates when every one is
+//     saturated): a live data holder with the lowest load, ties by name;
+//  2. otherwise the candidate minimizing (network distance to the nearest
+//     holder, load, name).
 func (s *JobScheduler) Place(task plan.TaskSpec, exclude map[string]bool) (string, error) {
 	alive := s.Manager.AliveWorkers(KindLeaf)
 	candidates := make([]string, 0, len(alive))
@@ -52,16 +72,33 @@ func (s *JobScheduler) Place(task plan.TaskSpec, exclude map[string]bool) (strin
 		return pick, nil
 	}
 
-	holders := s.Router.Locations(task.Partition.Path)
+	// Per-leaf slots: restrict to leaves with spare capacity; when the whole
+	// candidate set is saturated, waive the cap (see SlotsPerLeaf).
+	pool := candidates
+	if s.SlotsPerLeaf > 0 {
+		open := make([]string, 0, len(candidates))
+		for _, c := range candidates {
+			if s.Manager.Load(c) < s.SlotsPerLeaf {
+				open = append(open, c)
+			}
+		}
+		if len(open) > 0 {
+			pool = open
+		}
+	}
+
+	holders := s.Locator.Locations(task.Partition.Path)
 	{
-		// First choice: a live data holder, least loaded.
-		best := ""
-		for _, h := range holders {
-			if !contains(candidates, h) {
+		// First choice: a live data holder with capacity, least loaded;
+		// equal loads break by name so placement is deterministic.
+		best, bestLoad := "", 0
+		for _, h := range pool {
+			if !contains(holders, h) {
 				continue
 			}
-			if best == "" || s.Manager.Load(h) < s.Manager.Load(best) {
-				best = h
+			l := s.Manager.Load(h)
+			if best == "" || l < bestLoad || (l == bestLoad && h < best) {
+				best, bestLoad = h, l
 			}
 		}
 		if best != "" {
@@ -69,12 +106,12 @@ func (s *JobScheduler) Place(task plan.TaskSpec, exclude map[string]bool) (strin
 		}
 	}
 
-	// Fallback: minimize (network distance to nearest holder, load).
-	best := candidates[0]
+	// Fallback: minimize (network distance to nearest holder, load, name).
+	best := pool[0]
 	bestDist, bestLoad := s.distance(best, holders), s.Manager.Load(best)
-	for _, c := range candidates[1:] {
+	for _, c := range pool[1:] {
 		d, l := s.distance(c, holders), s.Manager.Load(c)
-		if d < bestDist || (d == bestDist && l < bestLoad) {
+		if d < bestDist || (d == bestDist && (l < bestLoad || (l == bestLoad && c < best))) {
 			best, bestDist, bestLoad = c, d, l
 		}
 	}
@@ -105,7 +142,12 @@ func contains(list []string, s string) bool {
 	return false
 }
 
-// PlanAll assigns every task, spreading load as it goes.
+// PlanAll assigns every task, spreading load as it goes. The provisional
+// per-leaf in-flight counts stay charged until the caller invokes the
+// returned release function per task (ReleaseTask) or wholesale — they are
+// the dispatch-side half of the per-leaf slot accounting, so concurrent
+// queries planning against the same fleet see each other's assignments.
+// On error nothing stays charged.
 func (s *JobScheduler) PlanAll(tasks []plan.TaskSpec) (map[int]string, error) {
 	assign := make(map[int]string, len(tasks))
 	bumped := make([]string, 0, len(tasks))
@@ -118,14 +160,18 @@ func (s *JobScheduler) PlanAll(tasks []plan.TaskSpec) (map[int]string, error) {
 			return nil, err
 		}
 		assign[t.Ordinal] = leaf
-		// Count the pending dispatch so subsequent placements spread.
+		// Count the pending dispatch so subsequent placements spread and
+		// other queries' slot checks see this one's claim.
 		s.Manager.AddInflight(leaf, 1)
 		bumped = append(bumped, leaf)
 	}
-	// The caller dispatches immediately; release the provisional counts
-	// (the stems re-report real load via heartbeats).
-	for _, b := range bumped {
-		s.Manager.AddInflight(b, -1)
-	}
 	return assign, nil
+}
+
+// ReleaseTask returns one task's placement slot (call once per assigned
+// task when its terminal outcome is known).
+func (s *JobScheduler) ReleaseTask(leaf string) {
+	if leaf != "" {
+		s.Manager.AddInflight(leaf, -1)
+	}
 }

@@ -1,0 +1,264 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/transport"
+)
+
+// mapLocator is a fixed partition→holders placement for scheduler tests.
+type mapLocator map[string][]string
+
+func (m mapLocator) Locations(path string) []string { return m[path] }
+
+func taskFor(path string) plan.TaskSpec {
+	return plan.TaskSpec{Partition: plan.PartitionMeta{Path: path}}
+}
+
+// schedState is one randomly generated cluster state for the property run.
+type schedState struct {
+	sched  *JobScheduler
+	mgr    *ClusterManager
+	alive  []string
+	loads  map[string]int
+	holder map[string]bool // alive holders of the probed partition
+}
+
+// genState builds a random scheduler state: n leaves, a random alive subset,
+// random heartbeat loads, random replica holders for partition /p, and a
+// random slot cap.
+func genState(rng *rand.Rand) schedState {
+	n := 2 + rng.Intn(6) // 2..7 leaves
+	mgr := NewClusterManager(time.Minute)
+	fixed := time.Unix(1_480_000_000, 0)
+	mgr.Now = func() time.Time { return fixed }
+	topo := transport.NewTopology()
+
+	st := schedState{
+		mgr:    mgr,
+		loads:  map[string]int{},
+		holder: map[string]bool{},
+	}
+	var all []string
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("leaf-%d", i)
+		all = append(all, name)
+		topo.Place(name, fmt.Sprintf("rack-%d", rng.Intn(3)), "dc-0")
+		if rng.Intn(4) == 0 {
+			continue // dead: never heartbeats
+		}
+		load := rng.Intn(6)
+		mgr.HeartbeatLoad(name, KindLeaf, LoadSnapshot{ActiveTasks: load})
+		st.alive = append(st.alive, name)
+		st.loads[name] = load
+	}
+	holders := make([]string, 0, 2)
+	for _, l := range all {
+		if rng.Intn(3) == 0 {
+			holders = append(holders, l)
+		}
+	}
+	for _, h := range holders {
+		if mgr.Alive(h) {
+			st.holder[h] = true
+		}
+	}
+	slots := 0
+	if rng.Intn(2) == 0 {
+		slots = 1 + rng.Intn(5)
+	}
+	st.sched = &JobScheduler{
+		Manager:      mgr,
+		Locator:      mapLocator{"/p": holders},
+		Topo:         topo,
+		SlotsPerLeaf: slots,
+	}
+	return st
+}
+
+// TestPlaceProperties drives Place over many random cluster states and
+// checks the scheduler's invariants (ISSUE satellite 2):
+//
+//  1. the placed leaf is always alive;
+//  2. with no slot cap, the placed leaf is a data holder whenever any
+//     holder is alive;
+//  3. with a slot cap, the placed leaf is under the cap whenever any
+//     alive candidate is under the cap (the cap is only ever waived when
+//     the whole fleet is saturated).
+func TestPlaceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 2000; iter++ {
+		st := genState(rng)
+		leaf, err := st.sched.Place(taskFor("/p"), nil)
+		if len(st.alive) == 0 {
+			if err == nil {
+				t.Fatalf("iter %d: no alive leaves but Place returned %q", iter, leaf)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("iter %d: Place failed with %d alive leaves: %v", iter, len(st.alive), err)
+		}
+		if !st.mgr.Alive(leaf) {
+			t.Fatalf("iter %d: placed on dead leaf %q (alive=%v)", iter, leaf, st.alive)
+		}
+		if st.sched.SlotsPerLeaf <= 0 && len(st.holder) > 0 && !st.holder[leaf] {
+			t.Fatalf("iter %d: placed on non-holder %q while holders %v are alive (no slot cap)",
+				iter, leaf, st.holder)
+		}
+		if cap := st.sched.SlotsPerLeaf; cap > 0 {
+			anyOpen := false
+			for _, a := range st.alive {
+				if st.loads[a] < cap {
+					anyOpen = true
+				}
+			}
+			if anyOpen && st.loads[leaf] >= cap {
+				t.Fatalf("iter %d: placed on saturated leaf %q (load=%d cap=%d) while capacity existed",
+					iter, leaf, st.loads[leaf], cap)
+			}
+		}
+	}
+}
+
+// TestPlaceLoadAwareTieBreaks pins the deterministic selection order on
+// hand-built states: holder preference, load tie-breaks, lexicographic final
+// tie-break, distance-first fallback, slot-cap shedding and cap waiver.
+func TestPlaceLoadAwareTieBreaks(t *testing.T) {
+	fixed := time.Unix(1_480_000_000, 0)
+	build := func(loads map[string]int, holders []string, slots int, topoFn func(*transport.Topology)) *JobScheduler {
+		mgr := NewClusterManager(time.Minute)
+		mgr.Now = func() time.Time { return fixed }
+		topo := transport.NewTopology()
+		for name, load := range loads {
+			mgr.HeartbeatLoad(name, KindLeaf, LoadSnapshot{ActiveTasks: load})
+			topo.Place(name, "rack-a", "dc-0")
+		}
+		if topoFn != nil {
+			topoFn(topo)
+		}
+		return &JobScheduler{
+			Manager:      mgr,
+			Locator:      mapLocator{"/p": holders},
+			Topo:         topo,
+			SlotsPerLeaf: slots,
+		}
+	}
+
+	cases := []struct {
+		name    string
+		loads   map[string]int
+		holders []string
+		slots   int
+		topoFn  func(*transport.Topology)
+		want    string
+	}{
+		{
+			name:    "least loaded holder wins",
+			loads:   map[string]int{"l1": 5, "l2": 1, "l3": 0},
+			holders: []string{"l1", "l2"},
+			want:    "l2",
+		},
+		{
+			name:    "equal holder load ties by name",
+			loads:   map[string]int{"l2": 3, "l1": 3, "l3": 0},
+			holders: []string{"l2", "l1"},
+			want:    "l1",
+		},
+		{
+			name:    "dead holders fall back to nearest leaf",
+			loads:   map[string]int{"l1": 2, "l2": 2},
+			holders: []string{"gone"},
+			topoFn: func(topo *transport.Topology) {
+				topo.Place("gone", "rack-b", "dc-0")
+				topo.Place("l2", "rack-b", "dc-0") // same rack as the holder
+			},
+			want: "l2",
+		},
+		{
+			name:    "equal distance breaks by load",
+			loads:   map[string]int{"l1": 4, "l2": 1},
+			holders: nil, // location-free: distance 0 from everyone
+			want:    "l2",
+		},
+		{
+			name:    "equal distance and load break by name",
+			loads:   map[string]int{"l2": 2, "l1": 2},
+			holders: nil,
+			want:    "l1",
+		},
+		{
+			name:    "saturated holder sheds to open replica peer",
+			loads:   map[string]int{"l1": 4, "l2": 0},
+			holders: []string{"l1"},
+			slots:   2,
+			want:    "l2", // l1 holds the data but is over the 2-slot cap
+		},
+		{
+			name:    "cap waived when every leaf is saturated",
+			loads:   map[string]int{"l1": 9, "l2": 7},
+			holders: []string{"l1"},
+			slots:   2,
+			want:    "l1", // all over cap: waive it, data locality wins again
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := build(tc.loads, tc.holders, tc.slots, tc.topoFn)
+			got, err := s.Place(taskFor("/p"), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("Place = %q, want %q", got, tc.want)
+			}
+		})
+	}
+
+	t.Run("exclude removes a candidate", func(t *testing.T) {
+		s := build(map[string]int{"l1": 0, "l2": 5}, []string{"l1", "l2"}, 0, nil)
+		got, err := s.Place(taskFor("/p"), map[string]bool{"l1": true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != "l2" {
+			t.Errorf("Place with l1 excluded = %q, want l2", got)
+		}
+	})
+
+	t.Run("no alive leaf errors", func(t *testing.T) {
+		s := build(nil, nil, 0, nil)
+		if _, err := s.Place(taskFor("/p"), nil); err == nil {
+			t.Error("Place on an empty cluster should error")
+		}
+	})
+
+	t.Run("planall charges and releases inflight slots", func(t *testing.T) {
+		s := build(map[string]int{"l1": 0, "l2": 0}, []string{"l1"}, 0, nil)
+		tasks := []plan.TaskSpec{taskFor("/p"), taskFor("/p"), taskFor("/p")}
+		for i := range tasks {
+			tasks[i].Ordinal = i
+		}
+		assign, err := s.PlanAll(tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(assign) != 3 {
+			t.Fatalf("assigned %d tasks, want 3", len(assign))
+		}
+		total := s.Manager.Load("l1") + s.Manager.Load("l2")
+		if total != 3 {
+			t.Errorf("inflight after PlanAll = %d, want 3 (slots held until release)", total)
+		}
+		for _, leaf := range assign {
+			s.ReleaseTask(leaf)
+		}
+		if got := s.Manager.Load("l1") + s.Manager.Load("l2"); got != 0 {
+			t.Errorf("inflight after release = %d, want 0", got)
+		}
+	})
+}

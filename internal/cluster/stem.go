@@ -69,6 +69,21 @@ func (s *StemServer) runJob(ctx context.Context, job stemJobMsg) (any, error) {
 		return stemReply{Status: map[int]taskStatus{}}, nil
 	}
 	sem := make(chan struct{}, par)
+	// Per-leaf slot bounding: the stem-side half of the scheduler's slot
+	// accounting. Each leaf gets its own semaphore so a deep backlog on one
+	// leaf throttles only that leaf's tasks; the slot is taken inside the
+	// task goroutine, so a saturated leaf never head-of-line-blocks dispatch
+	// to its siblings. Hedged backups bypass it (speculative duplicates are
+	// rare and latency-critical).
+	var leafSem map[string]chan struct{}
+	if job.LeafSlots > 0 {
+		leafSem = make(map[string]chan struct{})
+		for _, task := range job.Tasks {
+			if l := job.Assign[task.Ordinal]; leafSem[l] == nil {
+				leafSem[l] = make(chan struct{}, job.LeafSlots)
+			}
+		}
+	}
 	var (
 		mu      sync.Mutex
 		merged  *exec.TaskResult
@@ -89,6 +104,12 @@ func (s *StemServer) runJob(ctx context.Context, job stemJobMsg) (any, error) {
 		go func(task plan.TaskSpec, leaf string) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			if ls := leafSem[leaf]; ls != nil {
+				s.queued.Add(1)
+				ls <- struct{}{}
+				s.queued.Add(-1)
+				defer func() { <-ls }()
+			}
 			res, st := s.runOne(ctx, job, task, leaf)
 			mu.Lock()
 			status[task.Ordinal] = st

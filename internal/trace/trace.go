@@ -83,6 +83,19 @@ func (s *Span) Finish() {
 	s.mu.Unlock()
 }
 
+// SetWall overwrites the span's wall-clock duration — for spans measuring
+// an interval that happened before the span object existed (e.g. admission
+// queue wait, measured before the trace root is created). A later Finish
+// keeps this value.
+func (s *Span) SetWall(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.wall = d
+	s.mu.Unlock()
+}
+
 // AddSim charges simulated time to the span.
 func (s *Span) AddSim(d time.Duration) {
 	if s == nil || d == 0 {

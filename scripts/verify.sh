@@ -26,8 +26,24 @@ go test ./...
 echo "== go test -race ./..."
 go test -race ./...
 
-echo "== go test -race -count=2 (chaos + cluster recovery, repeated)"
-go test -race -count=2 ./internal/cluster/... ./internal/chaos/...
+echo "== go test -race -count=2 (chaos + cluster recovery + concurrency harness, repeated)"
+go test -race -count=2 ./internal/cluster/... ./internal/chaos/... ./internal/clustertest/...
+
+# Coverage floor: internal/cluster (admission, scheduling, recovery) must not
+# fall below the gate set when admission control landed. Raise the floor when
+# coverage improves; never lower it to make a PR pass.
+cluster_cov_floor=83.0
+echo "== coverage floor (internal/cluster >= ${cluster_cov_floor}%)"
+cov=$(go test -cover ./internal/cluster | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+if [ -z "$cov" ]; then
+	echo "coverage: could not parse 'go test -cover ./internal/cluster' output" >&2
+	exit 1
+fi
+if awk "BEGIN{exit !($cov < $cluster_cov_floor)}"; then
+	echo "coverage: internal/cluster at ${cov}%, below the ${cluster_cov_floor}% floor" >&2
+	exit 1
+fi
+echo "coverage: internal/cluster at ${cov}%"
 
 echo "== fuzz smoke (FuzzParse, 10s)"
 go test -fuzz=FuzzParse -fuzztime=10s -run='^$' ./internal/sqlparser
@@ -40,5 +56,8 @@ go run ./cmd/feisu-bench -exp chaos -seed 1 -short -scale small
 
 echo "== parscan smoke (intra-task parallel scan, 2x scan-time floor at 4 workers)"
 go run ./cmd/feisu-bench -exp parscan -short -scale small
+
+echo "== admission smoke (bounded tail latency under offered overload)"
+go run ./cmd/feisu-bench -exp admission -short -scale small
 
 echo "verify: OK"
