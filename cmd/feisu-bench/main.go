@@ -39,6 +39,7 @@ var registry = []struct {
 	{"chaos", "correctness under seeded fault injection (retries/hedges/partials)", experiments.Chaos},
 	{"parscan", "intra-task parallel scan speedup at 1/2/4/8 workers", experiments.Parscan},
 	{"admission", "admission control: tail latency and goodput vs offered load", experiments.Admission},
+	{"rescache", "semantic result cache: repeated-shape stream, cache off vs on", experiments.Rescache},
 }
 
 func main() {
@@ -55,6 +56,7 @@ func main() {
 	experiments.ChaosShort = *short
 	experiments.ParscanShort = *short
 	experiments.AdmissionShort = *short
+	experiments.RescacheShort = *short
 
 	if *list {
 		for _, e := range registry {

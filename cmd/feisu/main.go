@@ -53,6 +53,9 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 0, "admission control: per-class queue depth (0 = 2x max-queries)")
 	queueDeadline := flag.Duration("queue-deadline", 0, "admission control: shed queries queued longer than this (0 = wait forever)")
 	leafSlots := flag.Int("leaf-slots", 0, "max concurrent task dispatches per leaf (0 = unbounded)")
+	resCacheBytes := flag.Int64("result-cache-bytes", 0, "semantic result cache budget in bytes (0 = off); repeated and subsumed queries answer from the master")
+	resCacheTTL := flag.Duration("result-cache-ttl", 0, "result cache entry TTL (0 = 5m default, negative = no expiry)")
+	cacheAffinity := flag.Bool("cache-affinity", false, "route tasks for the same partition to the same leaf so its caches keep hitting")
 	flag.Parse()
 
 	cfg := feisu.Config{
@@ -63,6 +66,9 @@ func main() {
 		MaxQueueDepth:          *queueDepth,
 		QueueWaitDeadline:      *queueDeadline,
 		LeafSlots:              *leafSlots,
+		ResultCacheBytes:       *resCacheBytes,
+		ResultCacheTTL:         *resCacheTTL,
+		CacheAffinity:          *cacheAffinity,
 	}
 	if *chaosSeed != 0 {
 		cfg.Chaos = chaos.Default(*chaosSeed)

@@ -116,3 +116,51 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 	}
 	checkGolden(t, "explain_analyze", text)
 }
+
+// TestExplainAnalyzeResultCacheGolden pins the EXPLAIN ANALYZE trace for
+// both sides of the semantic result cache: the first execution reports the
+// miss and runs tasks; the repeat is served from the cache — its trace is a
+// master/result-cache span with zero task spans.
+func TestExplainAnalyzeResultCacheGolden(t *testing.T) {
+	sys, err := New(Config{
+		Leaves:               2,
+		HeartbeatInterval:    -1,
+		ScanWorkers:          -1,
+		MaxConcurrentQueries: 2,
+		ResultCacheBytes:     1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	spec := workload.T1Spec()
+	spec.PathPrefix = "/mem/t1"
+	spec.Partitions = 1
+	spec.RowsPerPart = 256
+	spec.Fields = 10
+	ctx := context.Background()
+	meta, err := workload.Generate(ctx, sys.Router(), spec)
+	if err == nil {
+		err = sys.RegisterTable(ctx, meta)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const sql = "EXPLAIN ANALYZE SELECT uid, clicks FROM T1 WHERE clicks > 3"
+	miss, err := sys.Query(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "explain_analyze_rescache_miss", normalizeTrace(resultText(miss)))
+
+	hit, err := sys.Query(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := normalizeTrace(resultText(hit))
+	if !strings.Contains(text, "result-cache") {
+		t.Fatalf("cache-hit trace lacks the result-cache span:\n%s", text)
+	}
+	checkGolden(t, "explain_analyze_rescache_hit", text)
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/metrics"
 	"repro/internal/plan"
+	"repro/internal/resultcache"
 	"repro/internal/sim"
 	"repro/internal/sqlparser"
 	"repro/internal/storage"
@@ -144,6 +145,23 @@ type Config struct {
 	// CachePrefixes are the manually preferred paths admitted to the SSD
 	// cache (paper §IV-B).
 	CachePrefixes []string
+	// ResultCacheBytes enables the master's semantic result cache with this
+	// byte budget; 0 disables. Hits are keyed by the normalized plan
+	// fingerprint (literals lifted to placeholders), so `b > 10` and
+	// `b > 20` share a shape, and subsumption lets a cached wider range
+	// answer a narrower one by re-filtering. Entries invalidate on table
+	// registration and ingest.
+	ResultCacheBytes int64
+	// ResultCacheTTL bounds result-cache entry freshness (default 5m when
+	// the cache is enabled; negative disables expiry).
+	ResultCacheTTL time.Duration
+	// ResultCacheTenantBytes caps any one tenant's (auth user's) resident
+	// result-cache bytes; 0 means no per-tenant cap.
+	ResultCacheTenantBytes int64
+	// CacheAffinity routes tasks for the same partition to the same leaf
+	// (rendezvous hashing, data holders preferred) while slot caps allow,
+	// so leaf footer/SSD caches keep hitting across repeated queries.
+	CacheAffinity bool
 	// SpillThreshold routes leaf results bigger than this through global
 	// storage (paper §V-C); 0 disables.
 	SpillThreshold int64
@@ -219,21 +237,25 @@ type Config struct {
 
 // System is an in-process Feisu deployment.
 type System struct {
-	cfg     Config
-	model   *sim.CostModel
-	fabric  *transport.Fabric
-	router  *storage.Router
-	hdfs    *storage.DFS
-	ffs     *storage.DFS
-	master  *cluster.Master
-	leaves  []*cluster.LeafServer
-	stems   []*cluster.StemServer
-	auth    *auth.Authority
-	caches  []*cache.Reader
-	smart   []*core.SmartIndex
-	history *History
-	metrics *metrics.Registry
-	slowlog *telemetry.Slowlog
+	cfg    Config
+	model  *sim.CostModel
+	fabric *transport.Fabric
+	router *storage.Router
+	hdfs   *storage.DFS
+	ffs    *storage.DFS
+	master *cluster.Master
+	leaves []*cluster.LeafServer
+	stems  []*cluster.StemServer
+	auth   *auth.Authority
+	caches []*cache.Reader
+	// readers are the per-leaf store readers (inside any SSD cache wrapper);
+	// retained so ingest can invalidate their footer caches on rewrite.
+	readers  []*exec.StoreReader
+	rescache *resultcache.Cache
+	smart    []*core.SmartIndex
+	history  *History
+	metrics  *metrics.Registry
+	slowlog  *telemetry.Slowlog
 	// latWall/latSim are the fleet-level query latency histograms exported
 	// as feisu_query_wall_seconds / feisu_query_sim_seconds.
 	latWall *metrics.Histogram
@@ -330,6 +352,32 @@ func New(cfg Config) (*System, error) {
 	}
 	sys.auth = authority
 
+	if cfg.ResultCacheBytes > 0 {
+		ttl := cfg.ResultCacheTTL
+		if ttl == 0 {
+			ttl = 5 * time.Minute
+		} else if ttl < 0 {
+			ttl = 0 // explicit "no expiry"
+		}
+		sys.rescache = resultcache.New(resultcache.Config{
+			CapacityBytes: cfg.ResultCacheBytes,
+			TTL:           ttl,
+			TenantBytes:   cfg.ResultCacheTenantBytes,
+		})
+		rc := sys.rescache
+		sys.metrics.RegisterGaugeFunc("feisu_resultcache_hits_total", func() float64 { return float64(rc.Snapshot().Hits) })
+		sys.metrics.RegisterGaugeFunc("feisu_resultcache_subsumed_hits_total", func() float64 { return float64(rc.Snapshot().SubsumedHits) })
+		sys.metrics.RegisterGaugeFunc("feisu_resultcache_misses_total", func() float64 { return float64(rc.Snapshot().Misses) })
+		sys.metrics.RegisterGaugeFunc("feisu_resultcache_evictions_total", func() float64 { return float64(rc.Snapshot().Evictions) })
+		sys.metrics.RegisterGaugeFunc("feisu_resultcache_invalidations_total", func() float64 { return float64(rc.Snapshot().Invalidations) })
+		sys.metrics.RegisterGaugeFunc("feisu_resultcache_bytes", func() float64 { return float64(rc.Snapshot().Bytes) })
+		sys.metrics.RegisterGaugeFunc("feisu_resultcache_entries", func() float64 { return float64(rc.Snapshot().Entries) })
+		sys.metrics.RegisterGaugeFunc("feisu_resultcache_hit_ratio", rc.HitRatio)
+		// Shadow ratio: the hit rate a 2× budget would reach (ghost LRU).
+		sys.metrics.RegisterGaugeFunc("feisu_resultcache_shadow_hit_ratio", rc.ShadowHitRatio)
+		sys.metrics.GaugeWith("feisu_resultcache_capacity_bytes").Set(float64(cfg.ResultCacheBytes))
+	}
+
 	mcfg := cluster.MasterConfig{
 		Name:               "master",
 		Fabric:             fabric,
@@ -350,6 +398,9 @@ func New(cfg Config) (*System, error) {
 		MaxQueueDepth:        cfg.MaxQueueDepth,
 		QueueWaitDeadline:    cfg.QueueWaitDeadline,
 		LeafSlots:            cfg.LeafSlots,
+
+		ResultCache:   sys.rescache,
+		CacheAffinity: cfg.CacheAffinity,
 	}
 	if cfg.PersonalizeThreshold > 0 {
 		sys.history = &History{
@@ -369,7 +420,9 @@ func New(cfg Config) (*System, error) {
 	sys.metrics.RegisterCounterWith("feisu_partial_results_total", &sys.master.Partials)
 
 	for i := 0; i < cfg.Leaves; i++ {
-		var reader exec.PartitionReader = exec.NewStoreReader(router)
+		sr := exec.NewStoreReader(router)
+		sys.readers = append(sys.readers, sr)
+		var reader exec.PartitionReader = sr
 		leafLabel := metrics.L("leaf", leafName(i))
 		if cfg.CacheBytes > 0 {
 			cr := cache.NewReader(reader, cache.Options{
@@ -703,6 +756,27 @@ func (s *System) ResetIndexCounters() {
 	}
 }
 
+// ResultCache exposes the master's semantic result cache, or nil when
+// Config.ResultCacheBytes is 0. Use its Snapshot for hit/subsumption
+// counters and the shadow-budget gauge.
+func (s *System) ResultCache() *resultcache.Cache { return s.rescache }
+
+// InvalidatePath drops every cached artifact derived from the partition
+// file at path after an out-of-band rewrite: the master's and every leaf's
+// cached footers, each leaf's SSD column chunks, and — when table is
+// non-empty — the semantic result-cache entries reading that table. The
+// ingest pipeline calls this automatically; callers rewriting partition
+// files through Router() directly should too.
+func (s *System) InvalidatePath(table, path string) {
+	s.master.InvalidatePartition(table, path)
+	for _, sr := range s.readers {
+		sr.InvalidateMeta(path)
+	}
+	for _, c := range s.caches {
+		c.InvalidatePath(path)
+	}
+}
+
 // CacheMissRatio averages the SSD cache miss ratio across leaves; 0 when
 // the cache is off or untouched.
 func (s *System) CacheMissRatio() float64 {
@@ -743,6 +817,12 @@ func WithTaskTimeout(d time.Duration) QueryOption {
 // WithoutResultReuse disables identical-task result sharing (ablation).
 func WithoutResultReuse() QueryOption {
 	return func(o *cluster.QueryOptions) { o.DisableReuse = true }
+}
+
+// WithoutResultCache bypasses the semantic result cache for this query —
+// no lookup, no store. For ablations and freshness-sensitive reads.
+func WithoutResultCache() QueryOption {
+	return func(o *cluster.QueryOptions) { o.DisableResultCache = true }
 }
 
 // WithTrace records a span tree for the query — master, stem, leaf and scan

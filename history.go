@@ -130,10 +130,21 @@ func (s *System) IngestOnce(ctx context.Context, table string, schema *Schema, s
 	if err != nil {
 		return 0, err
 	}
+	// A restarted converter can reuse sequence numbers and rewrite a path
+	// already in the catalog; the fresh scan's metadata supersedes the old
+	// entry (its row count and block layout changed with the file).
+	fresh := make(map[string]bool, len(parts))
+	for _, p := range parts {
+		fresh[p.Path] = true
+	}
 	existing, err := s.master.Jobs.Lookup(table)
 	meta := &plan.TableMeta{Name: table, Schema: schema}
 	if err == nil {
-		meta.Partitions = append(meta.Partitions, existing.Partitions...)
+		for _, p := range existing.Partitions {
+			if !fresh[p.Path] {
+				meta.Partitions = append(meta.Partitions, p)
+			}
+		}
 	}
 	var rows int64
 	for _, p := range parts {
@@ -159,6 +170,11 @@ func (s *System) converter(table string, schema *Schema, srcPrefix, dstPrefix st
 		Schema:    schema,
 		SrcPrefix: srcPrefix,
 		DstPrefix: dstPrefix,
+		// Ingest (re)wrote a partition file: drop every cached artifact
+		// derived from it — master/leaf footers, SSD column chunks and
+		// semantic result-cache entries — before the partition is reported
+		// upward, so no reader ever serves bytes of a superseded file.
+		Invalidate: func(path string) { s.InvalidatePath(table, path) },
 	}
 	s.convs[table] = c
 	return c

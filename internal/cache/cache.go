@@ -242,6 +242,29 @@ func (r *Reader) evict(it *item) {
 	r.Evictions.Inc()
 }
 
+// InvalidatePath drops every cached chunk belonging to the partition file
+// at path (ingest rewrote it, so resident chunks are stale). Invalidation
+// does not count as eviction — the chunks were not pushed out by pressure.
+// Nil-safe. Returns the number of chunks dropped.
+func (r *Reader) InvalidatePath(path string) int {
+	if r == nil {
+		return 0
+	}
+	prefix := path + "#"
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for key, it := range r.items {
+		if strings.HasPrefix(key, prefix) {
+			r.unlink(it)
+			delete(r.items, key)
+			r.bytes -= it.size
+			n++
+		}
+	}
+	return n
+}
+
 // Bytes returns resident cached bytes.
 func (r *Reader) Bytes() int64 {
 	r.mu.Lock()

@@ -163,3 +163,62 @@ func TestMetaDelegates(t *testing.T) {
 		t.Error("Meta should delegate")
 	}
 }
+
+func TestInvalidatePathDropsStaleChunks(t *testing.T) {
+	f := &fakeReader{meta: testMeta(2, 2, 100)}
+	r := NewReader(f, Options{CapacityBytes: 10000, Prefixes: []string{"/hot/"}})
+	ctx := context.Background()
+
+	// Warm two files: 4 chunks of /hot/a, 1 chunk of /hot/b.
+	for b := 0; b < 2; b++ {
+		for c := 0; c < 2; c++ {
+			if _, err := r.Column(ctx, "/hot/a", f.meta, b, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := r.Column(ctx, "/hot/b", f.meta, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if r.Bytes() != 500 {
+		t.Fatalf("warm bytes = %d, want 500", r.Bytes())
+	}
+
+	if n := r.InvalidatePath("/hot/a"); n != 4 {
+		t.Errorf("InvalidatePath dropped %d chunks, want 4", n)
+	}
+	if r.Bytes() != 100 {
+		t.Errorf("bytes after invalidation = %d, want 100 (only /hot/b)", r.Bytes())
+	}
+	if r.Evictions.Value() != 0 {
+		t.Errorf("invalidation counted as eviction: %d", r.Evictions.Value())
+	}
+
+	// The invalidated file re-reads from storage; the survivor still hits.
+	f.reads = 0
+	if _, err := r.Column(ctx, "/hot/a", f.meta, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Column(ctx, "/hot/b", f.meta, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.reads != 1 {
+		t.Errorf("underlying reads after invalidation = %d, want 1", f.reads)
+	}
+
+	// Prefix match is per-file: "/hot/a" must not drop "/hot/ab".
+	if _, err := r.Column(ctx, "/hot/ab", f.meta, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.InvalidatePath("/hot/a"); n != 1 {
+		t.Errorf("second invalidation dropped %d, want 1", n)
+	}
+	if n := r.InvalidatePath("/hot/ab"); n != 1 {
+		t.Errorf("sibling file dropped %d chunks, want its own 1", n)
+	}
+
+	var nilReader *Reader
+	if nilReader.InvalidatePath("/x") != 0 {
+		t.Error("nil reader should be a no-op")
+	}
+}

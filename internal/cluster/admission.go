@@ -306,18 +306,28 @@ func (a *AdmissionController) dequeueLocked() *admitWaiter {
 	return w
 }
 
+// coldStartServiceEstimate stands in for the mean slot-hold time before the
+// first query has completed (serviceEWMA == 0). Without it, a cold-start
+// overload would compute a zero retry-after hint and shed clients into an
+// immediate-retry stampede against an already-full queue.
+const coldStartServiceEstimate = 10 * time.Millisecond
+
+// minRetryAfter floors every hint so clients never busy-spin on a zero (or
+// rounded-to-zero) suggestion.
+const minRetryAfter = time.Millisecond
+
 // retryAfterLocked estimates when a slot frees up: the recent mean slot-hold
-// time scaled by how many queries are ahead of a fresh arrival, floored at
-// 1ms so clients never busy-spin on a zero hint.
+// time (a cold-start estimate before any query has completed) scaled by how
+// many queries are ahead of a fresh arrival, floored at minRetryAfter.
 func (a *AdmissionController) retryAfterLocked(classDepth int) time.Duration {
 	svc := time.Duration(a.serviceEWMA)
 	if svc <= 0 {
-		svc = 10 * time.Millisecond
+		svc = coldStartServiceEstimate
 	}
 	ahead := classDepth + 1
 	hint := svc * time.Duration(ahead) / time.Duration(a.cfg.MaxConcurrent)
-	if hint < time.Millisecond {
-		hint = time.Millisecond
+	if hint < minRetryAfter {
+		hint = minRetryAfter
 	}
 	return hint
 }

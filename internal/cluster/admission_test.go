@@ -342,3 +342,75 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// Cold start: before any query has completed, serviceEWMA is zero. Both shed
+// paths must still emit a positive retry-after hint (regression: a zero hint
+// sent clients into an immediate-retry stampede against a full queue).
+func TestAdmissionColdStartQueueFullRetryAfter(t *testing.T) {
+	a := NewAdmissionController(AdmissionConfig{MaxConcurrent: 1, MaxQueueDepth: 1})
+	_, _, err := a.Admit(context.Background(), PriorityInteractive, 0)
+	if err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	// No release has happened, so the EWMA has never been fed.
+
+	queued := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(queued)
+		_, _, _ = a.Admit(ctx, PriorityInteractive, 0)
+	}()
+	<-queued
+	waitFor(t, func() bool { return a.QueueDepth(PriorityInteractive) == 1 })
+
+	_, _, err = a.Admit(context.Background(), PriorityInteractive, 0)
+	var oe *OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("queue-full error = %v, want *OverloadedError", err)
+	}
+	if oe.RetryAfter <= 0 {
+		t.Errorf("cold-start queue-full RetryAfter = %v, want > 0", oe.RetryAfter)
+	}
+	// depth=1 ahead plus the new arrival, one slot: 2 x the cold estimate.
+	if want := 2 * coldStartServiceEstimate; oe.RetryAfter != want {
+		t.Errorf("cold-start queue-full RetryAfter = %v, want %v", oe.RetryAfter, want)
+	}
+	cancel()
+	wg.Wait()
+}
+
+func TestAdmissionColdStartDeadlineShedRetryAfter(t *testing.T) {
+	a := NewAdmissionController(AdmissionConfig{MaxConcurrent: 1, MaxQueueDepth: 4})
+	_, _, err := a.Admit(context.Background(), PriorityInteractive, 0)
+	if err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	_, _, err = a.Admit(context.Background(), PriorityInteractive, 2*time.Millisecond)
+	var oe *OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("deadline shed error = %v, want *OverloadedError", err)
+	}
+	if !oe.Deadline {
+		t.Errorf("shed should be marked Deadline: %+v", oe)
+	}
+	if oe.RetryAfter < minRetryAfter {
+		t.Errorf("cold-start deadline RetryAfter = %v, want >= %v", oe.RetryAfter, minRetryAfter)
+	}
+}
+
+// The hint floor holds even when the scaled estimate rounds to zero
+// (tiny EWMA, huge concurrency).
+func TestAdmissionRetryAfterFloor(t *testing.T) {
+	a := NewAdmissionController(AdmissionConfig{MaxConcurrent: 1 << 20, MaxQueueDepth: 1})
+	a.mu.Lock()
+	a.serviceEWMA = float64(time.Microsecond)
+	hint := a.retryAfterLocked(0)
+	a.mu.Unlock()
+	if hint != minRetryAfter {
+		t.Errorf("floored hint = %v, want %v", hint, minRetryAfter)
+	}
+}

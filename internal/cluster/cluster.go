@@ -60,6 +60,10 @@ type QueryOptions struct {
 	TaskTimeout time.Duration
 	// DisableReuse turns off identical-task result reuse (ablation).
 	DisableReuse bool
+	// DisableResultCache bypasses the master's semantic result cache for
+	// this query (no lookup, no store) — for ablations and freshness-
+	// sensitive reads.
+	DisableResultCache bool
 	// Trace records a span tree for the query (master → stem → leaf →
 	// scan with index/cache counters) into QueryStats.Trace. EXPLAIN
 	// ANALYZE forces it on.
@@ -86,9 +90,14 @@ type TaskError struct {
 
 // QueryStats reports how a query executed.
 type QueryStats struct {
-	// Fingerprint identifies the logical query (plan fingerprint); the
-	// slow-query log groups entries by it.
+	// Fingerprint identifies the logical query (normalized plan
+	// fingerprint, literals lifted to placeholders); the slow-query log
+	// groups entries by it.
 	Fingerprint string
+	// ResultCache reports the semantic result cache outcome: "hit",
+	// "subsumed" or "miss"; empty when the cache is disabled or bypassed.
+	// Hit queries execute no tasks at all.
+	ResultCache string
 	Tasks       int
 	TasksFailed int
 	BackupTasks int

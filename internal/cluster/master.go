@@ -15,6 +15,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/metrics"
 	"repro/internal/plan"
+	"repro/internal/resultcache"
 	"repro/internal/sim"
 	"repro/internal/sqlparser"
 	"repro/internal/storage"
@@ -85,6 +86,15 @@ type MasterConfig struct {
 	LocalityOff bool
 	// Standby starts the master as a backup.
 	Standby bool
+	// ResultCache, when set, serves repeated (or subsumed) queries from
+	// the master without executing tasks, and is invalidated on catalog
+	// changes. Nil disables semantic result caching.
+	ResultCache *resultcache.Cache
+	// CacheAffinity routes tasks for the same partition to the same leaf
+	// (rendezvous hashing) while slot caps allow, so leaf-local caches keep
+	// hitting; the scheduler falls back to load-aware placement when the
+	// fleet saturates.
+	CacheAffinity bool
 	// Observer, when set, receives every query's predicate atoms per
 	// user — the client-side query-history collection that personalizes
 	// SmartIndex (paper §III-C).
@@ -157,6 +167,7 @@ func NewMaster(cfg MasterConfig) *Master {
 		Topo:         cfg.Fabric.Topology(),
 		SlotsPerLeaf: cfg.LeafSlots,
 		LocalityOff:  cfg.LocalityOff,
+		Affinity:     cfg.CacheAffinity,
 	}
 	m.Admission = NewAdmissionController(AdmissionConfig{
 		MaxConcurrent: cfg.MaxConcurrentQueries,
@@ -208,6 +219,9 @@ func (m *Master) handle(ctx context.Context, from string, payload any) (any, err
 		return nil, nil
 	case catalogOp:
 		m.Jobs.RegisterTable(msg.Table)
+		if msg.Table != nil {
+			m.cfg.ResultCache.InvalidateTable(msg.Table.Name)
+		}
 		m.mu.Lock()
 		m.oplog = append(m.oplog, msg)
 		m.mu.Unlock()
@@ -221,6 +235,18 @@ func (m *Master) handle(ctx context.Context, from string, payload any) (any, err
 		return nil, fmt.Errorf("cluster: master %s: unknown message %T", m.cfg.Name, payload)
 	}
 }
+
+// InvalidatePartition drops the master's cached footer for a rewritten
+// partition file and evicts result-cache entries over its table — the
+// master half of the ingest invalidation protocol (leaf readers and SSD
+// caches are invalidated by the system wiring).
+func (m *Master) InvalidatePartition(table, path string) {
+	m.reader.InvalidateMeta(path)
+	m.cfg.ResultCache.InvalidateTable(table)
+}
+
+// ResultCache exposes the configured cache (nil when disabled).
+func (m *Master) ResultCache() *resultcache.Cache { return m.cfg.ResultCache }
 
 // Health returns the fleet view with this master's admission state folded
 // in (the ClusterManager alone cannot see the admission queue).
@@ -264,6 +290,9 @@ func (m *Master) RegisterTable(ctx context.Context, meta *plan.TableMeta) error 
 		return ErrStandby
 	}
 	op := m.Jobs.RegisterTable(meta)
+	// Catalog changes (new or grown partition sets) make cached results
+	// over the table stale.
+	m.cfg.ResultCache.InvalidateTable(meta.Name)
 	m.mu.Lock()
 	m.oplog = append(m.oplog, op)
 	backups := append([]string(nil), m.backups...)
@@ -333,6 +362,32 @@ func (m *Master) submit(ctx context.Context, sql string, opts QueryOptions) (*ex
 		opts.Trace = true
 	}
 
+	// Semantic result cache: a complete cached result for this plan — exact
+	// literals, or a subsuming entry re-filtered with this query's own
+	// predicate — answers the query here, without taking an execution slot
+	// (cache hits do no execution, so they bypass admission entirely).
+	if m.cfg.ResultCache != nil && !opts.DisableResultCache {
+		if res, outcome := m.cfg.ResultCache.Lookup(p); outcome != resultcache.Miss {
+			stats.ResultCache = outcome.String()
+			var root *trace.Span
+			if opts.Trace {
+				root = trace.New("master/query")
+				stats.Trace = root
+				cspan := root.Child("master/result-cache")
+				cspan.SetAttr("status", outcome.String())
+				cspan.Count("rows", int64(len(res.Rows)))
+				cspan.Finish()
+				root.Finish()
+			}
+			stats.WallTime = time.Since(start)
+			if stmt.Analyze {
+				return textResult("EXPLAIN ANALYZE", p.DescribeAnalyze(root)), stats, nil
+			}
+			return res, stats, nil
+		}
+		stats.ResultCache = resultcache.Miss.String()
+	}
+
 	// Admission control: wait for an execution slot (weighted-fair between
 	// classes) or shed with a typed retry-after error. Everything above is
 	// cheap planning work; the slot bounds actual execution.
@@ -358,6 +413,11 @@ func (m *Master) submit(ctx context.Context, sql string, opts QueryOptions) (*ex
 			aspan.SetAttr("wait", queueWait.String())
 			aspan.SetWall(queueWait)
 			aspan.Finish()
+		}
+		if stats.ResultCache != "" {
+			cspan := root.Child("master/result-cache")
+			cspan.SetAttr("status", stats.ResultCache)
+			cspan.Finish()
 		}
 	}
 
@@ -447,6 +507,12 @@ func (m *Master) submit(ctx context.Context, sql string, opts QueryOptions) (*ex
 			root.Count("tasks.dropped", int64(len(stats.TaskErrors)))
 		}
 		root.Finish()
+	}
+	// Store only complete results: no failed tasks, no partial/ratio
+	// degradation — a cache must never replay a truncated answer.
+	if m.cfg.ResultCache != nil && !opts.DisableResultCache &&
+		stats.TasksFailed == 0 && !res.Partial && res.ProcessedRatio >= 1 {
+		m.cfg.ResultCache.Store(p, cred.User, res)
 	}
 	if stmt.Analyze {
 		return textResult("EXPLAIN ANALYZE", p.DescribeAnalyze(root)), stats, nil

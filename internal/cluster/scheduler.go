@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sync"
 
@@ -38,6 +39,13 @@ type JobScheduler struct {
 	// LocalityOff disables data-locality placement (ablation benchmark):
 	// tasks land on uniformly random alive leaves.
 	LocalityOff bool
+	// Affinity enables cache-affinity placement: tasks for the same
+	// partition land on the same leaf (rendezvous hashing over the open
+	// candidates, data holders preferred), so leaf-local footer and SSD
+	// caches keep hitting across repeated queries. When every candidate is
+	// saturated (the slot cap is waived) the scheduler falls through to the
+	// load-aware path — load wins over affinity under pressure.
+	Affinity bool
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -75,6 +83,7 @@ func (s *JobScheduler) Place(task plan.TaskSpec, exclude map[string]bool) (strin
 	// Per-leaf slots: restrict to leaves with spare capacity; when the whole
 	// candidate set is saturated, waive the cap (see SlotsPerLeaf).
 	pool := candidates
+	capWaived := false
 	if s.SlotsPerLeaf > 0 {
 		open := make([]string, 0, len(candidates))
 		for _, c := range candidates {
@@ -84,10 +93,22 @@ func (s *JobScheduler) Place(task plan.TaskSpec, exclude map[string]bool) (strin
 		}
 		if len(open) > 0 {
 			pool = open
+		} else {
+			capWaived = true
 		}
 	}
 
 	holders := s.Locator.Locations(task.Partition.Path)
+
+	// Cache affinity: the same partition consistently maps to the same leaf
+	// via rendezvous hashing over the eligible pool (holders preferred), so
+	// repeated queries re-hit that leaf's warmed caches. A saturated fleet
+	// waives the slot cap — then load-aware placement below takes over.
+	if s.Affinity && !capWaived {
+		if pick, ok := affinityPick(task.Partition.Path, pool, holders); ok {
+			return pick, nil
+		}
+	}
 	{
 		// First choice: a live data holder with capacity, least loaded;
 		// equal loads break by name so placement is deterministic.
@@ -131,6 +152,41 @@ func (s *JobScheduler) distance(node string, holders []string) int {
 		}
 	}
 	return best
+}
+
+// affinityPick rendezvous-hashes the partition path against each eligible
+// leaf and returns the highest-scoring one. Restricting the domain to live
+// data holders (when any are in the pool) keeps affinity and locality
+// aligned; otherwise the whole pool participates, so the mapping stays
+// stable as long as membership does and moves only 1/n of partitions when
+// a leaf joins or leaves.
+func affinityPick(path string, pool, holders []string) (string, bool) {
+	domain := pool
+	if len(holders) > 0 {
+		hp := make([]string, 0, len(pool))
+		for _, c := range pool {
+			if contains(holders, c) {
+				hp = append(hp, c)
+			}
+		}
+		if len(hp) > 0 {
+			domain = hp
+		}
+	}
+	if len(domain) == 0 {
+		return "", false
+	}
+	best, bestScore := "", uint64(0)
+	for _, c := range domain {
+		h := fnv.New64a()
+		h.Write([]byte(path))
+		h.Write([]byte{'|'})
+		h.Write([]byte(c))
+		if sc := h.Sum64(); best == "" || sc > bestScore || (sc == bestScore && c < best) {
+			best, bestScore = c, sc
+		}
+	}
+	return best, true
 }
 
 func contains(list []string, s string) bool {

@@ -262,3 +262,122 @@ func TestPlaceLoadAwareTieBreaks(t *testing.T) {
 		}
 	})
 }
+
+// TestPlaceAffinity pins the cache-affinity placement mode: a partition maps
+// to a stable leaf (holders preferred), saturated leaves leave the rendezvous
+// domain, and a fully saturated fleet falls back to load-aware placement.
+func TestPlaceAffinity(t *testing.T) {
+	fixed := time.Unix(1_480_000_000, 0)
+	build := func(loads map[string]int, holders map[string][]string, slots int) *JobScheduler {
+		mgr := NewClusterManager(time.Minute)
+		mgr.Now = func() time.Time { return fixed }
+		topo := transport.NewTopology()
+		for name, load := range loads {
+			mgr.HeartbeatLoad(name, KindLeaf, LoadSnapshot{ActiveTasks: load})
+			topo.Place(name, "rack-a", "dc-0")
+		}
+		return &JobScheduler{
+			Manager:      mgr,
+			Locator:      mapLocator(holders),
+			Topo:         topo,
+			SlotsPerLeaf: slots,
+			Affinity:     true,
+		}
+	}
+
+	t.Run("same partition same leaf", func(t *testing.T) {
+		loads := map[string]int{"l1": 0, "l2": 0, "l3": 0}
+		s := build(loads, nil, 0)
+		first, err := s.Place(taskFor("/t/part-7"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			// Perturb the loads: affinity must not chase the least-loaded leaf.
+			for name := range loads {
+				s.Manager.HeartbeatLoad(name, KindLeaf, LoadSnapshot{ActiveTasks: i * 2})
+			}
+			got, err := s.Place(taskFor("/t/part-7"), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != first {
+				t.Fatalf("placement moved: %q then %q", first, got)
+			}
+		}
+	})
+
+	t.Run("partitions spread across leaves", func(t *testing.T) {
+		s := build(map[string]int{"l1": 0, "l2": 0, "l3": 0}, nil, 0)
+		seen := map[string]bool{}
+		for i := 0; i < 32; i++ {
+			leaf, err := s.Place(taskFor(fmt.Sprintf("/t/part-%d", i)), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen[leaf] = true
+		}
+		if len(seen) < 2 {
+			t.Errorf("32 partitions all landed on one leaf: %v", seen)
+		}
+	})
+
+	t.Run("holders preferred", func(t *testing.T) {
+		s := build(map[string]int{"l1": 0, "l2": 0, "l3": 0},
+			map[string][]string{"/t/p": {"l3"}}, 0)
+		got, err := s.Place(taskFor("/t/p"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != "l3" {
+			t.Errorf("Place = %q, want holder l3", got)
+		}
+	})
+
+	t.Run("saturated leaf leaves the domain", func(t *testing.T) {
+		// Find the affinity winner with all open, saturate it, and check the
+		// partition remaps to an open leaf instead of queueing behind it.
+		s := build(map[string]int{"l1": 0, "l2": 0, "l3": 0}, nil, 2)
+		winner, err := s.Place(taskFor("/t/p"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Manager.HeartbeatLoad(winner, KindLeaf, LoadSnapshot{ActiveTasks: 2})
+		got, err := s.Place(taskFor("/t/p"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == winner {
+			t.Errorf("placement stuck to saturated leaf %q", winner)
+		}
+	})
+
+	t.Run("saturated fleet falls back to load-aware", func(t *testing.T) {
+		holders := map[string][]string{"/t/p": {"l1"}}
+		s := build(map[string]int{"l1": 9, "l2": 5, "l3": 7}, holders, 2)
+		// Every leaf is over the cap, so the cap is waived and affinity is
+		// skipped: the load-aware path places on the data holder.
+		got, err := s.Place(taskFor("/t/p"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != "l1" {
+			t.Errorf("saturated-fleet Place = %q, want holder l1 (load-aware path)", got)
+		}
+	})
+
+	t.Run("affinityPick domain rules", func(t *testing.T) {
+		if _, ok := affinityPick("/p", nil, nil); ok {
+			t.Error("empty pool should not pick")
+		}
+		pick, ok := affinityPick("/p", []string{"a", "b", "c"}, []string{"b"})
+		if !ok || pick != "b" {
+			t.Errorf("holder-restricted pick = %q %v, want b", pick, ok)
+		}
+		// Holders outside the pool do not restrict the domain.
+		pick, ok = affinityPick("/p", []string{"a", "c"}, []string{"b"})
+		if !ok || (pick != "a" && pick != "c") {
+			t.Errorf("pick with out-of-pool holder = %q %v", pick, ok)
+		}
+	})
+}

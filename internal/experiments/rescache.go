@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	feisu "repro"
+	"repro/internal/workload"
+)
+
+// RescacheShort trims the result-cache run to a smoke-sized stream
+// (verify.sh) and skips the acceptance gate.
+var RescacheShort bool
+
+// rescacheQueries generates a repeated-shape stream over the T1 fact table:
+// cache-eligible projections (`SELECT uid, clicks ... WHERE clicks > X`) and
+// aggregations, with literals drawn from a Zipf distribution so a few query
+// texts dominate — the production regime the paper motivates Feisu with
+// (dashboards and report jobs re-issuing near-identical queries). Low
+// thresholds subsume high ones, so the stream exercises the exact-hit path,
+// the subsumption path and true misses.
+func rescacheQueries(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	// s=1.4 over 10 values: rank 0 carries ~45% of draws.
+	zipf := rand.NewZipf(rng, 1.4, 1, 9)
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		// clicks is Intn(20): thresholds 2..11 all select rows.
+		threshold := 2 + int(zipf.Uint64())
+		if rng.Intn(4) == 0 {
+			// A quarter of the stream is aggregations: exact-hit eligible
+			// only (no subsumption for grouped shapes).
+			out = append(out, fmt.Sprintf("SELECT COUNT(*), SUM(clicks) FROM T1 WHERE clicks > %d", threshold))
+		} else {
+			out = append(out, fmt.Sprintf("SELECT uid, clicks FROM T1 WHERE clicks > %d", threshold))
+		}
+	}
+	return out
+}
+
+// Rescache measures the semantic result cache: the same Zipf-repeated query
+// stream runs once with the cache off and once with the cache plus
+// cache-affinity placement on, over warm in-memory data (so the comparison
+// isolates execution cost, not storage tier). Reported per arm: total and
+// mean simulated time, wall time, and the cache's hit/subsumed/miss
+// counters. The acceptance shape: the cache arm's total simulated time is
+// below the no-cache arm's, with a non-zero hit count — repeated shapes stop
+// paying for execution at all.
+func Rescache(scale Scale) (*Report, error) {
+	nq := scale.Queries
+	if RescacheShort {
+		nq = min(nq, 60)
+		scale.Partitions = min(scale.Partitions, 2)
+	}
+	queries := rescacheQueries(nq, 4157)
+
+	type arm struct {
+		mode               string
+		totalSim, meanSim  time.Duration
+		wall               time.Duration
+		hits, subs, misses int64
+	}
+	var arms []arm
+
+	for _, cached := range []bool{false, true} {
+		cfg := feisu.Config{
+			Leaves: scale.Leaves,
+			Index:  feisu.IndexNone,
+		}
+		mode := "off"
+		if cached {
+			mode = "on"
+			cfg.ResultCacheBytes = 8 << 20
+			cfg.CacheAffinity = true
+		}
+		sys, err := feisu.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		spec := workload.T1Spec()
+		spec.PathPrefix = "/warm/t1" // in-memory: execution cost dominates
+		spec.Partitions = scale.Partitions
+		spec.RowsPerPart = maxInt(scale.DataRowsPerPartition, 2048)
+		spec.Fields = 10
+		ctx := context.Background()
+		meta, err := workload.Generate(ctx, sys.Router(), spec)
+		if err == nil {
+			err = sys.RegisterTable(ctx, meta)
+		}
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+
+		var totalSim time.Duration
+		start := time.Now()
+		for _, q := range queries {
+			_, stats, qErr := sys.QueryStats(ctx, q)
+			if qErr != nil {
+				sys.Close()
+				return nil, fmt.Errorf("rescache: mode=%s %q: %w", mode, q, qErr)
+			}
+			totalSim += stats.SimTime
+		}
+		wall := time.Since(start)
+		a := arm{
+			mode:     mode,
+			totalSim: totalSim,
+			meanSim:  totalSim / time.Duration(len(queries)),
+			wall:     wall,
+		}
+		if rc := sys.ResultCache(); rc != nil {
+			s := rc.Snapshot()
+			a.hits, a.subs, a.misses = s.Hits, s.SubsumedHits, s.Misses
+		}
+		sys.Close()
+		arms = append(arms, a)
+	}
+
+	rep := &Report{
+		ID:    "rescache",
+		Title: "Semantic result cache: repeated-shape stream, cache off vs on",
+		Headers: []string{"Cache", "Queries", "Total sim (ms)", "Mean sim (ms)",
+			"Wall (ms)", "Hits", "Subsumed", "Misses"},
+	}
+	ms := func(dur time.Duration) string { return f2(float64(dur) / float64(time.Millisecond)) }
+	for _, a := range arms {
+		rep.Rows = append(rep.Rows, []string{
+			a.mode, d(int64(nq)), ms(a.totalSim), ms(a.meanSim), ms(a.wall),
+			d(a.hits), d(a.subs), d(a.misses),
+		})
+	}
+	off, on := arms[0], arms[1]
+	served := on.hits + on.subs
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("cache budget 8 MiB, cache-affinity placement on; %d/%d queries served from cache (%d exact, %d by subsumption)",
+			served, nq, on.hits, on.subs),
+		fmt.Sprintf("total simulated time %s off vs %s on (%.1fx); cache hits execute zero tasks",
+			off.totalSim.Round(time.Millisecond), on.totalSim.Round(time.Millisecond),
+			float64(off.totalSim)/float64(maxDur(on.totalSim, time.Microsecond))),
+	)
+	if !RescacheShort {
+		if served == 0 {
+			return rep, fmt.Errorf("rescache: cache arm served no queries from cache")
+		}
+		if on.totalSim >= off.totalSim {
+			return rep, fmt.Errorf("rescache: cache arm total sim %s is not below no-cache arm %s",
+				on.totalSim, off.totalSim)
+		}
+	}
+	return rep, nil
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

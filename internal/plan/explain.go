@@ -17,7 +17,8 @@ func (p *PhysicalPlan) Describe() string {
 	if p.Mode == ModeAgg {
 		mode = "aggregate"
 	}
-	fmt.Fprintf(&sb, "query: %s\n", p.Fingerprint)
+	fmt.Fprintf(&sb, "query: %s\n", p.SQL)
+	fmt.Fprintf(&sb, "fingerprint: %s\n", p.Fingerprint)
 	fmt.Fprintf(&sb, "mode: %s\n", mode)
 	fmt.Fprintf(&sb, "fact table: %s (%d partitions, %d rows cataloged)\n",
 		fact.Meta.Name, len(fact.Meta.Partitions), fact.Meta.Rows())

@@ -1,0 +1,193 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlparser"
+	"repro/internal/types"
+)
+
+// Regression for the literal-embedding fingerprint: two literal variants of
+// one query shape must share a fingerprint but keep distinct literal keys.
+func TestFingerprintCollapsesLiteralVariants(t *testing.T) {
+	p1 := planSQL(t, "SELECT url FROM logs WHERE clicks > 10")
+	p2 := planSQL(t, "SELECT url FROM logs WHERE clicks > 20")
+	if p1.Fingerprint != p2.Fingerprint {
+		t.Fatalf("literal variants must share a fingerprint:\n%s\n%s", p1.Fingerprint, p2.Fingerprint)
+	}
+	if p1.LiteralKey == p2.LiteralKey {
+		t.Fatalf("different literals must have different literal keys: %q", p1.LiteralKey)
+	}
+	if strings.Contains(p1.Fingerprint, "10") {
+		t.Errorf("fingerprint still embeds the literal: %s", p1.Fingerprint)
+	}
+	if !strings.Contains(p1.Fingerprint, "?:BIGINT") {
+		t.Errorf("fingerprint missing typed placeholder: %s", p1.Fingerprint)
+	}
+	if p1.SQL == p1.Fingerprint {
+		t.Error("SQL should keep the literal-embedding rendering")
+	}
+}
+
+func TestFingerprintDistinguishesShapes(t *testing.T) {
+	pairs := [][2]string{
+		{"SELECT url FROM logs WHERE clicks > 10", "SELECT url FROM logs WHERE clicks >= 10"},
+		{"SELECT url FROM logs WHERE clicks > 10", "SELECT url FROM logs WHERE pos > 10"},
+		{"SELECT url FROM logs WHERE clicks > 10", "SELECT query FROM logs WHERE clicks > 10"},
+		{"SELECT url FROM logs LIMIT 4", "SELECT url FROM logs LIMIT 5"},
+		{"SELECT url FROM logs WHERE clicks > 10", "SELECT url FROM logs WHERE score > 10.0"},
+	}
+	for _, pq := range pairs {
+		a, b := planSQL(t, pq[0]), planSQL(t, pq[1])
+		if a.Fingerprint == b.Fingerprint {
+			t.Errorf("%q and %q must not share fingerprint %q", pq[0], pq[1], a.Fingerprint)
+		}
+	}
+}
+
+// Task keys are the job manager's dedup identity: literal variants share a
+// fingerprint but MUST NOT share task keys, or one query's rows would be
+// served as another's.
+func TestTaskKeysDistinguishLiteralVariants(t *testing.T) {
+	p1 := planSQL(t, "SELECT url FROM logs WHERE clicks > 10")
+	p2 := planSQL(t, "SELECT url FROM logs WHERE clicks > 20")
+	if p1.Fingerprint != p2.Fingerprint {
+		t.Fatal("precondition: shared fingerprint")
+	}
+	if p1.Tasks()[0].Key() == p2.Tasks()[0].Key() {
+		t.Fatal("literal variants must not share task keys")
+	}
+}
+
+func TestLiteralKeyTypeTagged(t *testing.T) {
+	i := LiteralKey([]types.Value{types.NewInt(3)})
+	f := LiteralKey([]types.Value{types.NewFloat(3)})
+	if i == f {
+		t.Fatalf("BIGINT 3 and DOUBLE 3.0 must not share a literal key: %q", i)
+	}
+	if LiteralKey(nil) != "" {
+		t.Error("empty vector renders empty key")
+	}
+}
+
+func TestNormalizeSlotClassification(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want []LitSlot
+	}{
+		// Top-level conjuncts: flexible, column-left-normalized ops.
+		{"SELECT url FROM logs WHERE clicks > 10 AND score <= 0.5",
+			[]LitSlot{{true, sqlparser.OpGt}, {true, sqlparser.OpLe}}},
+		// Literal on the left flips the recorded op.
+		{"SELECT url FROM logs WHERE 10 < clicks",
+			[]LitSlot{{true, sqlparser.OpGt}}},
+		// OR-disjuncts are rigid.
+		{"SELECT url FROM logs WHERE clicks > 10 OR pos = 1",
+			[]LitSlot{{false, 0}, {false, 0}}},
+		// Literals outside WHERE are rigid.
+		{"SELECT clicks + 5 FROM logs WHERE clicks > 10",
+			[]LitSlot{{false, 0}, {true, sqlparser.OpGt}}},
+		// NOT blocks flexibility (negated CONTAINS keeps its literal rigid).
+		{"SELECT url FROM logs WHERE NOT (url CONTAINS 'x')",
+			[]LitSlot{{false, 0}}},
+		// CONTAINS with the column on the left is flexible.
+		{"SELECT url FROM logs WHERE url CONTAINS 'x'",
+			[]LitSlot{{true, sqlparser.OpContains}}},
+		// Column-column comparison binds no literal.
+		{"SELECT url FROM logs WHERE clicks > pos", nil},
+	}
+	for _, c := range cases {
+		p := planSQL(t, c.sql)
+		if len(p.ReuseSlots) != len(c.want) {
+			t.Errorf("%q: slots = %+v, want %+v", c.sql, p.ReuseSlots, c.want)
+			continue
+		}
+		for i := range c.want {
+			got := p.ReuseSlots[i]
+			if got.Flexible != c.want[i].Flexible || (got.Flexible && got.Op != c.want[i].Op) {
+				t.Errorf("%q slot %d = %+v, want %+v", c.sql, i, got, c.want[i])
+			}
+		}
+	}
+}
+
+// The normalized rendering with literals substituted back must match the
+// canonical Stmt.String() — the walker mirrors it placeholder for literal.
+func TestNormalizeMirrorsCanonicalRendering(t *testing.T) {
+	queries := []string{
+		"SELECT url, clicks FROM logs WHERE clicks > 3 AND score <= 0.5 ORDER BY url LIMIT 7",
+		"SELECT city, COUNT(*) AS n FROM logs, users WHERE logs.uid = users.uid AND clicks > 3 GROUP BY city HAVING COUNT(*) > 1 ORDER BY n DESC LIMIT 5",
+		"SELECT url FROM logs WHERE NOT (url CONTAINS 'spam') AND (clicks > 2 OR pos <= 3)",
+		"SELECT SUM(click.pos) WITHIN RECORD FROM logs WHERE query = 'maps'",
+		"SELECT -clicks FROM logs WHERE 5 < clicks",
+	}
+	for _, sql := range queries {
+		a := analyzeSQL(t, sql)
+		fp, lits, slots := Normalize(a.Stmt)
+		if len(lits) != len(slots) {
+			t.Fatalf("%q: %d literals, %d slots", sql, len(lits), len(slots))
+		}
+		// Substitute literal renderings back into the placeholders in order.
+		got := fp
+		for _, v := range lits {
+			lit := &sqlparser.Literal{Value: v}
+			got = strings.Replace(got, "?:"+v.T.String(), lit.String(), 1)
+		}
+		if want := a.Stmt.String(); got != want {
+			t.Errorf("%q: substituted fingerprint diverges\n got: %s\nwant: %s", sql, got, want)
+		}
+	}
+}
+
+func TestReuseFilterEligibility(t *testing.T) {
+	ineligible := []string{
+		"SELECT COUNT(*) FROM logs WHERE clicks > 10",             // aggregate
+		"SELECT url FROM logs WHERE clicks > 10 LIMIT 5",          // limit truncates
+		"SELECT city FROM logs, users WHERE logs.uid = users.uid", // join
+		"SELECT url FROM logs WHERE clicks + pos > 10",            // opaque clause
+		"SELECT url FROM logs WHERE clicks > 10",                  // filter col not projected
+	}
+	for _, sql := range ineligible {
+		p := planSQL(t, sql)
+		if _, ok := p.ReuseFilter(); ok {
+			t.Errorf("%q should be ineligible for subsumption reuse", sql)
+		}
+	}
+	p := planSQL(t, "SELECT url, clicks, pos FROM logs WHERE clicks > 10 AND pos <= 3")
+	f, ok := p.ReuseFilter()
+	if !ok {
+		t.Fatal("projected-filter select should be eligible")
+	}
+	if len(f.Clauses) != 2 {
+		t.Fatalf("clauses = %+v", f.Clauses)
+	}
+	// url="a" clicks=11 pos=2 passes; clicks=10 fails; pos=4 fails.
+	mk := func(c, p int64) []types.Value {
+		return []types.Value{types.NewString("a"), types.NewInt(c), types.NewInt(p)}
+	}
+	if !f.Match(mk(11, 2)) {
+		t.Error("row 11/2 should match")
+	}
+	if f.Match(mk(10, 2)) || f.Match(mk(11, 4)) {
+		t.Error("non-qualifying rows must not match")
+	}
+}
+
+// ORDER BY over a hidden key stays eligible only when the filter columns are
+// visible; the hidden output itself must not shift visible indices.
+func TestReuseFilterHiddenOrderKey(t *testing.T) {
+	p := planSQL(t, "SELECT url, clicks FROM logs WHERE clicks > 2 ORDER BY pos")
+	if _, ok := p.ReuseFilter(); ok {
+		// pos is hidden (ORDER BY only): filter col clicks IS visible, so
+		// eligibility holds; check index mapping against visible positions.
+		f, _ := p.ReuseFilter()
+		for _, cl := range f.Clauses {
+			for _, ra := range cl {
+				if ra.Out != 1 {
+					t.Errorf("clicks should map to visible index 1, got %d", ra.Out)
+				}
+			}
+		}
+	}
+}

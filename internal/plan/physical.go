@@ -53,9 +53,21 @@ type PhysicalPlan struct {
 	// ScanLimit lets leaves stop early on plain SELECT ... LIMIT without
 	// ORDER BY; -1 otherwise.
 	ScanLimit int64
-	// Fingerprint identifies the logical query for the job manager's
-	// identical-task result reuse (paper §III-C).
+	// SQL is the canonical rendering of the statement, literals included.
+	SQL string
+	// Fingerprint is the normalized query shape: the canonical rendering
+	// with every literal lifted to a typed placeholder. All literal variants
+	// of one query share it — the slowlog's shape key and the result cache's
+	// primary key. (Fingerprint, LiteralKey) together identify the exact
+	// logical query.
 	Fingerprint string
+	// Literals holds the bound literal values in placeholder order.
+	Literals []types.Value
+	// LiteralKey is the stable typed rendering of Literals ("" when the
+	// query has none).
+	LiteralKey string
+	// ReuseSlots classifies each literal for predicate-subsumption reuse.
+	ReuseSlots []LitSlot
 }
 
 // Fact returns the plan's fact table.
@@ -85,9 +97,11 @@ type TaskSpec struct {
 }
 
 // Key identifies the task's work content; identical keys compute identical
-// results (same logical plan, same partition).
+// results (same logical plan, same partition). The normalized fingerprint
+// alone is NOT enough — literal variants share it — so the bound-literal
+// key is part of the identity.
 func (t TaskSpec) Key() string {
-	return t.Plan.Fingerprint + "@" + t.Partition.Path
+	return t.Plan.Fingerprint + "|" + t.Plan.LiteralKey + "@" + t.Partition.Path
 }
 
 // Build turns an analyzed query into a physical plan.
@@ -204,7 +218,9 @@ func Build(a *Analyzed) (*PhysicalPlan, error) {
 		}
 	}
 
-	p.Fingerprint = a.Stmt.String()
+	p.SQL = a.Stmt.String()
+	p.Fingerprint, p.Literals, p.ReuseSlots = Normalize(a.Stmt)
+	p.LiteralKey = LiteralKey(p.Literals)
 	return p, nil
 }
 

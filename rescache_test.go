@@ -1,0 +1,225 @@
+package feisu
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/workload"
+)
+
+// rescacheEquivQueries emits a cache-eligible stream with deliberate literal
+// repetition: thresholds repeat (exact hits) and widen-then-narrow
+// (subsumption hits), mixed with aggregations that are exact-hit only.
+func rescacheEquivQueries(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0: // wide range first, narrow ones subsume from it
+			out = append(out, fmt.Sprintf("SELECT uid, clicks FROM T1 WHERE clicks > %d", 2+rng.Intn(3)))
+		case 1:
+			out = append(out, fmt.Sprintf("SELECT uid, clicks FROM T1 WHERE clicks > %d", 8+rng.Intn(6)))
+		case 2:
+			out = append(out, fmt.Sprintf("SELECT url, pos FROM T1 WHERE pos <= %d", 3+rng.Intn(6)))
+		case 3:
+			out = append(out, fmt.Sprintf("SELECT COUNT(*), SUM(clicks) FROM T1 WHERE clicks > %d", 2+rng.Intn(8)))
+		default:
+			out = append(out, fmt.Sprintf("SELECT uid, clicks FROM T1 WHERE clicks > %d AND pos <= %d",
+				2+rng.Intn(4), 4+rng.Intn(5)))
+		}
+	}
+	return out
+}
+
+// TestResultCacheEquivalenceUnderChaos is the cache-correctness invariant:
+// on the same seeded delay-chaos deployment, a query stream answered through
+// the semantic result cache (exact hits and subsumption re-filters) returns
+// exactly the rows of cold execution with the cache bypassed per query. Runs
+// across three chaos seeds; the counters must prove both reuse paths fired,
+// or the equivalence is vacuous.
+func TestResultCacheEquivalenceUnderChaos(t *testing.T) {
+	for _, seed := range []int64{11, 12, 13} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			sys, err := New(Config{
+				Leaves:            4,
+				HeartbeatInterval: -1,
+				ResultCacheBytes:  4 << 20,
+				CacheAffinity:     true,
+				Chaos: &chaos.Config{
+					Seed: seed,
+					Transport: chaos.TransportChaos{
+						Delay:    0.3,
+						MaxDelay: 500 * time.Microsecond,
+					},
+					Storage: chaos.StorageChaos{
+						SlowRead:      0.2,
+						SlowReadDelay: 200 * time.Microsecond,
+					},
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sys.Close()
+			ctx := context.Background()
+			spec := workload.T1Spec()
+			spec.Partitions = 4
+			spec.RowsPerPart = 256
+			meta, err := workload.Generate(ctx, sys.Router(), spec)
+			if err == nil {
+				err = sys.RegisterTable(ctx, meta)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			queries := rescacheEquivQueries(40, seed)
+			for i, q := range queries {
+				cold, err := sys.Query(ctx, q, WithoutResultCache())
+				if err != nil {
+					t.Fatalf("cold %q: %v", q, err)
+				}
+				cached, stats, err := sys.QueryStats(ctx, q)
+				if err != nil {
+					t.Fatalf("cached %q: %v", q, err)
+				}
+				if got, want := renderRows(cached), renderRows(cold); got != want {
+					t.Fatalf("query %d %q diverged (outcome=%s):\ncached: %s\ncold:   %s",
+						i, q, stats.ResultCache, got, want)
+				}
+			}
+			snap := sys.ResultCache().Snapshot()
+			if snap.Hits == 0 || snap.SubsumedHits == 0 {
+				t.Fatalf("reuse paths not exercised: hits=%d subsumed=%d misses=%d",
+					snap.Hits, snap.SubsumedHits, snap.Misses)
+			}
+		})
+	}
+}
+
+// TestResultCacheInvalidatedByIngest is the freshness invariant: a cached
+// answer must never survive new data arriving for its table — each ingest
+// batch re-registers the table, which drops every entry reading it.
+func TestResultCacheInvalidatedByIngest(t *testing.T) {
+	sys, err := New(Config{Leaves: 2, HeartbeatInterval: -1, ResultCacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ctx := context.Background()
+	schema := MustSchema(
+		Field{Name: "ts", Type: Int64},
+		Field{Name: "level", Type: Int64},
+	)
+	write := func(path, content string) {
+		t.Helper()
+		if err := sys.Router().WriteFile(ctx, path, []byte(content)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("/raw/app/0001.json", `{"ts": 1, "level": 3}
+{"ts": 2, "level": 7}`)
+	if _, err := sys.IngestOnce(ctx, "app", schema, "/raw/app", "/hdfs/app"); err != nil {
+		t.Fatal(err)
+	}
+
+	const q = "SELECT ts, level FROM app WHERE level > 2"
+	res, stats, err := sys.QueryStats(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ResultCache != "miss" || len(res.Rows) != 2 {
+		t.Fatalf("first run: outcome=%q rows=%d", stats.ResultCache, len(res.Rows))
+	}
+	if _, stats, _ = sys.QueryStats(ctx, q); stats.ResultCache != "hit" {
+		t.Fatalf("repeat should hit, got %q", stats.ResultCache)
+	}
+
+	// New data lands: the cached entry must die with the re-registration.
+	write("/raw/app/0002.json", `{"ts": 3, "level": 9}`)
+	if _, err := sys.IngestOnce(ctx, "app", schema, "/raw/app", "/hdfs/app"); err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err = sys.QueryStats(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ResultCache != "miss" {
+		t.Fatalf("post-ingest outcome = %q, want miss (stale entry served)", stats.ResultCache)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("post-ingest rows = %d, want 3 (new record visible)", len(res.Rows))
+	}
+}
+
+// TestIngestRestartInvalidatesStaleReads is the stale-read regression: a
+// converter that lost its state (process restart) reuses sequence numbers
+// and overwrites conv-00001 with different content. Without the rewrite
+// invalidation fan-out (master/leaf footer caches, SSD chunks, result
+// cache), readers would serve block offsets and bytes of the superseded
+// file. The rewritten partition must be read back exactly.
+func TestIngestRestartInvalidatesStaleReads(t *testing.T) {
+	sys, err := New(Config{
+		Leaves:            2,
+		HeartbeatInterval: -1,
+		ResultCacheBytes:  1 << 20,
+		CacheBytes:        1 << 20,
+		CachePrefixes:     []string{"/hdfs/"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ctx := context.Background()
+	schema := MustSchema(
+		Field{Name: "ts", Type: Int64},
+		Field{Name: "msg", Type: String},
+	)
+	write := func(path, content string) {
+		t.Helper()
+		if err := sys.Router().WriteFile(ctx, path, []byte(content)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("/raw/logs/a.json", `{"ts": 1, "msg": "old-one"}`)
+	if _, err := sys.IngestOnce(ctx, "logs", schema, "/raw/logs", "/hdfs/logs"); err != nil {
+		t.Fatal(err)
+	}
+	// Warm every cache layer: footer metas, SSD chunks, result cache.
+	const q = "SELECT ts, msg FROM logs"
+	res, err := sys.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1].S != "old-one" {
+		t.Fatalf("warm read = %v", res.Rows)
+	}
+
+	// Simulate a converter restart: drop its in-memory state so the next
+	// ingest rescans the (rewritten) source and reuses seq 1, overwriting
+	// /hdfs/logs/conv-00001 with different rows and block layout.
+	sys.convMu.Lock()
+	delete(sys.convs, "logs")
+	sys.convMu.Unlock()
+	write("/raw/logs/a.json", `{"ts": 10, "msg": "new-one"}
+{"ts": 11, "msg": "new-two"}`)
+	if _, err := sys.IngestOnce(ctx, "logs", schema, "/raw/logs", "/hdfs/logs"); err != nil {
+		t.Fatal(err)
+	}
+
+	res, stats, err := sys.QueryStats(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ResultCache == "hit" {
+		t.Fatal("rewritten table served from the result cache")
+	}
+	if len(res.Rows) != 2 || res.Rows[0][1].S != "new-one" || res.Rows[1][1].S != "new-two" {
+		t.Fatalf("post-restart rows = %v, want the rewritten file's two rows", res.Rows)
+	}
+}

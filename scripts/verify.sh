@@ -45,6 +45,22 @@ if awk "BEGIN{exit !($cov < $cluster_cov_floor)}"; then
 fi
 echo "coverage: internal/cluster at ${cov}%"
 
+# Coverage floor: internal/resultcache (semantic result cache — normalization
+# hits, subsumption, TTL, quotas, invalidation) gates at the level set when
+# the cache landed. Raise when coverage improves; never lower.
+rescache_cov_floor=90.0
+echo "== coverage floor (internal/resultcache >= ${rescache_cov_floor}%)"
+rcov=$(go test -cover ./internal/resultcache | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+if [ -z "$rcov" ]; then
+	echo "coverage: could not parse 'go test -cover ./internal/resultcache' output" >&2
+	exit 1
+fi
+if awk "BEGIN{exit !($rcov < $rescache_cov_floor)}"; then
+	echo "coverage: internal/resultcache at ${rcov}%, below the ${rescache_cov_floor}% floor" >&2
+	exit 1
+fi
+echo "coverage: internal/resultcache at ${rcov}%"
+
 echo "== fuzz smoke (FuzzParse, 10s)"
 go test -fuzz=FuzzParse -fuzztime=10s -run='^$' ./internal/sqlparser
 
@@ -59,5 +75,8 @@ go run ./cmd/feisu-bench -exp parscan -short -scale small
 
 echo "== admission smoke (bounded tail latency under offered overload)"
 go run ./cmd/feisu-bench -exp admission -short -scale small
+
+echo "== rescache smoke (semantic result cache, off vs on)"
+go run ./cmd/feisu-bench -exp rescache -short -scale small
 
 echo "verify: OK"
