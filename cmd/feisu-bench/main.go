@@ -40,6 +40,7 @@ var registry = []struct {
 	{"parscan", "intra-task parallel scan speedup at 1/2/4/8 workers", experiments.Parscan},
 	{"admission", "admission control: tail latency and goodput vs offered load", experiments.Admission},
 	{"rescache", "semantic result cache: repeated-shape stream, cache off vs on", experiments.Rescache},
+	{"flightrec", "flight recorder overhead: identical stream, recorder off vs on", experiments.Flightrec},
 }
 
 func main() {
@@ -57,6 +58,7 @@ func main() {
 	experiments.ParscanShort = *short
 	experiments.AdmissionShort = *short
 	experiments.RescacheShort = *short
+	experiments.FlightrecShort = *short
 
 	if *list {
 		for _, e := range registry {

@@ -11,16 +11,21 @@
 // Interactive mode understands EXPLAIN / EXPLAIN ANALYZE prefixes and the
 // commands `\trace` (toggle span-tree printing), `\stats` (toggle stats),
 // `\metrics` (dump the deployment metrics registry), `\top` (live per-leaf
-// cluster health dashboard) and `\slowlog` (the slow-query log).
+// cluster health dashboard), `\watch` (live per-query progress),
+// `\slowlog` (the slow-query log) and `\events` (the flight recorder's
+// journal tail).
 //
 // Telemetry: -metrics-addr starts the HTTP exporter (/metrics in
-// Prometheus format, /healthz, /debug/slowlog; add pprof with -pprof), and
-// -slow / -slow-sim set the slow-query-log thresholds.
+// Prometheus format, /healthz, /debug/slowlog, /debug/queries,
+// /debug/trace/{id}, /debug/events; add pprof with -pprof), and -slow /
+// -slow-sim set the slow-query-log thresholds. -trace-export writes every
+// finished query trace as one Jaeger-compatible JSON document per line.
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,7 +36,10 @@ import (
 
 	feisu "repro"
 	"repro/internal/chaos"
+	"repro/internal/cluster"
+	"repro/internal/events"
 	"repro/internal/telemetry"
+	tracepkg "repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -48,6 +56,8 @@ func main() {
 	slowWall := flag.Duration("slow", 0, "record queries with wall time >= this in the slow-query log")
 	slowSim := flag.Duration("slow-sim", 0, "record queries with simulated time >= this in the slow-query log")
 	smoke := flag.Bool("smoke-telemetry", false, "start the exporter on an ephemeral port, scrape it once, and exit (CI smoke test)")
+	smokeFR := flag.Bool("smoke-flightrec", false, "run one query and assert the flight recorder journaled its admitted->dispatched->collected chain, then exit (CI smoke test)")
+	traceExport := flag.String("trace-export", "", "append every finished query trace to this file as Jaeger-compatible JSON, one document per line (implies per-query tracing)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "enable the deterministic fault-injection plane with this seed (0 = off); same seed = same failure schedule")
 	maxQueries := flag.Int("max-queries", 0, "admission control: max concurrent queries (0 = unlimited, no admission queue)")
 	queueDepth := flag.Int("queue-depth", 0, "admission control: per-class queue depth (0 = 2x max-queries)")
@@ -82,6 +92,10 @@ func main() {
 		smokeTelemetry(cfg, *rows, *parts)
 		return
 	}
+	if *smokeFR {
+		smokeFlightrec(cfg, *rows, *parts)
+		return
+	}
 
 	sys, err := feisu.New(cfg)
 	if err != nil {
@@ -96,6 +110,17 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "telemetry: %s/metrics\n", srv.URL())
+	}
+
+	var exporter *traceExporter
+	if *traceExport != "" {
+		f, err := os.OpenFile(*traceExport, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		exporter = &traceExporter{sys: sys, w: f}
+		fmt.Fprintf(os.Stderr, "trace export: appending Jaeger JSON lines to %s\n", *traceExport)
 	}
 
 	ctx := context.Background()
@@ -123,14 +148,14 @@ func main() {
 			fmt.Print(desc)
 			return
 		}
-		if err := run(sys, *query, *stats, *trace); err != nil {
+		if err := run(sys, *query, *stats, *trace, exporter); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
 	fmt.Fprintln(os.Stderr, "feisu> enter queries, blank line to exit")
-	fmt.Fprintln(os.Stderr, "feisu> commands: \\trace \\stats \\metrics \\top \\slowlog \\q; EXPLAIN [ANALYZE] <query>")
+	fmt.Fprintln(os.Stderr, "feisu> commands: \\trace \\stats \\metrics \\top \\watch \\slowlog \\events \\q; EXPLAIN [ANALYZE] <query>")
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Fprint(os.Stderr, "feisu> ")
 	withTrace := *trace
@@ -155,6 +180,8 @@ func main() {
 				fmt.Fprintf(os.Stderr, "heartbeat: %v\n", err)
 			}
 			fmt.Print(sys.ClusterHealth().Render())
+		case line == `\watch`:
+			fmt.Print(cluster.RenderProgress(sys.ActiveQueries()))
 		case line == `\slowlog`:
 			if sl := sys.Slowlog(); sl == nil {
 				fmt.Fprintln(os.Stderr, "slowlog disabled; start feisu with -slow or -slow-sim")
@@ -162,10 +189,24 @@ func main() {
 				fmt.Printf("slow queries recorded: %d\n", sl.Total())
 				fmt.Print(telemetry.RenderSlowlog(sl.Entries()))
 			}
+		case line == `\events`:
+			if rec := sys.Events(); rec == nil {
+				fmt.Fprintln(os.Stderr, "flight recorder disabled (EventLogCapacity < 0)")
+			} else {
+				evs := rec.Events()
+				if len(evs) > 40 {
+					evs = evs[len(evs)-40:]
+				}
+				fmt.Printf("events recorded: %d, overwritten: %d (showing last %d)\n",
+					rec.Total(), rec.Dropped(), len(evs))
+				for _, e := range evs {
+					fmt.Println(e.String())
+				}
+			}
 		case line == `\q` || line == `\quit`:
 			return
 		default:
-			if err := run(sys, line, withStats, withTrace); err != nil {
+			if err := run(sys, line, withStats, withTrace, exporter); err != nil {
 				fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			}
 		}
@@ -180,16 +221,17 @@ func onOff(b bool) string {
 	return "off"
 }
 
-func run(sys *feisu.System, sql string, withStats, withTrace bool) error {
+func run(sys *feisu.System, sql string, withStats, withTrace bool, exporter *traceExporter) error {
 	start := time.Now()
 	var opts []feisu.QueryOption
-	if withTrace {
+	if withTrace || exporter != nil {
 		opts = append(opts, feisu.WithTrace())
 	}
 	res, stats, err := sys.QueryStats(context.Background(), sql, opts...)
 	if err != nil {
 		return err
 	}
+	exporter.export(stats.QueryID)
 	printResult(res)
 	if withTrace && stats.Trace != nil {
 		fmt.Print(stats.Trace.Render())
@@ -201,6 +243,30 @@ func run(sys *feisu.System, sql string, withStats, withTrace bool) error {
 			stats.Tasks, stats.ReusedTasks, stats.BackupTasks, stats.Scan)
 	}
 	return nil
+}
+
+// traceExporter appends every finished query's trace to a file as one
+// Jaeger-compatible JSON document per line (the -trace-export flag).
+type traceExporter struct {
+	sys *feisu.System
+	w   io.Writer
+}
+
+func (e *traceExporter) export(queryID string) {
+	if e == nil || queryID == "" {
+		return
+	}
+	st, ok := e.sys.Traces().Get(queryID)
+	if !ok {
+		return
+	}
+	b, err := json.Marshal(tracepkg.ToJaeger(st))
+	if err != nil {
+		return
+	}
+	if _, err := e.w.Write(append(b, '\n')); err != nil {
+		fmt.Fprintf(os.Stderr, "trace export: %v\n", err)
+	}
 }
 
 func printResult(res *feisu.Result) {
@@ -280,6 +346,89 @@ func smokeTelemetry(cfg feisu.Config, rows, parts int) {
 	get("/healthz")
 	get("/debug/slowlog")
 	fmt.Printf("telemetry smoke OK: scraped %s (%d bytes of metrics)\n", srv.Addr(), len(metricsBody))
+}
+
+// smokeFlightrec is the CI smoke test behind -smoke-flightrec: build a
+// tiny system, run one query, and assert the flight recorder journaled the
+// query's full admitted -> scheduled -> dispatched -> collected -> done
+// chain, then scrape the /debug/queries, /debug/trace and /debug/events
+// endpoints to prove the observability surface is wired end to end.
+func smokeFlightrec(cfg feisu.Config, rows, parts int) {
+	cfg.Leaves = 2
+	sys, err := feisu.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer sys.Close()
+
+	ctx := context.Background()
+	spec := workload.T1Spec()
+	spec.Partitions = parts
+	spec.RowsPerPart = rows
+	meta, err := workload.Generate(ctx, sys.Router(), spec)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sys.RegisterTable(ctx, meta); err != nil {
+		fatal(err)
+	}
+	_, stats, err := sys.QueryStats(ctx, "SELECT COUNT(*) FROM T1 WHERE clicks > 2", feisu.WithTrace())
+	if err != nil {
+		fatal(err)
+	}
+	if stats.QueryID == "" {
+		fatal(fmt.Errorf("query finished without a query ID"))
+	}
+
+	rec := sys.Events()
+	if rec == nil {
+		fatal(fmt.Errorf("flight recorder not enabled by default"))
+	}
+	seen := make(map[events.Kind]bool)
+	for _, e := range rec.ForQuery(stats.QueryID) {
+		seen[e.Kind] = true
+	}
+	for _, want := range []events.Kind{
+		events.QuerySubmit, events.QueryAdmitted, events.TaskScheduled,
+		events.TaskDispatched, events.TaskCollected, events.LeafExec,
+		events.QueryDone,
+	} {
+		if !seen[want] {
+			fatal(fmt.Errorf("journal for %s is missing kind %q (have %v)", stats.QueryID, want, seen))
+		}
+	}
+
+	srv, err := sys.StartTelemetry("127.0.0.1:0", false)
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			fatal(fmt.Errorf("GET %s: %w", path, err))
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("GET %s: status %d: %s", path, resp.StatusCode, body))
+		}
+		return string(body)
+	}
+	if body := get("/debug/queries?format=json"); !strings.Contains(body, `"active"`) {
+		fatal(fmt.Errorf("/debug/queries?format=json lacks the active count: %s", body))
+	}
+	if body := get("/debug/trace/" + stats.QueryID); !strings.Contains(body, `"spans"`) {
+		fatal(fmt.Errorf("/debug/trace/%s is not a Jaeger document: %s", stats.QueryID, body))
+	}
+	if body := get("/debug/events?query=" + stats.QueryID); !strings.Contains(body, string(events.TaskCollected)) {
+		fatal(fmt.Errorf("/debug/events?query=%s lacks the task.collected event: %s", stats.QueryID, body))
+	}
+	fmt.Printf("flightrec smoke OK: %s journaled %d events (%d total, %d dropped)\n",
+		stats.QueryID, len(rec.ForQuery(stats.QueryID)), rec.Total(), rec.Dropped())
 }
 
 func fatal(err error) {

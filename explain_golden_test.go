@@ -46,12 +46,25 @@ func newGoldenSystem(t *testing.T) *System {
 }
 
 // normalizeTrace blanks the volatile tokens of an execution trace — sim and
-// wall durations vary with the host — while keeping structure, counters and
-// attributes exact.
-var durToken = regexp.MustCompile(`(sim|wall)=\S+`)
+// wall durations vary with the host, and the critical-path section adds a
+// total= token and percentage shares — while keeping structure, counters and
+// attributes exact. Fixed-width columns pad to the rendered duration's
+// length, so the spacing adjacent to a normalized token (and any trailing
+// whitespace) is collapsed too.
+var (
+	durToken   = regexp.MustCompile(`(^|\s)(sim|wall|total)=\S+`)
+	pctToken   = regexp.MustCompile(`\d+\.\d%`)
+	durPad     = regexp.MustCompile(`<dur> +`)
+	pctPad     = regexp.MustCompile(` +<pct>`)
+	lineSuffix = regexp.MustCompile(`(?m)[ \t]+$`)
+)
 
 func normalizeTrace(text string) string {
-	return durToken.ReplaceAllString(text, "$1=<dur>")
+	text = durToken.ReplaceAllString(text, "$1$2=<dur>")
+	text = pctToken.ReplaceAllString(text, "<pct>")
+	text = durPad.ReplaceAllString(text, "<dur> ")
+	text = pctPad.ReplaceAllString(text, " <pct>")
+	return lineSuffix.ReplaceAllString(text, "")
 }
 
 // checkGolden compares got against testdata/<name>.golden. Run with

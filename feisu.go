@@ -31,6 +31,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/exec"
 	"repro/internal/ingest"
 	"repro/internal/metrics"
@@ -40,6 +41,7 @@ import (
 	"repro/internal/sqlparser"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -233,6 +235,14 @@ type Config struct {
 	// prefers leaves with spare slots and stems bound in-flight calls per
 	// leaf. <=0 means unbounded.
 	LeafSlots int
+	// EventLogCapacity sizes the cluster flight recorder's bounded event
+	// journal (query/task lifecycle, cache, worker and chaos events). 0 uses
+	// the default (4096 events); negative disables the recorder entirely.
+	EventLogCapacity int
+	// TraceStoreCapacity bounds the ring of retained finished query traces
+	// (/debug/trace/{id}, Jaeger export). 0 uses the default (32 traces);
+	// negative disables retention.
+	TraceStoreCapacity int
 }
 
 // System is an in-process Feisu deployment.
@@ -256,6 +266,8 @@ type System struct {
 	history  *History
 	metrics  *metrics.Registry
 	slowlog  *telemetry.Slowlog
+	events   *events.Recorder
+	traces   *trace.Store
 	// latWall/latSim are the fleet-level query latency histograms exported
 	// as feisu_query_wall_seconds / feisu_query_sim_seconds.
 	latWall *metrics.Histogram
@@ -334,6 +346,15 @@ func New(cfg Config) (*System, error) {
 	if cfg.SlowQueryWallThreshold > 0 || cfg.SlowQuerySimThreshold > 0 {
 		sys.slowlog = telemetry.NewSlowlog(cfg.SlowlogCapacity, cfg.SlowQueryWallThreshold, cfg.SlowQuerySimThreshold)
 	}
+	if cfg.EventLogCapacity >= 0 {
+		sys.events = events.New(cfg.EventLogCapacity)
+		rec := sys.events
+		sys.metrics.RegisterGaugeFunc("feisu_events_recorded_total", func() float64 { return float64(rec.Total()) })
+		sys.metrics.RegisterGaugeFunc("feisu_events_dropped_total", func() float64 { return float64(rec.Dropped()) })
+	}
+	if cfg.TraceStoreCapacity >= 0 {
+		sys.traces = trace.NewStore(cfg.TraceStoreCapacity)
+	}
 
 	leafName := func(i int) string { return fmt.Sprintf("leaf%d", i) }
 	for i := 0; i < cfg.Leaves; i++ {
@@ -363,6 +384,7 @@ func New(cfg Config) (*System, error) {
 			CapacityBytes: cfg.ResultCacheBytes,
 			TTL:           ttl,
 			TenantBytes:   cfg.ResultCacheTenantBytes,
+			Events:        sys.events,
 		})
 		rc := sys.rescache
 		sys.metrics.RegisterGaugeFunc("feisu_resultcache_hits_total", func() float64 { return float64(rc.Snapshot().Hits) })
@@ -401,6 +423,7 @@ func New(cfg Config) (*System, error) {
 
 		ResultCache:   sys.rescache,
 		CacheAffinity: cfg.CacheAffinity,
+		Events:        sys.events,
 	}
 	if cfg.PersonalizeThreshold > 0 {
 		sys.history = &History{
@@ -470,6 +493,7 @@ func New(cfg Config) (*System, error) {
 			Model:          model,
 			SpillThreshold: cfg.SpillThreshold,
 			SpillPrefix:    "/hdfs/feisu-tmp",
+			Events:         sys.events,
 		}
 		leaf.Register()
 		leaf.RegisterMetrics(sys.metrics, leafName(i)+".")
@@ -483,6 +507,7 @@ func New(cfg Config) (*System, error) {
 			Fabric: fabric,
 			Router: router,
 			Model:  model,
+			Events: sys.events,
 		}
 		stem.Register()
 		sys.stems = append(sys.stems, stem)
@@ -501,6 +526,15 @@ func New(cfg Config) (*System, error) {
 		sys.StartHeartbeats(interval)
 	}
 	if plane != nil {
+		if rec := sys.events; rec != nil {
+			// Mirror every fired fault into the flight recorder so incident
+			// timelines interleave faults with the decisions they caused. The
+			// chaos plane's own per-site sequence is deterministic; the bridge
+			// keeps each chaos site distinct ("chaos/<site>").
+			plane.SetSink(func(e chaos.Event) {
+				rec.Emit("chaos/"+e.Site, events.Kind(events.ChaosPrefix+e.Kind), "", -1, e.Detail)
+			})
+		}
 		// Arm the interceptor only after boot: the initial heartbeat round
 		// that registers every worker must not itself be dropped, or the
 		// deployment would start with phantom-dead leaves.
@@ -671,19 +705,31 @@ func (s *System) QueryStats(ctx context.Context, sql string, opts ...QueryOption
 	if stats != nil {
 		s.latWall.Observe(stats.WallTime.Seconds())
 		s.latSim.Observe(stats.SimTime.Seconds())
-		if s.slowlog.Slow(stats.WallTime, stats.SimTime) {
-			s.slowlog.Record(telemetry.SlowQuery{
-				When:        time.Now(),
-				SQL:         sql,
+		if stats.Trace != nil {
+			s.traces.Add(trace.StoredTrace{
+				QueryID:     stats.QueryID,
 				Fingerprint: stats.Fingerprint,
+				SQL:         sql,
+				When:        time.Now(),
 				Wall:        stats.WallTime,
 				Sim:         stats.SimTime,
-				Tasks:       stats.Tasks,
-				Reused:      stats.ReusedTasks,
-				Backups:     stats.BackupTasks,
-				Failed:      stats.TasksFailed,
-				Stages:      telemetry.StagesFromTrace(stats.Trace),
-				Counters:    telemetry.CountersFromTrace(stats.Trace),
+				Root:        stats.Trace,
+			})
+		}
+		if s.slowlog.Slow(stats.WallTime, stats.SimTime) {
+			s.slowlog.Record(telemetry.SlowQuery{
+				When:         time.Now(),
+				SQL:          sql,
+				Fingerprint:  stats.Fingerprint,
+				Wall:         stats.WallTime,
+				Sim:          stats.SimTime,
+				Tasks:        stats.Tasks,
+				Reused:       stats.ReusedTasks,
+				Backups:      stats.BackupTasks,
+				Failed:       stats.TasksFailed,
+				Stages:       telemetry.StagesFromTrace(stats.Trace),
+				Counters:     telemetry.CountersFromTrace(stats.Trace),
+				CriticalPath: trace.AnalyzeCriticalPath(stats.Trace).Summary(),
 			})
 		}
 	}
@@ -701,6 +747,23 @@ func (s *System) ClusterHealth() cluster.ClusterHealth {
 // Slowlog returns the slow-query ring buffer, or nil when no slow-query
 // threshold is configured.
 func (s *System) Slowlog() *telemetry.Slowlog { return s.slowlog }
+
+// Events returns the cluster flight recorder, or nil when
+// Config.EventLogCapacity is negative. Read the journal with Events().Events()
+// (arrival order) or Events().Canonical() (deterministic (site, seq) order).
+func (s *System) Events() *events.Recorder { return s.events }
+
+// ActiveQueries snapshots the master's in-flight queries (oldest first):
+// per-query task counts, merged rows and queue state. The live view behind
+// the REPL's `\watch` and the exporter's /debug/queries.
+func (s *System) ActiveQueries() []cluster.QueryProgress {
+	return s.master.ActiveQueries()
+}
+
+// Traces returns the ring of retained finished query traces, or nil when
+// Config.TraceStoreCapacity is negative. Only traced queries (EXPLAIN
+// ANALYZE, WithTrace, or any query when the slowlog is enabled) are retained.
+func (s *System) Traces() *trace.Store { return s.traces }
 
 // Chaos returns the fault-injection plane, or nil when Config.Chaos was not
 // set. Use it to read the fired-fault schedule (Events) and counters.
@@ -720,14 +783,19 @@ func (s *System) ChaosTick() {
 
 // StartTelemetry starts the HTTP exporter on addr (host:port; port 0 picks
 // an ephemeral port — read it back via Server.Addr). It serves /metrics in
-// Prometheus text format, /healthz, /debug/slowlog, and pprof when
-// enablePprof is set. Callers own the returned server and should Close it.
+// Prometheus text format, /healthz, /debug/slowlog, /debug/queries (live
+// query progress), /debug/trace/{id} (Jaeger-compatible trace export),
+// /debug/events (the flight recorder journal), and pprof when enablePprof
+// is set. Callers own the returned server and should Close it.
 func (s *System) StartTelemetry(addr string, enablePprof bool) (*telemetry.Server, error) {
 	return telemetry.Start(addr, telemetry.Options{
-		Registry:    s.metrics,
-		Health:      s.master.Health,
-		Slowlog:     s.slowlog,
-		EnablePprof: enablePprof,
+		Registry:      s.metrics,
+		Health:        s.master.Health,
+		Slowlog:       s.slowlog,
+		ActiveQueries: s.ActiveQueries,
+		Traces:        s.traces,
+		Events:        s.events,
+		EnablePprof:   enablePprof,
 	})
 }
 

@@ -171,6 +171,7 @@ type Plane struct {
 	events  []Event
 	lost    int // events beyond maxEvents
 	parts   map[[2]string]bool
+	sink    func(Event)
 
 	// Fired-fault counters, exported as feisu_chaos_faults_total{kind=...}.
 	Drops       metrics.Counter
@@ -224,16 +225,31 @@ func (p *Plane) site(name string) *stream {
 	return s
 }
 
+// SetSink installs a callback invoked with every fired fault — the bridge
+// that mirrors the chaos schedule into the cluster flight recorder. Install
+// it before faults start firing; the callback runs outside the plane's lock
+// and must be safe for concurrent use.
+func (p *Plane) SetSink(fn func(Event)) {
+	p.mu.Lock()
+	p.sink = fn
+	p.mu.Unlock()
+}
+
 // record appends a fired fault to the event log and returns its per-site
 // sequence number.
 func (p *Plane) record(site, kind, detail string, seq int) {
+	ev := Event{Site: site, Seq: seq, Kind: kind, Detail: detail}
 	p.mu.Lock()
 	if len(p.events) < maxEvents {
-		p.events = append(p.events, Event{Site: site, Seq: seq, Kind: kind, Detail: detail})
+		p.events = append(p.events, ev)
 	} else {
 		p.lost++
 	}
+	sink := p.sink
 	p.mu.Unlock()
+	if sink != nil {
+		sink(ev)
+	}
 }
 
 // note records a non-probabilistic event (restart, heal) on the site's

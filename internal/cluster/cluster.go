@@ -90,6 +90,9 @@ type TaskError struct {
 
 // QueryStats reports how a query executed.
 type QueryStats struct {
+	// QueryID is the master-assigned causal ID ("q000012") that keys the
+	// query's flight-recorder events, live progress entry and stored trace.
+	QueryID string
 	// Fingerprint identifies the logical query (normalized plan
 	// fingerprint, literals lifted to placeholders); the slow-query log
 	// groups entries by it.
@@ -167,6 +170,9 @@ func (lc *lifecycle) halt() {
 // taskMsg dispatches one sub-plan to a leaf.
 type taskMsg struct {
 	Task plan.TaskSpec
+	// QueryID is the owning query's causal ID, carried so the leaf's
+	// flight-recorder events join the query's task event chain.
+	QueryID string
 }
 
 // taskReply is a leaf's answer.
@@ -189,6 +195,8 @@ type stemJobMsg struct {
 	Plan   *plan.PhysicalPlan
 	Tasks  []plan.TaskSpec
 	Assign map[int]string // task ordinal -> leaf node
+	// QueryID tags the job's flight-recorder events with the owning query.
+	QueryID string
 	// TaskTimeout bounds each leaf call.
 	TaskTimeout time.Duration
 	// PerTask asks the stem to return per-task results instead of a

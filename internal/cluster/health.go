@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/events"
 )
 
 // LoadSnapshot is the load a worker reports with each heartbeat: scheduler
@@ -114,17 +116,21 @@ func (h ClusterHealth) Healthy() bool {
 // HeartbeatLoad records a beat carrying a full load snapshot.
 func (m *ClusterManager) HeartbeatLoad(name string, kind WorkerKind, load LoadSnapshot) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	w, ok := m.workers[name]
 	if !ok {
 		w = &workerState{}
 		m.workers[name] = w
 	}
+	recovered := w.suspect
 	w.kind = kind
 	w.lastBeat = m.Now()
 	w.active = load.ActiveTasks
 	w.load = load
 	w.suspect = false // a beat proves the worker reachable again
+	m.mu.Unlock()
+	if recovered {
+		m.Events.Emit("worker/"+name, events.WorkerRecovered, "", -1, "heartbeat resumed")
+	}
 }
 
 // Health returns the aggregate fleet view at the current time.

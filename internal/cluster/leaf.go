@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/exec"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -34,6 +35,8 @@ type LeafServer struct {
 	SpillThreshold int64
 	// SpillPrefix is where spilled results go (e.g. "/hdfs/feisu-tmp").
 	SpillPrefix string
+	// Events, when set, journals task executions into the flight recorder.
+	Events *events.Recorder
 
 	// stall is a per-task pause in nanoseconds (straggler fault injection),
 	// atomic because the chaos controller flips it while tasks run.
@@ -108,6 +111,10 @@ func (l *LeafServer) runTask(ctx context.Context, msg taskMsg) (any, error) {
 	// read:*/transfer children decompose it per device class.
 	span.SetSim(bill.Time())
 	billSpans(span, bill)
+	if msg.QueryID != "" {
+		l.Events.EmitSim(events.TaskSite(msg.QueryID, msg.Task.Ordinal), events.LeafExec,
+			msg.QueryID, msg.Task.Ordinal, bill.Time(), l.Name+" "+msg.Task.Partition.Path)
+	}
 	reply := taskReply{Result: res, Size: res.EstimateBytes(), SimTime: bill.Time(), DevBytes: deviceBytes(bill)}
 	if l.SpillThreshold > 0 && reply.Size > l.SpillThreshold && l.Router != nil {
 		l.Spills.Inc()

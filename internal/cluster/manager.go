@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/events"
 )
 
 // ClusterManager tracks worker liveness and load. The paper deliberately
@@ -17,6 +19,9 @@ type ClusterManager struct {
 	// LivenessWindow marks a worker dead when no heartbeat arrives within
 	// it.
 	LivenessWindow time.Duration
+	// Events, when set, journals worker state transitions (suspected,
+	// recovered) into the flight recorder.
+	Events *events.Recorder
 
 	mu      sync.Mutex
 	workers map[string]*workerState
@@ -93,10 +98,15 @@ func (m *ClusterManager) AliveWorkers(kind WorkerKind) []string {
 // up to a full window. The next heartbeat clears the flag.
 func (m *ClusterManager) MarkSuspect(name string) {
 	m.mu.Lock()
-	if w, ok := m.workers[name]; ok {
+	w, ok := m.workers[name]
+	flipped := ok && !w.suspect
+	if ok {
 		w.suspect = true
 	}
 	m.mu.Unlock()
+	if flipped {
+		m.Events.Emit("worker/"+name, events.WorkerSuspect, "", -1, "dispatch unreachable")
+	}
 }
 
 // ReportTaskTime feeds a completed task's wall time into the worker's EWMA

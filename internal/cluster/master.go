@@ -8,10 +8,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/auth"
 	"repro/internal/colstore"
+	"repro/internal/events"
 	"repro/internal/exec"
 	"repro/internal/metrics"
 	"repro/internal/plan"
@@ -101,6 +103,10 @@ type MasterConfig struct {
 	Observer PredicateObserver
 	// Metrics, when set, receives the master's query counters.
 	Metrics *metrics.Registry
+	// Events, when set, journals query/task lifecycle decisions into the
+	// flight recorder; the master also hands it to its cluster manager and
+	// local stem.
+	Events *events.Recorder
 }
 
 // PredicateObserver collects per-user predicate usage.
@@ -122,6 +128,10 @@ type Master struct {
 	queueWait *metrics.Histogram
 	reader    *exec.StoreReader
 	localStem *StemServer
+	// progress tracks in-flight queries for ActiveQueries / \watch /
+	// /debug/queries; qidSeq assigns causal query IDs.
+	progress *ProgressRegistry
+	qidSeq   atomic.Uint64
 
 	mu      sync.Mutex
 	standby bool
@@ -155,12 +165,14 @@ func NewMaster(cfg MasterConfig) *Master {
 		cfg.StragglerFactor = 3
 	}
 	m := &Master{
-		cfg:     cfg,
-		Jobs:    NewJobManager(),
-		Manager: NewClusterManager(cfg.LivenessWindow),
-		standby: cfg.Standby,
-		reader:  exec.NewStoreReader(cfg.Router),
+		cfg:      cfg,
+		Jobs:     NewJobManager(),
+		Manager:  NewClusterManager(cfg.LivenessWindow),
+		standby:  cfg.Standby,
+		reader:   exec.NewStoreReader(cfg.Router),
+		progress: NewProgressRegistry(),
 	}
+	m.Manager.Events = cfg.Events
 	m.Scheduler = &JobScheduler{
 		Manager:      m.Manager,
 		Locator:      cfg.Router,
@@ -183,7 +195,7 @@ func NewMaster(cfg MasterConfig) *Master {
 	}
 	// The local stem lets a master without registered stem servers drive
 	// leaves directly, and serves single-task backup dispatches.
-	m.localStem = &StemServer{Name: cfg.Name, Fabric: cfg.Fabric, Router: cfg.Router, Model: cfg.Model}
+	m.localStem = &StemServer{Name: cfg.Name, Fabric: cfg.Fabric, Router: cfg.Router, Model: cfg.Model, Events: cfg.Events}
 	cfg.Fabric.Register(cfg.Name, m.handle)
 	cfg.Metrics.Register("master.queries", &m.Queries)
 	cfg.Metrics.Register("master.query_errors", &m.QueryErrs)
@@ -241,8 +253,15 @@ func (m *Master) handle(ctx context.Context, from string, payload any) (any, err
 // master half of the ingest invalidation protocol (leaf readers and SSD
 // caches are invalidated by the system wiring).
 func (m *Master) InvalidatePartition(table, path string) {
+	m.cfg.Events.Emit("ingest", events.IngestInvalidate, "", -1, table+" "+path)
 	m.reader.InvalidateMeta(path)
 	m.cfg.ResultCache.InvalidateTable(table)
+}
+
+// ActiveQueries snapshots the in-flight queries (oldest first): the live
+// progress view behind System.ActiveQueries, `\watch` and /debug/queries.
+func (m *Master) ActiveQueries() []QueryProgress {
+	return m.progress.Active()
 }
 
 // ResultCache exposes the configured cache (nil when disabled).
@@ -315,12 +334,30 @@ func (m *Master) Submit(ctx context.Context, sql string, opts QueryOptions) (*ex
 	return res, stats, err
 }
 
-func (m *Master) submit(ctx context.Context, sql string, opts QueryOptions) (*exec.Result, *QueryStats, error) {
+func (m *Master) submit(ctx context.Context, sql string, opts QueryOptions) (res *exec.Result, stats *QueryStats, err error) {
 	if m.Standby() {
 		return nil, nil, ErrStandby
 	}
 	start := time.Now()
-	stats := &QueryStats{}
+	qid := fmt.Sprintf("q%06d", m.qidSeq.Add(1))
+	qsite := "query/" + qid
+	stats = &QueryStats{QueryID: qid}
+	m.cfg.Events.Emit(qsite, events.QuerySubmit, qid, -1, trimSQL(sql))
+	defer func() {
+		var over *OverloadedError
+		switch {
+		case err == nil:
+			rows := 0
+			if res != nil {
+				rows = len(res.Rows)
+			}
+			m.cfg.Events.EmitSim(qsite, events.QueryDone, qid, -1, statsSim(stats), fmt.Sprintf("rows=%d", rows))
+		case errors.As(err, &over):
+			m.cfg.Events.Emit(qsite, events.QueryShed, qid, -1, opts.Priority.String())
+		default:
+			m.cfg.Events.Emit(qsite, events.QueryError, qid, -1, err.Error())
+		}
+	}()
 
 	// Entry guard (§III-C).
 	var cred auth.Credential
@@ -369,6 +406,11 @@ func (m *Master) submit(ctx context.Context, sql string, opts QueryOptions) (*ex
 	if m.cfg.ResultCache != nil && !opts.DisableResultCache {
 		if res, outcome := m.cfg.ResultCache.Lookup(p); outcome != resultcache.Miss {
 			stats.ResultCache = outcome.String()
+			kind := events.CacheHit
+			if outcome == resultcache.SubsumedHit {
+				kind = events.CacheSubsumed
+			}
+			m.cfg.Events.Emit(qsite, kind, qid, -1, p.Fingerprint)
 			var root *trace.Span
 			if opts.Trace {
 				root = trace.New("master/query")
@@ -392,12 +434,25 @@ func (m *Master) submit(ctx context.Context, sql string, opts QueryOptions) (*ex
 	// classes) or shed with a typed retry-after error. Everything above is
 	// cheap planning work; the slot bounds actual execution.
 	stats.Priority = opts.Priority
+	prog := m.progress.Begin(QueryProgress{
+		ID: qid, SQL: sql, Fingerprint: p.Fingerprint,
+		Priority: opts.Priority.String(), State: "queued",
+	})
+	defer m.progress.End(qid)
 	release, queueWait, err := m.Admission.Admit(ctx, opts.Priority, opts.QueueDeadline)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer release()
 	stats.QueueWait = queueWait
+	if queueWait > 0 {
+		m.cfg.Events.Emit(qsite, events.QueryQueued, qid, -1, opts.Priority.String())
+	}
+	m.cfg.Events.Emit(qsite, events.QueryAdmitted, qid, -1, opts.Priority.String())
+	prog.update(func(p *QueryProgress) {
+		p.State = "running"
+		p.QueueWait = queueWait
+	})
 	if m.queueWait != nil {
 		m.queueWait.Observe(queueWait.Seconds())
 	}
@@ -456,8 +511,9 @@ func (m *Master) submit(ctx context.Context, sql string, opts QueryOptions) (*ex
 		}
 	}
 	stats.Tasks = len(tasks)
+	prog.update(func(p *QueryProgress) { p.TasksPlanned = len(tasks) })
 	ectx, espan := trace.StartSpan(ctx, "master/execute")
-	merged, err := m.runAll(ectx, p, tasks, opts, stats)
+	merged, err := m.runAll(ectx, p, tasks, opts, stats, qid, prog)
 	espan.SetSim(stats.SimTime)
 	espan.Finish()
 	if err != nil {
@@ -465,7 +521,7 @@ func (m *Master) submit(ctx context.Context, sql string, opts QueryOptions) (*ex
 	}
 
 	fspan := root.Child("master/finalize")
-	res, err := exec.Finalize(p, merged)
+	res, err = exec.Finalize(p, merged)
 	fspan.Finish()
 	if err != nil {
 		return nil, nil, err
@@ -518,6 +574,25 @@ func (m *Master) submit(ctx context.Context, sql string, opts QueryOptions) (*ex
 		return textResult("EXPLAIN ANALYZE", p.DescribeAnalyze(root)), stats, nil
 	}
 	return res, stats, nil
+}
+
+// trimSQL collapses query text onto one line and truncates it for event
+// details (the full SQL lives in the progress registry and slowlog).
+func trimSQL(sql string) string {
+	sql = strings.Join(strings.Fields(sql), " ")
+	if len(sql) > 80 {
+		sql = sql[:77] + "..."
+	}
+	return sql
+}
+
+// statsSim reads SimTime nil-safely (error paths null out the stats return,
+// and the deferred journal emission runs after that).
+func statsSim(st *QueryStats) time.Duration {
+	if st == nil {
+		return 0
+	}
+	return st.SimTime
 }
 
 // textResult wraps multi-line text (a plan description, a rendered trace)
@@ -628,7 +703,7 @@ type taskDone struct {
 
 // runAll executes the task set with dedup, backup tasks and the early
 // return policy, and merges the results.
-func (m *Master) runAll(ctx context.Context, p *plan.PhysicalPlan, tasks []plan.TaskSpec, opts QueryOptions, stats *QueryStats) (*exec.TaskResult, error) {
+func (m *Master) runAll(ctx context.Context, p *plan.PhysicalPlan, tasks []plan.TaskSpec, opts QueryOptions, stats *QueryStats, qid string, prog *progressHandle) (*exec.TaskResult, error) {
 	results := make(chan taskDone, len(tasks))
 
 	// Split into owned tasks (we execute) and reused tasks (an identical
@@ -698,13 +773,18 @@ func (m *Master) runAll(ctx context.Context, p *plan.PhysicalPlan, tasks []plan.
 		for ord, leaf := range assign {
 			heldSlots[ord] = leaf
 		}
+		for _, t := range owned {
+			m.cfg.Events.Emit(events.TaskSite(qid, t.Ordinal), events.TaskScheduled,
+				qid, t.Ordinal, assign[t.Ordinal])
+		}
 		backup, hedgeDelay := m.planHedges(owned, assign, opts)
 		byStem := m.groupByStem(owned, assign)
 		for stemName, group := range byStem {
 			go func(stemName string, group []plan.TaskSpec) {
+				prog.update(func(p *QueryProgress) { p.TasksDispatched += len(group) })
 				job := stemJobMsg{Plan: p, Tasks: group, Assign: assign, TaskTimeout: timeout,
 					PerTask: !opts.DisableReuse, Backup: backup, HedgeDelay: hedgeDelay,
-					LeafSlots: m.Scheduler.SlotsPerLeaf}
+					LeafSlots: m.Scheduler.SlotsPerLeaf, QueryID: qid}
 				reply, err := m.callStem(ctx, stemName, job)
 				for _, t := range group {
 					d := taskDone{ordinal: t.Ordinal, leaf: assign[t.Ordinal]}
@@ -731,7 +811,7 @@ func (m *Master) runAll(ctx context.Context, p *plan.PhysicalPlan, tasks []plan.
 					}
 					// Backup tasks: reschedule failures on other leaves.
 					if d.err != nil {
-						d = m.retryTask(ctx, p, t, assign[t.Ordinal], timeout, d)
+						d = m.retryTask(ctx, p, t, assign[t.Ordinal], timeout, d, qid)
 					}
 					if f := owner[t.Ordinal]; f != nil {
 						m.completeOwned(opts, t, f, d.res, d.err)
@@ -767,6 +847,15 @@ func (m *Master) runAll(ctx context.Context, p *plan.PhysicalPlan, tasks []plan.
 			if d.err != nil {
 				stats.TasksFailed++
 				stats.TaskErrors = append(stats.TaskErrors, TaskError{Ordinal: d.ordinal, Leaf: d.leaf, Err: d.err.Error()})
+				m.cfg.Events.Emit(events.TaskSite(qid, d.ordinal), events.TaskPartial,
+					qid, d.ordinal, d.err.Error())
+				prog.update(func(p *QueryProgress) {
+					p.TasksFailed++
+					if d.hedged {
+						p.TasksHedged++
+					}
+					p.TasksRetried += d.backups
+				})
 				continue
 			}
 			completed++
@@ -778,6 +867,27 @@ func (m *Master) runAll(ctx context.Context, p *plan.PhysicalPlan, tasks []plan.
 			for dev, n := range d.devBytes {
 				devBytes[dev] += n
 			}
+			rows := 0
+			if d.res != nil {
+				rows = len(d.res.Rows)
+			}
+			detail := fmt.Sprintf("%s rows=%d", d.leaf, rows)
+			if d.reused {
+				detail = fmt.Sprintf("reused rows=%d", rows)
+			}
+			m.cfg.Events.EmitSim(events.TaskSite(qid, d.ordinal), events.TaskCollected,
+				qid, d.ordinal, d.simTime, detail)
+			prog.update(func(p *QueryProgress) {
+				p.TasksDone++
+				if d.hedged {
+					p.TasksHedged++
+				}
+				p.TasksRetried += d.backups
+				if d.reused {
+					p.TasksReused++
+				}
+				p.Rows += int64(rows)
+			})
 			merged = exec.MergeResults(p, merged, cloneResult(d.res))
 		case <-ctx.Done():
 			deadlineHit = true
@@ -875,7 +985,7 @@ func (m *Master) completeOwned(opts QueryOptions, t plan.TaskSpec, f *taskFuture
 // (dead, degraded or suspect) are excluded from every attempt, and attempts
 // are spaced by exponential backoff with deterministic jitter so a burst of
 // failures does not hammer the survivors in lockstep.
-func (m *Master) retryTask(ctx context.Context, p *plan.PhysicalPlan, t plan.TaskSpec, firstLeaf string, timeout time.Duration, d taskDone) taskDone {
+func (m *Master) retryTask(ctx context.Context, p *plan.PhysicalPlan, t plan.TaskSpec, firstLeaf string, timeout time.Duration, d taskDone, qid string) taskDone {
 	exclude := map[string]bool{firstLeaf: true}
 	for attempt := 0; attempt < m.cfg.MaxTaskRetries; attempt++ {
 		if m.cfg.RetryBackoff > 0 {
@@ -893,7 +1003,9 @@ func (m *Master) retryTask(ctx context.Context, p *plan.PhysicalPlan, t plan.Tas
 		}
 		d.backups++
 		m.Retries.Inc()
-		res, st := m.localStem.runOne(ctx, stemJobMsg{Plan: p, TaskTimeout: timeout}, t, leaf)
+		m.cfg.Events.Emit(events.TaskSite(qid, t.Ordinal), events.TaskRetry,
+			qid, t.Ordinal, fmt.Sprintf("attempt %d on %s: %s", attempt+1, leaf, d.err))
+		res, st := m.localStem.runOne(ctx, stemJobMsg{Plan: p, TaskTimeout: timeout, QueryID: qid}, t, leaf)
 		if st.OK {
 			d.res, d.err, d.leaf, d.simTime = res, nil, leaf, st.SimTime
 			d.scanSim = st.ScanSim

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/exec"
 	"repro/internal/plan"
 	"repro/internal/sim"
@@ -28,6 +29,9 @@ type StemServer struct {
 	Model *sim.CostModel
 	// Parallelism bounds concurrent leaf calls; <=0 means one per task.
 	Parallelism int
+	// Events, when set, journals task dispatch and hedge decisions into the
+	// flight recorder.
+	Events *events.Recorder
 
 	active atomic.Int32
 	queued atomic.Int32 // tasks admitted but waiting for a parallelism slot
@@ -110,6 +114,10 @@ func (s *StemServer) runJob(ctx context.Context, job stemJobMsg) (any, error) {
 				s.queued.Add(-1)
 				defer func() { <-ls }()
 			}
+			if job.QueryID != "" {
+				s.Events.Emit(events.TaskSite(job.QueryID, task.Ordinal), events.TaskDispatched,
+					job.QueryID, task.Ordinal, leaf+" via "+s.Name)
+			}
 			res, st := s.runOne(ctx, job, task, leaf)
 			mu.Lock()
 			status[task.Ordinal] = st
@@ -168,6 +176,10 @@ func (s *StemServer) runOne(ctx context.Context, job stemJobMsg, task plan.TaskS
 	defer hedge.Stop()
 	fire := func() {
 		s.tasks.Add(1)
+		if job.QueryID != "" {
+			s.Events.Emit(events.TaskSite(job.QueryID, task.Ordinal), events.TaskHedge,
+				job.QueryID, task.Ordinal, "backup on "+backup)
+		}
 		launch(backup, true)
 	}
 	inflight, fired := 1, false
@@ -187,6 +199,10 @@ func (s *StemServer) runOne(ctx context.Context, job stemJobMsg, task plan.TaskS
 				out.st.Hedged = fired
 				out.st.HedgeWon = out.backup
 				out.st.Wall = time.Since(start)
+				if out.backup && job.QueryID != "" {
+					s.Events.Emit(events.TaskSite(job.QueryID, task.Ordinal), events.TaskHedgeWon,
+						job.QueryID, task.Ordinal, "backup "+out.st.Leaf+" beat primary "+leaf)
+				}
 				return out.res, out.st
 			}
 			lastFail = out
@@ -215,7 +231,7 @@ func (s *StemServer) attempt(ctx context.Context, job stemJobMsg, task plan.Task
 	}
 	tctx, span := trace.StartSpan(tctx, fmt.Sprintf("task#%d @ %s", task.Ordinal, leaf))
 	defer span.Finish()
-	raw, err := s.Fabric.Call(tctx, s.Name, leaf, transport.Control, taskMsg{Task: task}, 256)
+	raw, err := s.Fabric.Call(tctx, s.Name, leaf, transport.Control, taskMsg{Task: task, QueryID: job.QueryID}, 256)
 	if err != nil {
 		st.Err = err.Error()
 		st.Unreachable = errors.Is(err, transport.ErrUnknownNode)

@@ -67,6 +67,14 @@ type Result struct {
 	// counters after the run (indices: 0 interactive, 1 batch).
 	AdmittedByClass [2]int64
 	ShedByClass     [2]int64
+	// MaxActive is the largest number of simultaneously registered queries
+	// any live-progress poll observed during the concurrent phase.
+	MaxActive int
+	// ProgressSamples counts polls that saw at least one active query.
+	ProgressSamples int
+	// ProgressViolations lists invariant breaches observed in any
+	// ActiveQueries snapshot (empty on a correct run).
+	ProgressViolations []string
 }
 
 // Canon renders a result canonically: the column header plus every row's
@@ -218,6 +226,50 @@ func Run(opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	// Live-progress observer: while the concurrent submissions run, poll the
+	// progress registry the same way /debug/queries does and check every
+	// snapshot's invariants. Assertions are on values (states legal, task
+	// counters within plan bounds), never on which queries happen to be
+	// in flight at a poll.
+	observerDone := make(chan struct{})
+	observerStop := make(chan struct{})
+	go func() {
+		defer close(observerDone)
+		for {
+			select {
+			case <-observerStop:
+				return
+			default:
+			}
+			active := sys.ActiveQueries()
+			if len(active) > 0 {
+				out.ProgressSamples++
+				if len(active) > out.MaxActive {
+					out.MaxActive = len(active)
+				}
+			}
+			for _, p := range active {
+				switch {
+				case p.ID == "":
+					out.ProgressViolations = append(out.ProgressViolations, "active query with empty ID")
+				case p.State != "queued" && p.State != "running":
+					out.ProgressViolations = append(out.ProgressViolations,
+						fmt.Sprintf("%s: illegal state %q", p.ID, p.State))
+				case p.State == "queued" && p.TasksPlanned != 0:
+					out.ProgressViolations = append(out.ProgressViolations,
+						fmt.Sprintf("%s: queued but %d tasks planned", p.ID, p.TasksPlanned))
+				case p.TasksDispatched > p.TasksPlanned:
+					out.ProgressViolations = append(out.ProgressViolations,
+						fmt.Sprintf("%s: dispatched %d > planned %d", p.ID, p.TasksDispatched, p.TasksPlanned))
+				case p.TasksDone > p.TasksPlanned:
+					out.ProgressViolations = append(out.ProgressViolations,
+						fmt.Sprintf("%s: done %d > planned %d", p.ID, p.TasksDone, p.TasksPlanned))
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
 	out.Outcomes = make([]Outcome, opts.Queries)
 	var wg sync.WaitGroup
 	for i := 0; i < opts.Queries; i++ {
@@ -242,6 +294,8 @@ func Run(opts Options) (*Result, error) {
 		}(i)
 	}
 	wg.Wait()
+	close(observerStop)
+	<-observerDone
 
 	snap := sys.ClusterHealth().Admission
 	out.AdmittedByClass = [2]int64{snap.Admitted[0], snap.Admitted[1]}

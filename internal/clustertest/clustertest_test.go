@@ -93,6 +93,38 @@ func TestShedQueriesTypedAndRowless(t *testing.T) {
 	}
 }
 
+// TestLiveProgressObservedDuringConcurrency exercises the live progress
+// registry under real concurrency: while 64 queries contend for 4 slots,
+// the harness's observer polls ActiveQueries (the \watch / /debug/queries
+// surface) and every snapshot must satisfy the registry's invariants —
+// legal states, queued queries not yet planned, task counters within plan
+// bounds. Whether a poll lands while >=2 queries are in flight is a timing
+// accident, so that part retries the whole run a few times; the invariant
+// check is enforced on every attempt.
+func TestLiveProgressObservedDuringConcurrency(t *testing.T) {
+	for attempt := 1; ; attempt++ {
+		res, err := Run(Options{
+			Seed:          23,
+			Queries:       64,
+			MaxConcurrent: 4,
+			QueueDepth:    64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.ProgressViolations) > 0 {
+			t.Fatalf("progress snapshots violated invariants: %v", res.ProgressViolations)
+		}
+		if res.ProgressSamples > 0 && res.MaxActive >= 2 {
+			return
+		}
+		if attempt == 5 {
+			t.Fatalf("observer never caught concurrent queries in %d runs (samples=%d, maxActive=%d)",
+				attempt, res.ProgressSamples, res.MaxActive)
+		}
+	}
+}
+
 // TestInjectedClockMeasuresQueueWait checks the clock injection path: with
 // the harness clock installed, a queued query's recorded wait is expressed
 // in the injected clock's microsecond ticks, not wall time.

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	feisu "repro"
+	"repro/internal/workload"
+)
+
+// FlightrecShort trims the flight-recorder overhead run to a smoke-sized
+// stream (verify.sh) and skips the acceptance gate.
+var FlightrecShort bool
+
+// flightrecQueries generates a mixed stream over T1 — selective projections
+// and aggregations with varied literals — so every query plans, schedules,
+// dispatches and collects real tasks and the recorder journals the full
+// per-query event chain (no result cache is configured, so nothing
+// short-circuits).
+func flightrecQueries(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		threshold := 2 + rng.Intn(10)
+		if i%3 == 0 {
+			out = append(out, fmt.Sprintf("SELECT COUNT(*), SUM(clicks) FROM T1 WHERE clicks > %d", threshold))
+		} else {
+			out = append(out, fmt.Sprintf("SELECT uid, clicks FROM T1 WHERE clicks > %d AND dwell <= %d", threshold, 60+rng.Intn(120)))
+		}
+	}
+	return out
+}
+
+// Flightrec measures the always-on flight recorder's cost: the same query
+// stream runs with the recorder disabled (EventLogCapacity -1) and enabled
+// (default ring), interleaved over several rounds, and the minimum wall
+// time per arm is compared. Min-over-rounds discards scheduler and GC noise
+// — the remaining delta is the recorder's real per-event cost. The
+// acceptance gate: overhead below 2% of the recorder-off wall time (with a
+// 2ms absolute allowance for timer granularity on very fast short runs) —
+// the ISSUE's requirement that observability is cheap enough to never turn
+// off.
+func Flightrec(scale Scale) (*Report, error) {
+	nq := scale.Queries
+	rounds := 5
+	if FlightrecShort {
+		nq = min(nq, 40)
+		scale.Partitions = min(scale.Partitions, 2)
+		rounds = 2
+	}
+	queries := flightrecQueries(nq, 9257)
+
+	type arm struct {
+		mode            string
+		minWall         time.Duration
+		totalSim        time.Duration
+		events, dropped int64
+	}
+	arms := map[bool]*arm{
+		false: {mode: "off", minWall: time.Duration(1<<62 - 1)},
+		true:  {mode: "on", minWall: time.Duration(1<<62 - 1)},
+	}
+
+	runArm := func(record bool) error {
+		cfg := feisu.Config{
+			Leaves: scale.Leaves,
+			Index:  feisu.IndexNone,
+		}
+		if !record {
+			cfg.EventLogCapacity = -1
+		}
+		sys, err := feisu.New(cfg)
+		if err != nil {
+			return err
+		}
+		defer sys.Close()
+		spec := workload.T1Spec()
+		spec.PathPrefix = "/warm/t1" // in-memory: recorder cost is not hidden behind I/O waits
+		spec.Partitions = scale.Partitions
+		spec.RowsPerPart = maxInt(scale.DataRowsPerPartition, 2048)
+		spec.Fields = 10
+		ctx := context.Background()
+		meta, err := workload.Generate(ctx, sys.Router(), spec)
+		if err == nil {
+			err = sys.RegisterTable(ctx, meta)
+		}
+		if err != nil {
+			return err
+		}
+
+		var totalSim time.Duration
+		start := time.Now()
+		for _, q := range queries {
+			_, stats, qErr := sys.QueryStats(ctx, q)
+			if qErr != nil {
+				return fmt.Errorf("flightrec: record=%v %q: %w", record, q, qErr)
+			}
+			totalSim += stats.SimTime
+		}
+		wall := time.Since(start)
+
+		a := arms[record]
+		if wall < a.minWall {
+			a.minWall = wall
+		}
+		a.totalSim = totalSim
+		if rec := sys.Events(); rec != nil {
+			a.events, a.dropped = int64(rec.Total()), int64(rec.Dropped())
+		}
+		return nil
+	}
+
+	for r := 0; r < rounds; r++ {
+		// Interleave arms so drift (thermal, background load) hits both.
+		for _, record := range []bool{false, true} {
+			if err := runArm(record); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	off, on := arms[false], arms[true]
+	delta := on.minWall - off.minWall
+	overhead := float64(delta) / float64(maxDur(off.minWall, time.Microsecond))
+	perEvent := time.Duration(0)
+	if on.events > 0 && delta > 0 {
+		perEvent = delta / time.Duration(on.events)
+	}
+
+	rep := &Report{
+		ID:    "flightrec",
+		Title: "Flight recorder overhead: identical stream, recorder off vs on",
+		Headers: []string{"Recorder", "Queries", "Min wall (ms)", "Total sim (ms)",
+			"Events", "Dropped"},
+	}
+	ms := func(dur time.Duration) string { return f2(float64(dur) / float64(time.Millisecond)) }
+	for _, a := range []*arm{off, on} {
+		rep.Rows = append(rep.Rows, []string{
+			a.mode, d(int64(nq)), ms(a.minWall), ms(a.totalSim), d(a.events), d(a.dropped),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("min wall over %d interleaved rounds per arm; delta %s = %.2f%% of recorder-off wall",
+			rounds, delta.Round(time.Microsecond), overhead*100),
+		fmt.Sprintf("%d events journaled per run (~%s per event); ring capacity default, %d overwritten",
+			on.events, perEvent.Round(time.Nanosecond), on.dropped),
+	)
+	if !FlightrecShort {
+		if on.events == 0 {
+			return rep, fmt.Errorf("flightrec: recorder-on arm journaled no events")
+		}
+		if overhead >= 0.02 && delta >= 2*time.Millisecond {
+			return rep, fmt.Errorf("flightrec: recorder overhead %.2f%% (delta %s) exceeds the 2%% gate",
+				overhead*100, delta)
+		}
+	}
+	return rep, nil
+}

@@ -80,12 +80,19 @@ func (p *PhysicalPlan) Describe() string {
 // DescribeAnalyze renders the plan followed by the executed query's span
 // tree — the reproduction's EXPLAIN ANALYZE. The trace shows per-stage
 // simulated and wall times plus index-hit/derived/miss and cache
-// hit/miss/bypass counters collected during execution.
+// hit/miss/bypass counters collected during execution, and closes with the
+// critical-path attribution: end-to-end latency partitioned into exclusive
+// segments (queue wait, plan, schedule, slowest-leaf scan, transfer, merge,
+// finalize) that sum exactly to the total.
 func (p *PhysicalPlan) DescribeAnalyze(root *trace.Span) string {
 	var sb strings.Builder
 	sb.WriteString(p.Describe())
 	sb.WriteString("\nexecution trace:\n")
 	sb.WriteString(root.Render())
+	if cp := trace.AnalyzeCriticalPath(root); cp != nil && cp.Total > 0 {
+		sb.WriteString("\n")
+		sb.WriteString(cp.Render())
+	}
 	return sb.String()
 }
 

@@ -15,10 +15,12 @@
 package resultcache
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/exec"
 	"repro/internal/plan"
 	"repro/internal/sqlparser"
@@ -61,6 +63,10 @@ type Config struct {
 	TenantBytes int64
 	// Now is injectable for tests; nil means time.Now.
 	Now func() time.Time
+	// Events, when set, journals store/evict/invalidate decisions into the
+	// flight recorder under site "rescache" (hit/subsumed events are emitted
+	// by the master, which knows the query ID).
+	Events *events.Recorder
 }
 
 // entry is one cached result. Entries live in three structures at once: the
@@ -248,6 +254,8 @@ func (c *Cache) Store(p *plan.PhysicalPlan, tenant string, res *exec.Result) {
 	for c.bytes > c.cfg.CapacityBytes && c.tail != nil {
 		c.evictLocked(c.tail)
 	}
+	c.cfg.Events.Emit("rescache", events.CacheStore, "", -1,
+		fmt.Sprintf("%s bytes=%d", e.fp, e.bytes))
 }
 
 // InvalidateTable drops every entry (and ghost) whose query read the table.
@@ -259,12 +267,18 @@ func (c *Cache) InvalidateTable(table string) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	dropped := 0
 	for e := c.head; e != nil; {
 		next := e.next
 		if containsStr(e.tables, table) {
 			c.removeLocked(e, &c.invalidations)
+			dropped++
 		}
 		e = next
+	}
+	if dropped > 0 {
+		c.cfg.Events.Emit("rescache", events.CacheInvalidate, "", -1,
+			fmt.Sprintf("%s entries=%d", table, dropped))
 	}
 	for g := c.ghostHead; g != nil; {
 		next := g.next
@@ -384,6 +398,7 @@ func (c *Cache) removeLocked(e *entry, counter *int64) {
 // evictLocked removes for capacity and records a ghost.
 func (c *Cache) evictLocked(e *entry) {
 	c.removeLocked(e, &c.evictions)
+	c.cfg.Events.Emit("rescache", events.CacheEvict, "", -1, e.fp)
 	g := &ghost{key: e.key, tables: e.tables, bytes: e.bytes}
 	c.ghosts[g.key] = g
 	g.next = c.ghostHead

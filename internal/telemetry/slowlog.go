@@ -36,6 +36,9 @@ type SlowQuery struct {
 	Failed      int
 	Stages      []StageTiming
 	Counters    map[string]int64
+	// CriticalPath is the critical-path analyzer's one-line attribution
+	// ("scan @ leaf2 61%, transfer 22%, ..."), empty when no trace was kept.
+	CriticalPath string
 }
 
 // Slowlog is a fixed-capacity ring buffer of slow queries. A query is slow
@@ -188,6 +191,9 @@ func RenderSlowlog(entries []SlowQuery) string {
 		for _, st := range q.Stages {
 			fmt.Fprintf(&sb, "  stage %-28s sim=%-12s wall=%s\n",
 				st.Name, st.Sim.Round(time.Microsecond), st.Wall.Round(time.Microsecond))
+		}
+		if q.CriticalPath != "" {
+			fmt.Fprintf(&sb, "  critical path: %s\n", q.CriticalPath)
 		}
 		if len(q.Counters) > 0 {
 			keys := make([]string, 0, len(q.Counters))

@@ -7,16 +7,27 @@
 package telemetry
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/events"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
+
+// Version identifies the build on feisu_build_info; binaries may overwrite
+// it at startup (or via -ldflags "-X repro/internal/telemetry.Version=...").
+var Version = "dev"
 
 // Options configure the exporter.
 type Options struct {
@@ -27,15 +38,26 @@ type Options struct {
 	Health func() cluster.ClusterHealth
 	// Slowlog, when set, backs /debug/slowlog.
 	Slowlog *Slowlog
+	// ActiveQueries, when set, backs /debug/queries: the master's live
+	// per-query progress view (text table, or JSON with ?format=json).
+	ActiveQueries func() []cluster.QueryProgress
+	// Traces, when set, backs /debug/trace/ (index of retained finished
+	// traces) and /debug/trace/{id} (one trace as Jaeger-compatible JSON,
+	// addressed by query ID or plan fingerprint).
+	Traces *trace.Store
+	// Events, when set, backs /debug/events: the flight recorder's retained
+	// journal (text, or JSON with ?format=json).
+	Events *events.Recorder
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 }
 
 // Server is a running exporter.
 type Server struct {
-	opt Options
-	ln  net.Listener
-	srv *http.Server
+	opt     Options
+	ln      net.Listener
+	srv     *http.Server
+	started time.Time
 }
 
 // Start listens on addr (host:port; port 0 picks an ephemeral port) and
@@ -45,11 +67,14 @@ func Start(addr string, opt Options) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	s := &Server{opt: opt, ln: ln}
+	s := &Server{opt: opt, ln: ln, started: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
+	mux.HandleFunc("/debug/queries", s.handleQueries)
+	mux.HandleFunc("/debug/trace/", s.handleTrace)
+	mux.HandleFunc("/debug/events", s.handleEvents)
 	if opt.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -72,9 +97,16 @@ func (s *Server) URL() string {
 	return "http://" + s.Addr()
 }
 
-// Close stops the exporter.
+// Close stops the exporter gracefully: in-flight scrapes get a short grace
+// period to finish before the listener and remaining connections are torn
+// down (a scrape cut mid-body used to surface as a truncated /metrics page).
 func (s *Server) Close() error {
-	return s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -82,8 +114,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if s.opt.Health != nil {
 		fams = mergeFamilies(fams, healthFamilies(s.opt.Health()))
 	}
+	fams = mergeFamilies(fams, s.buildFamilies())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = WriteText(w, fams)
+}
+
+// buildFamilies emits the exporter's own identity series: feisu_build_info
+// (constant 1, version/go labels) and feisu_uptime_seconds since Start.
+func (s *Server) buildFamilies() []metrics.Family {
+	info := metrics.Family{Name: "feisu_build_info", Type: metrics.TypeGauge}
+	info.Samples = append(info.Samples, metrics.Sample{
+		Labels: []metrics.Label{metrics.L("go", runtime.Version()), metrics.L("version", Version)},
+		Value:  1,
+	})
+	up := metrics.Family{Name: "feisu_uptime_seconds", Type: metrics.TypeGauge}
+	up.Samples = append(up.Samples, metrics.Sample{Value: time.Since(s.started).Seconds()})
+	return []metrics.Family{info, up}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -106,15 +152,134 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-func (s *Server) handleSlowlog(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
 	if s.opt.Slowlog == nil {
+		if wantJSON(r) {
+			writeJSON(w, map[string]any{"enabled": false, "entries": []SlowQuery{}})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "slowlog is not enabled")
 		return
 	}
+	entries := s.opt.Slowlog.Entries()
+	if n := queryInt(r, "n"); n > 0 && n < len(entries) {
+		entries = entries[:n] // newest first
+	}
+	if wantJSON(r) {
+		writeJSON(w, map[string]any{
+			"enabled": true,
+			"total":   s.opt.Slowlog.Total(),
+			"entries": entries,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "slow queries recorded: %d (showing most recent %d)\n\n",
-		s.opt.Slowlog.Total(), len(s.opt.Slowlog.Entries()))
-	fmt.Fprint(w, RenderSlowlog(s.opt.Slowlog.Entries()))
+		s.opt.Slowlog.Total(), len(entries))
+	fmt.Fprint(w, RenderSlowlog(entries))
+}
+
+// handleQueries serves the live per-query progress table (?format=json for
+// the structured form) — the HTTP face of the REPL's `\watch`.
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	if s.opt.ActiveQueries == nil {
+		http.Error(w, "active-query progress is not wired", http.StatusNotFound)
+		return
+	}
+	active := s.opt.ActiveQueries()
+	if wantJSON(r) {
+		writeJSON(w, map[string]any{"active": len(active), "queries": active})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, cluster.RenderProgress(active))
+}
+
+// handleTrace serves finished traces: /debug/trace/ lists what the store
+// retains, /debug/trace/{id} returns one trace (by query ID or plan
+// fingerprint) as Jaeger-compatible JSON, importable into the Jaeger UI.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.opt.Traces == nil {
+		http.Error(w, "trace store is not wired", http.StatusNotFound)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	if id == "" {
+		type row struct {
+			QueryID     string        `json:"queryId"`
+			Fingerprint string        `json:"fingerprint"`
+			SQL         string        `json:"sql"`
+			When        time.Time     `json:"when"`
+			Wall        time.Duration `json:"wall"`
+			Sim         time.Duration `json:"sim"`
+		}
+		var rows []row
+		for _, t := range s.opt.Traces.Traces() {
+			rows = append(rows, row{t.QueryID, t.Fingerprint, t.SQL, t.When, t.Wall, t.Sim})
+		}
+		writeJSON(w, map[string]any{"traces": rows})
+		return
+	}
+	t, ok := s.opt.Traces.Get(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no retained trace for %q", id), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, trace.ToJaeger(t))
+}
+
+// handleEvents serves the flight recorder's retained journal, newest last.
+// ?format=json returns the raw events; ?n= bounds the count (most recent
+// kept); ?query= filters by causal query ID.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.opt.Events == nil {
+		http.Error(w, "flight recorder is not wired", http.StatusNotFound)
+		return
+	}
+	evs := s.opt.Events.Events()
+	if q := r.URL.Query().Get("query"); q != "" {
+		evs = s.opt.Events.ForQuery(q)
+	}
+	if n := queryInt(r, "n"); n > 0 && n < len(evs) {
+		evs = evs[len(evs)-n:]
+	}
+	if wantJSON(r) {
+		writeJSON(w, map[string]any{
+			"total":   s.opt.Events.Total(),
+			"dropped": s.opt.Events.Dropped(),
+			"events":  evs,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "events recorded: %d, overwritten: %d (showing %d)\n\n",
+		s.opt.Events.Total(), s.opt.Events.Dropped(), len(evs))
+	for _, e := range evs {
+		fmt.Fprintln(w, e.String())
+	}
+}
+
+// wantJSON reports whether the request asked for ?format=json.
+func wantJSON(r *http.Request) bool {
+	return r.URL.Query().Get("format") == "json"
+}
+
+// queryInt parses an integer query parameter, 0 when absent or malformed.
+func queryInt(r *http.Request, key string) int {
+	n, err := strconv.Atoi(r.URL.Query().Get(key))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// writeJSON marshals v with indentation onto the response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
 }
 
 // healthFamilies converts a ClusterHealth view into gauge families. Load

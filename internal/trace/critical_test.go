@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildQueryTrace assembles a synthetic master/query span tree with the
+// production shape: admission, load-dims, execute (stems → tasks → leaf +
+// transfer children), finalize.
+func buildQueryTrace(queueWait, dims time.Duration, leaves map[string][]time.Duration, transferFrac float64, finalize time.Duration, rpc time.Duration) *Span {
+	root := New("master/query")
+	a := root.Child("master/admission")
+	a.SetWall(queueWait)
+	d := root.Child("master/load-dims")
+	d.SetSim(dims)
+	ex := root.Child("master/execute")
+	stem := ex.Child("stem/s0")
+	var busiest time.Duration
+	ord := 0
+	for leaf, tasks := range leaves {
+		var leafSum time.Duration
+		for _, taskSim := range tasks {
+			t := stem.Child(fmt.Sprintf("task#%d @ %s", ord, leaf))
+			ord++
+			scan := time.Duration(float64(taskSim) * (1 - transferFrac))
+			ls := t.Child("leaf/" + leaf)
+			ls.SetSim(scan)
+			tr := t.Child("reply-transfer")
+			tr.SetSim(taskSim - scan)
+			t.SetSim(taskSim)
+			leafSum += taskSim
+		}
+		if leafSum > busiest {
+			busiest = leafSum
+		}
+	}
+	ex.SetSim(busiest)
+	f := root.Child("master/finalize")
+	f.SetSim(finalize)
+	root.SetSim(busiest + dims + finalize + rpc)
+	root.Finish()
+	return root
+}
+
+func checkPartition(t *testing.T, cp *CriticalPath) {
+	t.Helper()
+	if cp == nil {
+		t.Fatal("nil critical path")
+	}
+	var sum time.Duration
+	seen := map[string]bool{}
+	for _, seg := range cp.Segments {
+		if seg.Dur < 0 {
+			t.Errorf("segment %s negative: %v", seg.Name, seg.Dur)
+		}
+		if seen[seg.Name] {
+			t.Errorf("segment %s appears twice", seg.Name)
+		}
+		seen[seg.Name] = true
+		sum += seg.Dur
+	}
+	if sum != cp.Total {
+		t.Errorf("segments sum to %v, want total %v", sum, cp.Total)
+	}
+	if want := cp.QueueWait + 0; cp.Total < want {
+		t.Errorf("total %v below queue wait %v", cp.Total, cp.QueueWait)
+	}
+}
+
+func TestCriticalPathBasic(t *testing.T) {
+	root := buildQueryTrace(
+		2*time.Millisecond, // queue wait
+		1*time.Millisecond, // load-dims
+		map[string][]time.Duration{"leaf0": {4 * time.Millisecond}, "leaf1": {8 * time.Millisecond, 2 * time.Millisecond}},
+		0.25,                 // transfer share
+		500*time.Microsecond, // finalize
+		200*time.Microsecond, // rpc residual
+	)
+	cp := AnalyzeCriticalPath(root)
+	checkPartition(t, cp)
+	if cp.CriticalLeaf != "leaf1" {
+		t.Errorf("critical leaf = %q, want leaf1", cp.CriticalLeaf)
+	}
+	byName := map[string]time.Duration{}
+	for _, s := range cp.Segments {
+		byName[s.Name] = s.Dur
+	}
+	if byName["queue-wait"] != 2*time.Millisecond {
+		t.Errorf("queue-wait = %v", byName["queue-wait"])
+	}
+	if byName["plan+load-dims"] != time.Millisecond {
+		t.Errorf("plan+load-dims = %v", byName["plan+load-dims"])
+	}
+	if byName["schedule+dispatch"] != 200*time.Microsecond {
+		t.Errorf("schedule+dispatch = %v", byName["schedule+dispatch"])
+	}
+	// leaf1's chain: 10ms total, 7.5ms scan / 2.5ms transfer.
+	if got := byName["scan @ leaf1"]; got != 7500*time.Microsecond {
+		t.Errorf("scan = %v, want 7.5ms", got)
+	}
+	if got := byName["transfer"]; got != 2500*time.Microsecond {
+		t.Errorf("transfer = %v, want 2.5ms", got)
+	}
+	if cp.Total != root.Sim()+2*time.Millisecond {
+		t.Errorf("total = %v", cp.Total)
+	}
+}
+
+func TestCriticalPathNilAndEmpty(t *testing.T) {
+	if AnalyzeCriticalPath(nil) != nil {
+		t.Fatal("nil root should yield nil analysis")
+	}
+	// Result-cache hit: a root with no execution children and zero sim.
+	root := New("master/query")
+	c := root.Child("master/result-cache")
+	c.Finish()
+	root.Finish()
+	cp := AnalyzeCriticalPath(root)
+	checkPartition(t, cp)
+	if cp.Total != 0 {
+		t.Errorf("cache-hit total = %v, want 0", cp.Total)
+	}
+	if cp.Summary() != "" {
+		t.Errorf("cache-hit summary = %q, want empty", cp.Summary())
+	}
+}
+
+// TestCriticalPathPartitionProperty is the property test: for randomized
+// span trees — including inconsistent ones where stage sims exceed the
+// root's — the segments are pairwise-disjoint stages and sum exactly to
+// queue wait + root sim.
+func TestCriticalPathPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		nLeaves := 1 + rng.Intn(4)
+		leaves := map[string][]time.Duration{}
+		for l := 0; l < nLeaves; l++ {
+			n := 1 + rng.Intn(3)
+			tasks := make([]time.Duration, n)
+			for j := range tasks {
+				tasks[j] = time.Duration(rng.Intn(10_000_000))
+			}
+			leaves[fmt.Sprintf("leaf%d", l)] = tasks
+		}
+		root := buildQueryTrace(
+			time.Duration(rng.Intn(5_000_000)),
+			time.Duration(rng.Intn(2_000_000)),
+			leaves,
+			rng.Float64()*0.5,
+			time.Duration(rng.Intn(1_000_000)),
+			time.Duration(rng.Intn(500_000)),
+		)
+		if i%3 == 0 {
+			// Perturb into an inconsistent tree: overcharge a stage so the
+			// clamping path is exercised.
+			root.Find("master/load-dims").SetSim(root.Sim() * 2)
+		}
+		if i%5 == 0 {
+			root.SetSim(0)
+		}
+		cp := AnalyzeCriticalPath(root)
+		checkPartition(t, cp)
+	}
+}
+
+func TestCriticalPathRenderAndSummary(t *testing.T) {
+	root := buildQueryTrace(0, time.Millisecond,
+		map[string][]time.Duration{"leaf0": {8 * time.Millisecond}}, 0.25, 0, time.Millisecond)
+	cp := AnalyzeCriticalPath(root)
+	out := cp.Render()
+	for _, want := range []string{"critical path", "total=", "queue-wait", "scan @ leaf0", "transfer", "finalize", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q in:\n%s", want, out)
+		}
+	}
+	sum := cp.Summary()
+	if !strings.Contains(sum, "scan @ leaf0") {
+		t.Errorf("Summary() = %q, want scan segment", sum)
+	}
+	if strings.Contains(sum, "finalize") {
+		t.Errorf("Summary() = %q includes a 0%% segment", sum)
+	}
+	if (*CriticalPath)(nil).Render() != "" || (*CriticalPath)(nil).Summary() != "" {
+		t.Error("nil CriticalPath should render empty")
+	}
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func storedTrace(id, fp string) StoredTrace {
+	root := New("master/query")
+	c := root.Child("master/execute")
+	c.SetSim(time.Millisecond)
+	c.Count("rows", 42)
+	c.SetAttr("stage", "execute")
+	c.Finish()
+	root.SetSim(time.Millisecond)
+	root.Finish()
+	return StoredTrace{QueryID: id, Fingerprint: fp, SQL: "SELECT 1", When: time.Now(),
+		Wall: root.Wall(), Sim: time.Millisecond, Root: root}
+}
+
+func TestStoreRingAndLookup(t *testing.T) {
+	st := NewStore(3)
+	for i := 0; i < 5; i++ {
+		st.Add(storedTrace(fmt.Sprintf("q%d", i), fmt.Sprintf("fp%d", i%2)))
+	}
+	if st.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", st.Len())
+	}
+	ts := st.Traces()
+	if len(ts) != 3 || ts[0].QueryID != "q4" || ts[2].QueryID != "q2" {
+		t.Fatalf("Traces() = %v", ids(ts))
+	}
+	if _, ok := st.Get("q1"); ok {
+		t.Fatal("evicted trace still resolvable")
+	}
+	got, ok := st.Get("q3")
+	if !ok || got.QueryID != "q3" {
+		t.Fatalf("Get(q3) = %v, %v", got.QueryID, ok)
+	}
+	// Fingerprint lookup returns the newest match: fp0 matches q2 and q4.
+	got, ok = st.Get("fp0")
+	if !ok || got.QueryID != "q4" {
+		t.Fatalf("Get(fp0) = %v, want q4", got.QueryID)
+	}
+}
+
+func TestStoreNilSafe(t *testing.T) {
+	var st *Store
+	st.Add(storedTrace("q", "fp"))
+	if st.Len() != 0 || st.Traces() != nil {
+		t.Fatal("nil store retained something")
+	}
+	if _, ok := st.Get("q"); ok {
+		t.Fatal("nil store resolved a trace")
+	}
+	// A trace without a root span is ignored.
+	st2 := NewStore(2)
+	st2.Add(StoredTrace{QueryID: "q"})
+	if st2.Len() != 0 {
+		t.Fatal("rootless trace retained")
+	}
+}
+
+func TestToJaegerShape(t *testing.T) {
+	doc := ToJaeger(storedTrace("q7", "fpX"))
+	if len(doc.Data) != 1 {
+		t.Fatalf("data length %d", len(doc.Data))
+	}
+	tr := doc.Data[0]
+	if len(tr.TraceID) != 32 {
+		t.Errorf("traceID %q not 128-bit hex", tr.TraceID)
+	}
+	if len(tr.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(tr.Spans))
+	}
+	rootSpan, childSpan := tr.Spans[0], tr.Spans[1]
+	if len(rootSpan.References) != 0 {
+		t.Error("root span has a parent reference")
+	}
+	if len(childSpan.References) != 1 || childSpan.References[0].SpanID != rootSpan.SpanID ||
+		childSpan.References[0].RefType != "CHILD_OF" {
+		t.Errorf("child references = %+v", childSpan.References)
+	}
+	if rootSpan.StartTime == 0 {
+		t.Error("root startTime unset")
+	}
+	tagVal := func(s JaegerSpan, key string) any {
+		for _, tg := range s.Tags {
+			if tg.Key == key {
+				return tg.Value
+			}
+		}
+		return nil
+	}
+	if tagVal(rootSpan, "query.id") != "q7" || tagVal(rootSpan, "query.sql") != "SELECT 1" {
+		t.Errorf("root tags = %+v", rootSpan.Tags)
+	}
+	if tagVal(childSpan, "rows") != int64(42) || tagVal(childSpan, "stage") != "execute" {
+		t.Errorf("child tags = %+v", childSpan.Tags)
+	}
+	if tagVal(childSpan, "sim_us") != int64(1000) {
+		t.Errorf("child sim tag = %v", tagVal(childSpan, "sim_us"))
+	}
+	// Wall rounds to 0µs for in-process spans; the sim duration stands in.
+	if childSpan.Duration == 0 {
+		t.Error("child duration 0 despite sim time")
+	}
+	if _, err := json.Marshal(doc); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	// Same query, same IDs: exports are stable.
+	if doc2 := ToJaeger(storedTrace("q7", "fpX")); doc2.Data[0].TraceID != tr.TraceID {
+		t.Error("trace ID not stable across exports")
+	}
+}
+
+func ids(ts []StoredTrace) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.QueryID
+	}
+	return out
+}

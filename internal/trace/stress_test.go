@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanConcurrentStress hammers one span tree from many goroutines —
+// children attached, counters and attrs mutated, sims charged, Finish
+// racing — while readers render, walk and analyze it concurrently. Run
+// under -race (verify.sh does) this is the tracer's thread-safety gate:
+// production queries attach sibling task spans from different goroutines
+// while the telemetry server may be rendering the same tree.
+func TestSpanConcurrentStress(t *testing.T) {
+	root := New("master/query")
+	const writers, readers, iters = 8, 4, 200
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			branch := root.Child(fmt.Sprintf("stem/s%d", w))
+			for i := 0; i < iters; i++ {
+				task := branch.Child(fmt.Sprintf("task#%d @ leaf%d", i, w))
+				leaf := task.Child(fmt.Sprintf("leaf/leaf%d", w))
+				leaf.SetSim(time.Duration(i) * time.Microsecond)
+				leaf.Count("rows.scanned", int64(i))
+				leaf.SetAttr("partition", fmt.Sprintf("/mem/p%d", i))
+				leaf.Finish()
+				task.AddSim(time.Duration(i) * time.Microsecond)
+				task.Count("rows", 1)
+				task.Finish()
+				branch.Count("tasks", 1)
+				root.Count("tasks", 1)
+				root.SetAttr("round", fmt.Sprint(i))
+			}
+			branch.SetSim(time.Duration(iters) * time.Microsecond)
+			branch.Finish()
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < iters; i++ {
+				_ = root.Render()
+				_ = root.TotalSim()
+				_ = root.FindAll("task#")
+				_ = root.Counts()
+				_ = AnalyzeCriticalPath(root)
+				_ = ToJaeger(StoredTrace{QueryID: "qstress", Root: root})
+				root.Finish() // racing Finish: first one must win, no panic
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got := root.CountValue("tasks"); got != writers*iters {
+		t.Fatalf("root tasks counter = %d, want %d", got, writers*iters)
+	}
+	if len(root.Children()) != writers {
+		t.Fatalf("root has %d children, want %d", len(root.Children()), writers)
+	}
+}

@@ -50,6 +50,17 @@ func New(name string) *Span {
 	return &Span{name: name, start: time.Now()}
 }
 
+// Start returns the span's wall-clock start time (zero on nil) — the
+// anchor for exported trace formats (Jaeger startTime).
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.start
+}
+
 // Name returns the span's name ("" on nil).
 func (s *Span) Name() string {
 	if s == nil {

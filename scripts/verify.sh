@@ -61,6 +61,22 @@ if awk "BEGIN{exit !($rcov < $rescache_cov_floor)}"; then
 fi
 echo "coverage: internal/resultcache at ${rcov}%"
 
+# Coverage floor: internal/events (the flight recorder ring — emission,
+# canonical ordering, drop accounting) gates at the level set when the
+# recorder landed. Raise when coverage improves; never lower.
+events_cov_floor=92.0
+echo "== coverage floor (internal/events >= ${events_cov_floor}%)"
+ecov=$(go test -cover ./internal/events | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+if [ -z "$ecov" ]; then
+	echo "coverage: could not parse 'go test -cover ./internal/events' output" >&2
+	exit 1
+fi
+if awk "BEGIN{exit !($ecov < $events_cov_floor)}"; then
+	echo "coverage: internal/events at ${ecov}%, below the ${events_cov_floor}% floor" >&2
+	exit 1
+fi
+echo "coverage: internal/events at ${ecov}%"
+
 echo "== fuzz smoke (FuzzParse, 10s)"
 go test -fuzz=FuzzParse -fuzztime=10s -run='^$' ./internal/sqlparser
 
@@ -78,5 +94,11 @@ go run ./cmd/feisu-bench -exp admission -short -scale small
 
 echo "== rescache smoke (semantic result cache, off vs on)"
 go run ./cmd/feisu-bench -exp rescache -short -scale small
+
+echo "== flightrec smoke (journaled query chain + observability endpoints)"
+go run ./cmd/feisu -smoke-flightrec -rows 256 -parts 2
+
+echo "== flightrec overhead smoke (recorder off vs on)"
+go run ./cmd/feisu-bench -exp flightrec -short -scale small
 
 echo "verify: OK"
