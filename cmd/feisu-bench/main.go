@@ -41,6 +41,7 @@ var registry = []struct {
 	{"admission", "admission control: tail latency and goodput vs offered load", experiments.Admission},
 	{"rescache", "semantic result cache: repeated-shape stream, cache off vs on", experiments.Rescache},
 	{"flightrec", "flight recorder overhead: identical stream, recorder off vs on", experiments.Flightrec},
+	{"shuffle", "general joins: broadcast vs hash repartition across build-side scales", experiments.Shuffle},
 }
 
 func main() {
@@ -59,6 +60,7 @@ func main() {
 	experiments.AdmissionShort = *short
 	experiments.RescacheShort = *short
 	experiments.FlightrecShort = *short
+	experiments.ShuffleShort = *short
 
 	if *list {
 		for _, e := range registry {

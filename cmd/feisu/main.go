@@ -57,6 +57,7 @@ func main() {
 	slowSim := flag.Duration("slow-sim", 0, "record queries with simulated time >= this in the slow-query log")
 	smoke := flag.Bool("smoke-telemetry", false, "start the exporter on an ephemeral port, scrape it once, and exit (CI smoke test)")
 	smokeFR := flag.Bool("smoke-flightrec", false, "run one query and assert the flight recorder journaled its admitted->dispatched->collected chain, then exit (CI smoke test)")
+	smokeShuffle := flag.Bool("smoke-shuffle", false, "force the repartition path, run join and GROUP BY queries, and assert they match the broadcast path and journaled shuffle events, then exit (CI smoke test)")
 	traceExport := flag.String("trace-export", "", "append every finished query trace to this file as Jaeger-compatible JSON, one document per line (implies per-query tracing)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "enable the deterministic fault-injection plane with this seed (0 = off); same seed = same failure schedule")
 	maxQueries := flag.Int("max-queries", 0, "admission control: max concurrent queries (0 = unlimited, no admission queue)")
@@ -94,6 +95,10 @@ func main() {
 	}
 	if *smokeFR {
 		smokeFlightrec(cfg, *rows, *parts)
+		return
+	}
+	if *smokeShuffle {
+		smokeShuffleRun(cfg)
 		return
 	}
 
@@ -434,4 +439,98 @@ func smokeFlightrec(cfg feisu.Config, rows, parts int) {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "feisu: %v\n", err)
 	os.Exit(1)
+}
+
+// smokeShuffleRun is the CI smoke test behind -smoke-shuffle: load the
+// generated join pair twice — once with the broadcast threshold forced to
+// one byte (every join repartitions) and once with defaults (the small
+// dimension broadcasts) — run the same join and GROUP BY queries on both,
+// and assert the plans diverge, the rows agree, and the flight recorder
+// journaled the shuffle's map/commit/reduce chain.
+func smokeShuffleRun(cfg feisu.Config) {
+	build := func(force bool) *feisu.System {
+		c := cfg
+		c.Leaves = 4
+		if force {
+			c.BroadcastThreshold = 1
+			c.ShufflePartitions = 4
+		}
+		sys, err := feisu.New(c)
+		if err != nil {
+			fatal(err)
+		}
+		ctx := context.Background()
+		factMeta, dimMeta, _, _, err := workload.GenerateJoin(ctx, sys.Router(), workload.DefaultJoinSpec())
+		if err != nil {
+			fatal(err)
+		}
+		if err := sys.RegisterTable(ctx, factMeta); err != nil {
+			fatal(err)
+		}
+		if err := sys.RegisterTable(ctx, dimMeta); err != nil {
+			fatal(err)
+		}
+		return sys
+	}
+	shuffleSys := build(true)
+	defer shuffleSys.Close()
+	broadcastSys := build(false)
+	defer broadcastSys.Close()
+
+	spec := workload.DefaultJoinSpec()
+	queries := []string{
+		"SELECT f.id AS a, f.v AS b, d.name AS c FROM " + spec.FactName + " f JOIN " + spec.DimName + " d ON f.k = d.k ORDER BY a",
+		"SELECT d.cat AS g, COUNT(*) AS n, SUM(f.v) AS s FROM " + spec.FactName + " f, " + spec.DimName + " d WHERE f.k = d.k GROUP BY d.cat ORDER BY g",
+		"SELECT f.id AS a, d.name AS b FROM " + spec.FactName + " f RIGHT OUTER JOIN " + spec.DimName + " d ON f.k = d.k ORDER BY b DESC, a LIMIT 20",
+	}
+	render := func(res *feisu.Result) string {
+		var sb strings.Builder
+		for _, row := range res.Rows {
+			for j, v := range row {
+				if j > 0 {
+					sb.WriteByte('|')
+				}
+				sb.WriteString(v.String())
+			}
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+
+	explain, err := shuffleSys.Explain(queries[0])
+	if err != nil {
+		fatal(err)
+	}
+	if !strings.Contains(explain, "repartition") {
+		fatal(fmt.Errorf("forced-shuffle plan did not repartition:\n%s", explain))
+	}
+
+	ctx := context.Background()
+	var lastQID string
+	for _, q := range queries {
+		a, stats, err := shuffleSys.QueryStats(ctx, q)
+		if err != nil {
+			fatal(fmt.Errorf("shuffle path %q: %w", q, err))
+		}
+		b, err := broadcastSys.Query(ctx, q)
+		if err != nil {
+			fatal(fmt.Errorf("broadcast path %q: %w", q, err))
+		}
+		if render(a) != render(b) {
+			fatal(fmt.Errorf("shuffle and broadcast paths diverged on %q:\nshuffle:\n%s\nbroadcast:\n%s", q, render(a), render(b)))
+		}
+		lastQID = stats.QueryID
+	}
+
+	seen := make(map[events.Kind]int)
+	for _, e := range shuffleSys.Events().ForQuery(lastQID) {
+		seen[e.Kind]++
+	}
+	for _, want := range []events.Kind{events.ShuffleMap, events.ShuffleCommit, events.ShuffleReduce} {
+		if seen[want] == 0 {
+			fatal(fmt.Errorf("journal for %s is missing kind %q (have %v)", lastQID, want, seen))
+		}
+	}
+	fmt.Printf("shuffle smoke OK: %d queries agree across paths; last query journaled %d map, %d commit, %d reduce events\n",
+		len(queries), seen[events.ShuffleMap], seen[events.ShuffleCommit], seen[events.ShuffleReduce])
 }

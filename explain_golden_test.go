@@ -177,3 +177,136 @@ func TestExplainAnalyzeResultCacheGolden(t *testing.T) {
 	}
 	checkGolden(t, "explain_analyze_rescache_hit", text)
 }
+
+// newShuffleGoldenSystem builds a deterministic forced-repartition
+// deployment: one leaf (so map-task placement is fixed), no stems (the
+// master is the sole reducer), serial scans, and the join pair resident
+// in memory. spillGrant <= 0 keeps the default reducer memory grant.
+func newShuffleGoldenSystem(t *testing.T, spillGrant int64) *System {
+	t.Helper()
+	sys, err := New(Config{
+		Leaves:               1,
+		HeartbeatInterval:    -1,
+		ScanWorkers:          -1,
+		MaxConcurrentQueries: 2,
+		BroadcastThreshold:   1,
+		ShufflePartitions:    2,
+		ShuffleMemoryBytes:   spillGrant,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+
+	spec := workload.DefaultJoinSpec()
+	spec.PathPrefix = "/mem/join"
+	spec.FactPartitions = 2
+	spec.FactRowsPerPart = 32
+	spec.DimPartitions = 1
+	spec.DimRowsPerPart = 20
+	ctx := context.Background()
+	factMeta, dimMeta, _, _, err := workload.GenerateJoin(ctx, sys.Router(), spec)
+	if err == nil {
+		err = sys.RegisterTable(ctx, factMeta)
+	}
+	if err == nil {
+		err = sys.RegisterTable(ctx, dimMeta)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+const shuffleGoldenQuery = "SELECT f.id AS a, f.v AS b, d.name AS c FROM orders f JOIN users d ON f.k = d.k ORDER BY a"
+
+// TestExplainShuffleGolden pins the repartitioned plan rendering: keys,
+// shipped columns, partition count and the reducer memory grant.
+func TestExplainShuffleGolden(t *testing.T) {
+	sys := newShuffleGoldenSystem(t, 0)
+	res, err := sys.Query(context.Background(), "EXPLAIN "+shuffleGoldenQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := resultText(res)
+	if !strings.Contains(text, "repartition") {
+		t.Fatalf("forced-shuffle plan did not repartition:\n%s", text)
+	}
+	checkGolden(t, "explain_shuffle", text)
+}
+
+// TestExplainBroadcastJoinGolden pins the broadcast plan for the same
+// query under the default threshold — the dimension is small, so the
+// planner must ship it whole instead of repartitioning.
+func TestExplainBroadcastJoinGolden(t *testing.T) {
+	sys, err := New(Config{
+		Leaves:               1,
+		HeartbeatInterval:    -1,
+		ScanWorkers:          -1,
+		MaxConcurrentQueries: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	spec := workload.DefaultJoinSpec()
+	spec.PathPrefix = "/mem/join"
+	spec.FactPartitions = 2
+	spec.FactRowsPerPart = 32
+	spec.DimPartitions = 1
+	spec.DimRowsPerPart = 20
+	ctx := context.Background()
+	factMeta, dimMeta, _, _, err := workload.GenerateJoin(ctx, sys.Router(), spec)
+	if err == nil {
+		err = sys.RegisterTable(ctx, factMeta)
+	}
+	if err == nil {
+		err = sys.RegisterTable(ctx, dimMeta)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Query(ctx, "EXPLAIN "+shuffleGoldenQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := resultText(res)
+	if !strings.Contains(text, "broadcast") || strings.Contains(text, "repartition") {
+		t.Fatalf("small dimension did not broadcast:\n%s", text)
+	}
+	checkGolden(t, "explain_broadcast_join", text)
+}
+
+// TestExplainAnalyzeShuffleGolden pins the executed repartition trace:
+// map task spans in ordinal order, the shuffle-transfer stage with
+// per-partition byte counts, per-partition reduce spans, and the
+// critical path's shuffle-transfer segment.
+func TestExplainAnalyzeShuffleGolden(t *testing.T) {
+	sys := newShuffleGoldenSystem(t, 0)
+	res, err := sys.Query(context.Background(), "EXPLAIN ANALYZE "+shuffleGoldenQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := normalizeTrace(resultText(res))
+	for _, want := range []string{"shuffle-map", "shuffle-transfer", "shuffle-reduce", "critical path"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("EXPLAIN ANALYZE trace lacks %q:\n%s", want, text)
+		}
+	}
+	checkGolden(t, "explain_analyze_shuffle", text)
+}
+
+// TestExplainAnalyzeShuffleSpillGolden pins the same trace under a
+// one-byte reducer memory grant: the plan header shows the tiny grant
+// and the partitioned operators spill every build row.
+func TestExplainAnalyzeShuffleSpillGolden(t *testing.T) {
+	sys := newShuffleGoldenSystem(t, 1)
+	res, stats, err := sys.QueryStats(context.Background(), "EXPLAIN ANALYZE "+shuffleGoldenQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ShuffleSpillBytes == 0 {
+		t.Fatal("one-byte memory grant did not spill")
+	}
+	checkGolden(t, "explain_analyze_shuffle_spill", normalizeTrace(resultText(res)))
+}

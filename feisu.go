@@ -243,6 +243,22 @@ type Config struct {
 	// (/debug/trace/{id}, Jaeger export). 0 uses the default (32 traces);
 	// negative disables retention.
 	TraceStoreCapacity int
+	// BroadcastThreshold is the cataloged byte size above which a join's
+	// build table is hash-repartitioned across the stems instead of
+	// broadcast to every leaf. 0 uses the default (16 MB); negative
+	// repartitions every eligible join.
+	BroadcastThreshold int64
+	// ShufflePartitions is the repartition fan-out (hash partitions per
+	// shuffle). <=0 uses 4.
+	ShufflePartitions int
+	// GroupShuffleRows repartitions a grouped aggregation whose fact table
+	// reaches this many cataloged rows, merging groups at the stems instead
+	// of the master. 0 uses the default (1M rows); negative disables it.
+	GroupShuffleRows int64
+	// ShuffleMemoryBytes is each reducer operator's memory grant during a
+	// shuffle; past it the build table or group state grace-hash spills to
+	// global storage. <=0 uses 64 MB.
+	ShuffleMemoryBytes int64
 }
 
 // System is an in-process Feisu deployment.
@@ -262,12 +278,15 @@ type System struct {
 	// retained so ingest can invalidate their footer caches on rewrite.
 	readers  []*exec.StoreReader
 	rescache *resultcache.Cache
-	smart    []*core.SmartIndex
-	history  *History
-	metrics  *metrics.Registry
-	slowlog  *telemetry.Slowlog
-	events   *events.Recorder
-	traces   *trace.Store
+	// plannerOpts mirror the master's shuffle-planner tuning so Explain
+	// describes the plan the cluster would actually run.
+	plannerOpts plan.Options
+	smart       []*core.SmartIndex
+	history     *History
+	metrics     *metrics.Registry
+	slowlog     *telemetry.Slowlog
+	events      *events.Recorder
+	traces      *trace.Store
 	// latWall/latSim are the fleet-level query latency histograms exported
 	// as feisu_query_wall_seconds / feisu_query_sim_seconds.
 	latWall *metrics.Histogram
@@ -424,6 +443,13 @@ func New(cfg Config) (*System, error) {
 		ResultCache:   sys.rescache,
 		CacheAffinity: cfg.CacheAffinity,
 		Events:        sys.events,
+
+		Planner: plan.Options{
+			BroadcastThreshold: cfg.BroadcastThreshold,
+			ShufflePartitions:  cfg.ShufflePartitions,
+			GroupShuffleRows:   cfg.GroupShuffleRows,
+			MemoryGrantBytes:   cfg.ShuffleMemoryBytes,
+		},
 	}
 	if cfg.PersonalizeThreshold > 0 {
 		sys.history = &History{
@@ -434,6 +460,7 @@ func New(cfg Config) (*System, error) {
 		}
 		mcfg.Observer = sys.history
 	}
+	sys.plannerOpts = mcfg.Planner
 	sys.master = cluster.NewMaster(mcfg)
 	sys.metrics.RegisterCounterWith("feisu_queries_total", &sys.master.Queries)
 	sys.metrics.RegisterCounterWith("feisu_query_errors_total", &sys.master.QueryErrs)
@@ -931,14 +958,14 @@ func WithQueueDeadline(d time.Duration) QueryOption {
 
 // Explain plans the query without executing it and returns a human-readable
 // description: the pushed-down filter in conjunctive form with its
-// indexable atoms, the pruned column set, the broadcast joins, and the
-// sub-plan dissection.
+// indexable atoms, the pruned column set, the broadcast or repartitioned
+// joins, and the sub-plan dissection.
 func (s *System) Explain(sql string) (string, error) {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return "", err
 	}
-	p, err := plan.Plan(stmt, s.master.Jobs)
+	p, err := plan.PlanWith(stmt, s.master.Jobs, s.plannerOpts)
 	if err != nil {
 		return "", err
 	}

@@ -133,6 +133,10 @@ type QueryStats struct {
 	WallTime time.Duration
 	// BytesByDevice reports simulated bytes read per device class.
 	BytesByDevice map[string]int64
+	// ShuffleSpillBytes counts bytes the reducers spilled to global storage
+	// during a repartitioned join or group-by (grace-hash overflow past the
+	// memory grant); 0 for non-shuffle queries.
+	ShuffleSpillBytes int64
 	// Trace is the query's span tree when QueryOptions.Trace was set
 	// (nil otherwise). Render it with Trace.Render().
 	Trace *trace.Span

@@ -81,6 +81,8 @@ func (l *LeafServer) handle(ctx context.Context, from string, payload any) (any,
 		return pingReply{Kind: KindLeaf, ActiveTasks: int(l.active.Load())}, nil
 	case taskMsg:
 		return l.runTask(ctx, msg)
+	case shuffleTaskMsg:
+		return l.runShuffleTask(ctx, msg)
 	default:
 		return nil, fmt.Errorf("cluster: leaf %s: unknown message %T", l.Name, payload)
 	}

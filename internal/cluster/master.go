@@ -107,6 +107,10 @@ type MasterConfig struct {
 	// flight recorder; the master also hands it to its cluster manager and
 	// local stem.
 	Events *events.Recorder
+	// Planner tunes the repartition-shuffle planner (broadcast threshold,
+	// partition fan-out, group-by shuffle trigger, reducer memory grants).
+	// The zero value behaves exactly like plan.DefaultOptions.
+	Planner plan.Options
 }
 
 // PredicateObserver collects per-user predicate usage.
@@ -243,6 +247,10 @@ func (m *Master) handle(ctx context.Context, from string, payload any) (any, err
 		return nil, nil
 	case pingMsg:
 		return pingReply{}, nil
+	case shuffleFrameMsg, shuffleEndMsg, shuffleReduceMsg, shuffleCleanupMsg:
+		// Standby clusters run without dedicated stems; the master then
+		// doubles as the sole reducer via its local stem.
+		return m.localStem.handle(ctx, from, payload)
 	default:
 		return nil, fmt.Errorf("cluster: master %s: unknown message %T", m.cfg.Name, payload)
 	}
@@ -375,7 +383,7 @@ func (m *Master) submit(ctx context.Context, sql string, opts QueryOptions) (res
 	if err != nil {
 		return nil, nil, err
 	}
-	p, err := plan.Plan(stmt, m.Jobs)
+	p, err := plan.PlanWith(stmt, m.Jobs, m.cfg.Planner)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -500,22 +508,33 @@ func (m *Master) submit(ctx context.Context, sql string, opts QueryOptions) (res
 	dspan.SetSim(masterBill.Time())
 	dspan.Finish()
 
-	tasks := p.Tasks()
-	if m.cfg.ScanWorkers != 0 {
-		w := m.cfg.ScanWorkers
-		if w < 0 {
-			w = 1
+	var merged *exec.TaskResult
+	if p.Shuffle != nil {
+		// Repartitioned query: map tasks on the leaves, keyed frames to the
+		// reducers, one reduce per reducer. runShuffle sets stats.Tasks and
+		// the progress counters itself.
+		ectx, espan := trace.StartSpan(ctx, "master/execute")
+		merged, err = m.runShuffle(ectx, p, opts, stats, qid, prog)
+		espan.SetSim(stats.SimTime)
+		espan.Finish()
+	} else {
+		tasks := p.Tasks()
+		if m.cfg.ScanWorkers != 0 {
+			w := m.cfg.ScanWorkers
+			if w < 0 {
+				w = 1
+			}
+			for i := range tasks {
+				tasks[i].Workers = w
+			}
 		}
-		for i := range tasks {
-			tasks[i].Workers = w
-		}
+		stats.Tasks = len(tasks)
+		prog.update(func(p *QueryProgress) { p.TasksPlanned = len(tasks) })
+		ectx, espan := trace.StartSpan(ctx, "master/execute")
+		merged, err = m.runAll(ectx, p, tasks, opts, stats, qid, prog)
+		espan.SetSim(stats.SimTime)
+		espan.Finish()
 	}
-	stats.Tasks = len(tasks)
-	prog.update(func(p *QueryProgress) { p.TasksPlanned = len(tasks) })
-	ectx, espan := trace.StartSpan(ctx, "master/execute")
-	merged, err := m.runAll(ectx, p, tasks, opts, stats, qid, prog)
-	espan.SetSim(stats.SimTime)
-	espan.Finish()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -634,6 +653,11 @@ func (m *Master) authorize(cred auth.Credential, p *plan.PhysicalPlan) error {
 	}
 	for _, d := range p.Dims {
 		if err := checkTable(d.Table.Meta); err != nil {
+			return err
+		}
+	}
+	if sh := p.Shuffle; sh != nil && sh.Build != nil {
+		if err := checkTable(sh.Build.Meta); err != nil {
 			return err
 		}
 	}

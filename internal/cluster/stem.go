@@ -37,6 +37,11 @@ type StemServer struct {
 	queued atomic.Int32 // tasks admitted but waiting for a parallelism slot
 	tasks  atomic.Int64 // lifetime dispatched tasks
 	life   lifecycle
+
+	// shuffleMu guards shuffles, the reducer-side staging area for
+	// repartition exchanges (keyed by exchange ID).
+	shuffleMu sync.Mutex
+	shuffles  map[string]*shuffleExchange
 }
 
 // Register attaches the stem to the fabric.
@@ -50,6 +55,14 @@ func (s *StemServer) handle(ctx context.Context, from string, payload any) (any,
 		return pingReply{Kind: KindStem, ActiveTasks: int(s.active.Load())}, nil
 	case stemJobMsg:
 		return s.runJob(ctx, msg)
+	case shuffleFrameMsg:
+		return s.handleShuffleFrame(msg)
+	case shuffleEndMsg:
+		return s.handleShuffleEnd(msg)
+	case shuffleReduceMsg:
+		return s.handleShuffleReduce(ctx, msg)
+	case shuffleCleanupMsg:
+		return s.handleShuffleCleanup(msg)
 	default:
 		return nil, fmt.Errorf("cluster: stem %s: unknown message %T", s.Name, payload)
 	}

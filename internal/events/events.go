@@ -74,6 +74,14 @@ const (
 	// Ingest.
 	IngestInvalidate Kind = "ingest.invalidate"
 
+	// Repartition shuffle (master orchestration + reducer commits; Sim on
+	// map/reduce events carries the stage's execution bill).
+	ShuffleMap    Kind = "shuffle.map"    // one map task finished on a leaf
+	ShuffleRetry  Kind = "shuffle.retry"  // map task re-dispatched after a failure
+	ShuffleCommit Kind = "shuffle.commit" // reducer committed a map attempt's frames
+	ShuffleReduce Kind = "shuffle.reduce" // reducer finished one partition
+	ShuffleSpill  Kind = "shuffle.spill"  // operator exceeded its memory grant
+
 	// Chaos-plane bridge: faults arrive as "chaos.<kind>" (kill, restart,
 	// straggle, recover, partition, heal, drop, delay, read-err, corrupt).
 	ChaosPrefix = "chaos."

@@ -60,6 +60,13 @@ func Eval(e sqlparser.Expr, env Env) (types.Value, error) {
 			return types.Value{}, fmt.Errorf("exec: NOT over %s", v.T)
 		}
 		return types.NewBool(!v.B), nil
+	case *sqlparser.IsNullExpr:
+		v, err := Eval(x.X, env)
+		if err != nil {
+			return types.Value{}, err
+		}
+		// IS [NOT] NULL is total: never unknown, unlike comparisons.
+		return types.NewBool(v.IsNull() != x.Not), nil
 	case *sqlparser.BinaryExpr:
 		return evalBinary(x, env)
 	case *sqlparser.FuncCall:

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"time"
+
+	feisu "repro"
+	"repro/internal/workload"
+)
+
+// ShuffleShort trims the shuffle experiment to a smoke-sized stream
+// (verify.sh) and skips the acceptance gates.
+var ShuffleShort bool
+
+// shuffleBuildScales are the build-side (dimension) size multipliers the
+// experiment sweeps: broadcast cost grows with the build side on every
+// leaf, repartition cost does not, and the crossover is the point of the
+// table.
+var shuffleBuildScales = []int{1, 4, 16}
+
+// shuffleJoinSpec sizes the fact/dimension pair from the experiment
+// scale: the fact table tracks the scale's partition count and row
+// budget; the dimension (build side) starts small and is swept by
+// buildMul. The keyspace follows the dimension so every fact row keeps
+// matching ~2 dimension rows on average at every build scale.
+func shuffleJoinSpec(scale Scale, buildMul int) workload.JoinSpec {
+	spec := workload.DefaultJoinSpec()
+	spec.PathPrefix = fmt.Sprintf("/hdfs/benchjoin/x%d", buildMul)
+	spec.FactPartitions = maxInt(scale.Partitions, 2)
+	spec.FactRowsPerPart = maxInt(scale.DataRowsPerPartition/8, 64)
+	spec.DimPartitions = maxInt(scale.Partitions/4, 1)
+	spec.DimRowsPerPart = maxInt(scale.DataRowsPerPartition/32, 40) * buildMul
+	dimRows := spec.DimPartitions * spec.DimRowsPerPart
+	spec.Keyspace = int64(maxInt(dimRows/2, 8))
+	return spec
+}
+
+// shuffleArm is one (build scale, strategy) cell of the sweep.
+type shuffleArm struct {
+	buildMul   int
+	mode       string
+	mutate     func(*feisu.Config)
+	minWall    time.Duration
+	totalSim   time.Duration
+	tasks      int64
+	spillBytes int64
+	rows       int64
+	prints     []uint64
+}
+
+// Shuffle compares the two general-join strategies — broadcast (every
+// leaf receives the whole build side) versus hash repartition (both
+// sides hash-partitioned and shipped to reducers) — on one identical
+// query stream at three build-side scales, plus a memory-starved
+// repartition arm at the largest scale that forces the reducers through
+// the grace-hash spill path. Each arm reports task counts, simulated
+// cost-model time, min wall time and spill volume; within a build scale
+// every query's result bag is fingerprinted and the arms must agree, so
+// the table doubles as an equivalence check at bench scale.
+func Shuffle(scale Scale) (*Report, error) {
+	nq := min(maxInt(scale.Queries/24, 12), 60)
+	rounds := 2
+	if ShuffleShort {
+		nq = 8
+		rounds = 1
+		scale.Partitions = min(scale.Partitions, 4)
+		scale.DataRowsPerPartition = min(scale.DataRowsPerPartition, 512)
+	}
+
+	forceRepartition := func(c *feisu.Config) {
+		c.BroadcastThreshold = 1
+		c.ShufflePartitions = maxInt(scale.Leaves, 2)
+	}
+	var arms []*shuffleArm
+	addArm := func(mul int, mode string, mutate func(*feisu.Config)) *shuffleArm {
+		a := &shuffleArm{buildMul: mul, mode: mode, mutate: mutate,
+			minWall: time.Duration(1<<62 - 1)}
+		arms = append(arms, a)
+		return a
+	}
+	for _, mul := range shuffleBuildScales {
+		addArm(mul, "broadcast", func(c *feisu.Config) {})
+		addArm(mul, "repartition", forceRepartition)
+	}
+	spillMul := shuffleBuildScales[len(shuffleBuildScales)-1]
+	spillArm := addArm(spillMul, "repartition-spill", func(c *feisu.Config) {
+		forceRepartition(c)
+		c.ShuffleMemoryBytes = 1 // every reducer partition spills
+	})
+
+	runArm := func(a *shuffleArm) error {
+		spec := shuffleJoinSpec(scale, a.buildMul)
+		queries := workload.JoinQueries(spec.FactName, spec.DimName, 7741, nq)
+		cfg := feisu.Config{
+			Leaves: scale.Leaves,
+			Index:  feisu.IndexNone,
+		}
+		a.mutate(&cfg)
+		sys, err := feisu.New(cfg)
+		if err != nil {
+			return err
+		}
+		defer sys.Close()
+		ctx := context.Background()
+		factMeta, dimMeta, _, _, err := workload.GenerateJoin(ctx, sys.Router(), spec)
+		if err != nil {
+			return err
+		}
+		if err := sys.RegisterTable(ctx, factMeta); err != nil {
+			return err
+		}
+		if err := sys.RegisterTable(ctx, dimMeta); err != nil {
+			return err
+		}
+
+		var totalSim time.Duration
+		var tasks, spill, rows int64
+		prints := make([]uint64, len(queries))
+		start := time.Now()
+		for i, q := range queries {
+			res, stats, qErr := sys.QueryStats(ctx, q)
+			if qErr != nil {
+				return fmt.Errorf("shuffle: x%d %s %q: %w", a.buildMul, a.mode, q, qErr)
+			}
+			totalSim += stats.SimTime
+			tasks += int64(stats.Tasks)
+			spill += stats.ShuffleSpillBytes
+			rows += int64(len(res.Rows))
+			prints[i] = bagFingerprint(res)
+		}
+		wall := time.Since(start)
+		if wall < a.minWall {
+			a.minWall = wall
+		}
+		a.totalSim, a.tasks, a.spillBytes, a.rows, a.prints = totalSim, tasks, spill, rows, prints
+		return nil
+	}
+
+	for r := 0; r < rounds; r++ {
+		// Interleave arms so machine drift hits all of them equally.
+		for _, a := range arms {
+			if err := runArm(a); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	rep := &Report{
+		ID:    "shuffle",
+		Title: "General joins: broadcast vs hash repartition across build-side scales",
+		Headers: []string{"Build side", "Strategy", "Queries", "Tasks", "Min wall (ms)",
+			"Total sim (ms)", "Spill (KB)", "Rows"},
+	}
+	ms := func(dur time.Duration) string { return f2(float64(dur) / float64(time.Millisecond)) }
+	for _, a := range arms {
+		spec := shuffleJoinSpec(scale, a.buildMul)
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("x%d (%d rows)", a.buildMul, spec.DimPartitions*spec.DimRowsPerPart),
+			a.mode, d(int64(nq)), d(a.tasks), ms(a.minWall), ms(a.totalSim),
+			f2(float64(a.spillBytes) / 1024), d(a.rows),
+		})
+	}
+	base := shuffleJoinSpec(scale, 1)
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("fact %d x %d rows; dim swept x1/x4/x16 from %d x %d rows; every query's result bag fingerprint compared across strategies at each scale",
+			base.FactPartitions, base.FactRowsPerPart, base.DimPartitions, base.DimRowsPerPart),
+		fmt.Sprintf("repartition-spill re-runs the x%d repartition arm under a 1-byte reducer memory grant (grace-hash spill on every partition)", spillMul),
+	)
+
+	// Equivalence across strategies is non-negotiable at any scale: a
+	// bench that reports timings for diverging answers measures nothing.
+	byScale := map[int][]*shuffleArm{}
+	for _, a := range arms {
+		byScale[a.buildMul] = append(byScale[a.buildMul], a)
+	}
+	for mul, group := range byScale {
+		for _, a := range group[1:] {
+			for i := range a.prints {
+				if a.prints[i] != group[0].prints[i] {
+					return rep, fmt.Errorf("shuffle: x%d %s diverged from %s on query #%d", mul, a.mode, group[0].mode, i)
+				}
+			}
+		}
+	}
+	if !ShuffleShort {
+		for mul, group := range byScale {
+			if len(group) >= 2 && group[1].tasks <= group[0].tasks {
+				return rep, fmt.Errorf("shuffle: x%d repartition ran %d tasks vs broadcast's %d; the shuffle path did not engage",
+					mul, group[1].tasks, group[0].tasks)
+			}
+		}
+		if spillArm.spillBytes == 0 {
+			return rep, fmt.Errorf("shuffle: memory-starved arm spilled nothing; the grace-hash path did not engage")
+		}
+	}
+	return rep, nil
+}
+
+// bagFingerprint hashes a result as a bag: rendered rows, sorted, then
+// FNV-1a folded. Column order matters, row order does not.
+func bagFingerprint(res *feisu.Result) uint64 {
+	lines := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.String()
+		}
+		lines[i] = strings.Join(cells, "|")
+	}
+	sort.Strings(lines)
+	h := fnv.New64a()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}

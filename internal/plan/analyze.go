@@ -83,9 +83,6 @@ func Analyze(stmt *sqlparser.SelectStmt, cat Catalog) (*Analyzed, error) {
 		}
 	}
 	for _, j := range stmt.Joins {
-		if j.Type == sqlparser.JoinRightOuter {
-			return nil, fmt.Errorf("plan: RIGHT OUTER JOIN is not supported by the star-schema executor; rewrite with the dimension on the left")
-		}
 		if err := addTable(j.Table); err != nil {
 			return nil, err
 		}
@@ -306,6 +303,8 @@ func (o *Analyzed) ensureHavingBacked(a *analyzer) error {
 			return visit(x.X)
 		case *sqlparser.NegExpr:
 			return visit(x.X)
+		case *sqlparser.IsNullExpr:
+			return visit(x.X)
 		}
 		return nil
 	}
@@ -327,6 +326,8 @@ func (a *analyzer) bindExpr(e sqlparser.Expr) error {
 	case *sqlparser.NotExpr:
 		return a.bindExpr(x.X)
 	case *sqlparser.NegExpr:
+		return a.bindExpr(x.X)
+	case *sqlparser.IsNullExpr:
 		return a.bindExpr(x.X)
 	case *sqlparser.FuncCall:
 		for _, arg := range x.Args {
@@ -417,6 +418,8 @@ func containsAgg(e sqlparser.Expr) bool {
 		return containsAgg(x.X)
 	case *sqlparser.NegExpr:
 		return containsAgg(x.X)
+	case *sqlparser.IsNullExpr:
+		return containsAgg(x.X)
 	}
 	return false
 }
@@ -488,6 +491,11 @@ func (a *analyzer) typeOf(e sqlparser.Expr) (types.Type, error) {
 		}
 		if t != types.Bool && t != types.Null {
 			return types.Null, fmt.Errorf("plan: NOT over %s", t)
+		}
+		return types.Bool, nil
+	case *sqlparser.IsNullExpr:
+		if _, err := a.typeOf(x.X); err != nil {
+			return types.Null, err
 		}
 		return types.Bool, nil
 	case *sqlparser.NegExpr:

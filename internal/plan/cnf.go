@@ -79,6 +79,11 @@ func pushNot(e sqlparser.Expr, neg bool) sqlparser.Expr {
 	switch x := e.(type) {
 	case *sqlparser.NotExpr:
 		return pushNot(x.X, !neg)
+	case *sqlparser.IsNullExpr:
+		if neg { // NOT (x IS NULL) == x IS NOT NULL
+			return &sqlparser.IsNullExpr{X: x.X, Not: !x.Not}
+		}
+		return x
 	case *sqlparser.BinaryExpr:
 		switch x.Op {
 		case sqlparser.OpAnd:
@@ -267,6 +272,8 @@ func ColumnsOf(e sqlparser.Expr, sink *[]ColRef) {
 	case *sqlparser.NotExpr:
 		ColumnsOf(x.X, sink)
 	case *sqlparser.NegExpr:
+		ColumnsOf(x.X, sink)
+	case *sqlparser.IsNullExpr:
 		ColumnsOf(x.X, sink)
 	case *sqlparser.FuncCall:
 		for _, a := range x.Args {

@@ -44,6 +44,38 @@ func (p *PhysicalPlan) Describe() string {
 		}
 		fmt.Fprintf(&sb, " shipping columns [%s]\n", strings.Join(d.Needed, ", "))
 	}
+	if sh := p.Shuffle; sh != nil {
+		if sh.GroupShuffle {
+			fmt.Fprintf(&sb, "repartition group-by: partial groups hash-shuffled over %d partition(s), merged at reducers\n", sh.Partitions)
+			fmt.Fprintf(&sb, "  reducer memory grant: %d bytes (grace-hash spill beyond)\n", sh.MemoryGrant)
+		} else {
+			fmt.Fprintf(&sb, "repartition %s %s over %d partition(s):\n",
+				strings.ToLower(sh.JoinType.String()), sh.Build.Meta.Name, sh.Partitions)
+			keys := make([]string, sh.Keys)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("%s = %s", sh.ProbePlan.A.Outputs[i].Expr, sh.BuildPlan.A.Outputs[i].Expr)
+			}
+			fmt.Fprintf(&sb, "  keys: %s\n", strings.Join(keys, " AND "))
+			fmt.Fprintf(&sb, "  probe ships [%s]\n", joinColRefs(sh.ProbeCols))
+			fmt.Fprintf(&sb, "  build ships [%s]\n", joinColRefs(sh.BuildCols))
+			if len(sh.BuildPlan.Filter.Clauses) > 0 {
+				sb.WriteString("  build-side filter:\n")
+				for _, cl := range sh.BuildPlan.Filter.Clauses {
+					sb.WriteString("    - " + describeClause(cl) + "\n")
+				}
+			}
+			if len(sh.ProbePlan.Post) > 0 {
+				sb.WriteString("  probe-side post filter:\n")
+				for _, cl := range sh.ProbePlan.Post {
+					sb.WriteString("    - " + describeClause(cl) + "\n")
+				}
+			}
+			if len(sh.Residual) > 0 {
+				fmt.Fprintf(&sb, "  with %d residual condition(s)\n", len(sh.Residual))
+			}
+			fmt.Fprintf(&sb, "  reducer memory grant: %d bytes (grace-hash spill beyond)\n", sh.MemoryGrant)
+		}
+	}
 	if len(p.Post) > 0 {
 		sb.WriteString("post-join filter:\n")
 		for _, cl := range p.Post {
@@ -94,6 +126,14 @@ func (p *PhysicalPlan) DescribeAnalyze(root *trace.Span) string {
 		sb.WriteString(cp.Render())
 	}
 	return sb.String()
+}
+
+func joinColRefs(refs []ColRef) string {
+	parts := make([]string, len(refs))
+	for i, r := range refs {
+		parts[i] = r.Table + "." + r.Col
+	}
+	return strings.Join(parts, ", ")
 }
 
 func describeClause(cl Clause) string {

@@ -145,6 +145,14 @@ func (n *normalizer) expr(e sqlparser.Expr, flex bool) {
 	case *sqlparser.NotExpr:
 		n.sb.WriteString("NOT ")
 		n.expr(x.X, false)
+	case *sqlparser.IsNullExpr:
+		n.sb.WriteByte('(')
+		n.expr(x.X, false)
+		if x.Not {
+			n.sb.WriteString(" IS NOT NULL)")
+		} else {
+			n.sb.WriteString(" IS NULL)")
+		}
 	case *sqlparser.NegExpr:
 		n.sb.WriteByte('-')
 		n.expr(x.X, false)
@@ -266,7 +274,9 @@ func (f *ReuseFilter) Match(row []types.Value) bool {
 //     be evaluated over the cached rows.
 func (p *PhysicalPlan) ReuseFilter() (*ReuseFilter, bool) {
 	if p.Mode != ModeSelect || len(p.Dims) > 0 || len(p.Post) > 0 ||
-		p.A.Having != nil || p.A.Limit >= 0 {
+		p.A.Having != nil || p.A.Limit >= 0 || p.Shuffle != nil {
+		// Shuffle plans push their predicates into derived map sub-plans, so
+		// the top-level Filter does not describe the produced row set.
 		return nil, false
 	}
 	// Visible output index of each direct column reference.

@@ -68,6 +68,10 @@ type PhysicalPlan struct {
 	LiteralKey string
 	// ReuseSlots classifies each literal for predicate-subsumption reuse.
 	ReuseSlots []LitSlot
+	// Shuffle, when set, marks a repartitioned plan: a hash-shuffled join
+	// (derived map sub-plans inside) or a group-by shuffle. Nil for pure
+	// broadcast/star plans.
+	Shuffle *ShuffleSpec
 }
 
 // Fact returns the plan's fact table.
@@ -125,6 +129,11 @@ func Build(a *Analyzed) (*PhysicalPlan, error) {
 	for _, j := range a.Stmt.Joins {
 		d := dimOf[j.Table.Binding()]
 		d.Type = j.Type
+		if d.Type == sqlparser.JoinRightOuter {
+			// The broadcast executor preserves only the fact side; RIGHT
+			// OUTER needs the repartition path (BuildWith).
+			return nil, fmt.Errorf("plan: RIGHT OUTER JOIN %q requires a repartition shuffle", d.Table.Ref.Binding())
+		}
 		if j.On == nil {
 			continue
 		}
@@ -224,13 +233,9 @@ func Build(a *Analyzed) (*PhysicalPlan, error) {
 	return p, nil
 }
 
-// Plan parses nothing: it runs Analyze + Build. Convenience for callers.
+// Plan runs Analyze + BuildWith under the default planner options.
 func Plan(stmt *sqlparser.SelectStmt, cat Catalog) (*PhysicalPlan, error) {
-	a, err := Analyze(stmt, cat)
-	if err != nil {
-		return nil, err
-	}
-	return Build(a)
+	return PlanWith(stmt, cat, DefaultOptions())
 }
 
 func appendUnique(list []string, s string) []string {
@@ -267,6 +272,8 @@ func collectAggs(e sqlparser.Expr, seen map[string]bool, out *[]AggSpec) {
 	case *sqlparser.NotExpr:
 		collectAggs(x.X, seen, out)
 	case *sqlparser.NegExpr:
+		collectAggs(x.X, seen, out)
+	case *sqlparser.IsNullExpr:
 		collectAggs(x.X, seen, out)
 	}
 }

@@ -173,7 +173,6 @@ func TestAnalyzeErrors(t *testing.T) {
 		{"SELECT url FROM logs HAVING COUNT(*) > 1", ""}, // HasAgg via having is fine? no: outputs must group
 		{"SELECT SUM(url) FROM logs", "non-numeric"},
 		{"SELECT SUM(pos) WITHIN RECORD FROM logs", "non-repeated"},
-		{"SELECT COUNT(*) FROM logs l RIGHT OUTER JOIN users u ON l.uid = u.uid", "RIGHT OUTER"},
 		{"SELECT url FROM logs, logs", "duplicate table binding"},
 		{"SELECT url FROM logs WHERE query CONTAINS 5", "CONTAINS"},
 		{"SELECT url, COUNT(*) FROM logs GROUP BY url ORDER BY score", "neither selected"},

@@ -1,0 +1,582 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/sqlparser"
+	"repro/internal/types"
+)
+
+// Shuffle planning: when a join's build side is too large to broadcast (or
+// the join is RIGHT OUTER, which the broadcast executor cannot preserve),
+// the planner emits a hash-partitioned repartition shuffle instead of a
+// star-schema broadcast. Both join inputs are scanned by ordinary map tasks
+// (derived sub-plans below), hash-partitioned on the equi-join keys, and
+// streamed to reducers that run the partitioned hash join. A grouped
+// aggregation over a large fact table repartitions partial groups by group
+// key the same way (GroupShuffle).
+
+// Options tune the physical planner's shuffle decisions. The zero value of
+// each field selects the default; negative values have per-field meanings
+// documented below.
+type Options struct {
+	// BroadcastThreshold is the catalog byte size above which a join's
+	// build side is repartitioned instead of broadcast. 0 uses the default
+	// (16 MB); negative repartitions every eligible join (tests force the
+	// distributed path this way).
+	BroadcastThreshold int64
+	// ShufflePartitions is the hash-partition fan-out. <=0 uses 4.
+	ShufflePartitions int
+	// GroupShuffleRows repartitions a grouped aggregation whose fact table
+	// reaches this many cataloged rows. 0 uses the default (1M rows);
+	// negative disables group shuffling.
+	GroupShuffleRows int64
+	// MemoryGrantBytes is each reducer operator's memory grant; exceeding
+	// it triggers grace-hash spill to storage. <=0 uses 64 MB.
+	MemoryGrantBytes int64
+}
+
+// DefaultOptions returns the planner defaults (what Plan uses).
+func DefaultOptions() Options {
+	return Options{
+		BroadcastThreshold: 16 << 20,
+		ShufflePartitions:  4,
+		GroupShuffleRows:   1 << 20,
+		MemoryGrantBytes:   64 << 20,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.BroadcastThreshold == 0 {
+		o.BroadcastThreshold = d.BroadcastThreshold
+	}
+	if o.ShufflePartitions <= 0 {
+		o.ShufflePartitions = d.ShufflePartitions
+	}
+	if o.GroupShuffleRows == 0 {
+		o.GroupShuffleRows = d.GroupShuffleRows
+	}
+	if o.MemoryGrantBytes <= 0 {
+		o.MemoryGrantBytes = d.MemoryGrantBytes
+	}
+	return o
+}
+
+// ShuffleSpec describes a plan's repartition stage. For a repartition join,
+// ProbePlan and BuildPlan are ordinary select-mode map sub-plans whose
+// output rows are laid out as [key values..., shipped columns...]; leaves
+// hash rows on the leading Keys values and stream them to reducers, which
+// run the partitioned hash join and evaluate the top plan's outputs over
+// the joined rows. For GroupShuffle there is no build side: map tasks run
+// the top plan itself (partial aggregation as usual) and leaves repartition
+// the partial groups by group key.
+type ShuffleSpec struct {
+	// Partitions is the hash fan-out; partition p of attempt rows goes to
+	// reducer p mod len(reducers).
+	Partitions int
+	// MemoryGrant bounds each reducer operator's resident bytes before
+	// grace-hash spill kicks in.
+	MemoryGrant int64
+
+	// GroupShuffle marks a repartitioned grouped aggregation (no join
+	// build side; every join field below is zero).
+	GroupShuffle bool
+
+	// Build is the repartitioned build-side table.
+	Build *BoundTable
+	// JoinType is Inner, LeftOuter (probe/fact side preserved) or
+	// RightOuter (build side preserved).
+	JoinType sqlparser.JoinType
+	// ProbePlan scans the fact table (with any remaining broadcast
+	// dimensions attached); BuildPlan scans the build table.
+	ProbePlan *PhysicalPlan
+	BuildPlan *PhysicalPlan
+	// Keys is the number of leading key columns in both map outputs.
+	Keys int
+	// ProbeCols / BuildCols name the shipped columns after the keys, in
+	// row order — the reducer's column resolution map.
+	ProbeCols []ColRef
+	BuildCols []ColRef
+	// Residual holds extra ON conditions of the repartition join, checked
+	// per candidate match before the row counts as joined. Unlike broadcast
+	// residuals these may reference any table of the query.
+	Residual []Clause
+}
+
+// PlanWith is Plan with explicit planner options.
+func PlanWith(stmt *sqlparser.SelectStmt, cat Catalog, opts Options) (*PhysicalPlan, error) {
+	a, err := Analyze(stmt, cat)
+	if err != nil {
+		return nil, err
+	}
+	return BuildWith(a, opts)
+}
+
+// BuildWith turns an analyzed query into a physical plan under the given
+// planner options, choosing broadcast vs repartition per join.
+func BuildWith(a *Analyzed, opts Options) (*PhysicalPlan, error) {
+	opts = opts.withDefaults()
+	build, rightOuter, err := chooseBuild(a, opts)
+	if err != nil {
+		return nil, err
+	}
+	if build != nil {
+		p, err := buildShuffleJoin(a, opts, build)
+		if err != nil && !rightOuter {
+			// Size-triggered repartition that cannot be planned falls back
+			// to broadcast; RIGHT OUTER has no broadcast fallback.
+			return Build(a)
+		}
+		return p, err
+	}
+	p, err := Build(a)
+	if err != nil {
+		return nil, err
+	}
+	if opts.GroupShuffleRows > 0 && p.Mode == ModeAgg && len(p.GroupBy) > 0 &&
+		p.Fact().Meta.Rows() >= opts.GroupShuffleRows {
+		p.Shuffle = &ShuffleSpec{
+			GroupShuffle: true,
+			Partitions:   opts.ShufflePartitions,
+			MemoryGrant:  opts.MemoryGrantBytes,
+		}
+	}
+	return p, nil
+}
+
+// chooseBuild picks the repartitioned build side: the RIGHT OUTER joined
+// table when present (mandatory — the broadcast executor only preserves the
+// fact side), otherwise the largest dimension over the broadcast threshold
+// that has at least one usable equi-join key.
+func chooseBuild(a *Analyzed, opts Options) (*BoundTable, bool, error) {
+	var ro *BoundTable
+	for _, j := range a.Stmt.Joins {
+		if j.Type != sqlparser.JoinRightOuter {
+			continue
+		}
+		if ro != nil {
+			return nil, false, fmt.Errorf("plan: at most one RIGHT OUTER JOIN is supported")
+		}
+		for _, bt := range a.Tables {
+			if bt.Ref.Binding() == j.Table.Binding() {
+				ro = bt
+			}
+		}
+	}
+	if ro != nil {
+		if countEquiKeys(a, ro) == 0 {
+			return nil, true, fmt.Errorf("plan: RIGHT OUTER JOIN %q needs at least one equi-join key", ro.Ref.Binding())
+		}
+		if hasWithinAgg(a) {
+			return nil, true, fmt.Errorf("plan: RIGHT OUTER JOIN cannot be combined with WITHIN aggregates")
+		}
+		return ro, true, nil
+	}
+	if hasWithinAgg(a) {
+		return nil, false, nil // WITHIN needs leaf-local repeated columns
+	}
+	var best *BoundTable
+	for _, bt := range a.Tables[1:] {
+		if opts.BroadcastThreshold >= 0 && bt.Meta.Bytes() <= opts.BroadcastThreshold {
+			continue
+		}
+		if countEquiKeys(a, bt) == 0 {
+			continue
+		}
+		if best == nil || bt.Meta.Bytes() > best.Meta.Bytes() {
+			best = bt
+		}
+	}
+	return best, false, nil
+}
+
+// countEquiKeys counts usable `probe.col = build.col` keys: from the ON
+// clause for explicitly joined tables, from top-level WHERE conjuncts for
+// comma tables (mirroring Build's implicit-join-key extraction).
+func countEquiKeys(a *Analyzed, build *BoundTable) int {
+	bind := build.Ref.Binding()
+	n := 0
+	if wasJoined(a.Stmt, build.Ref) {
+		for _, j := range a.Stmt.Joins {
+			if j.Table.Binding() != bind || j.On == nil {
+				continue
+			}
+			for _, cl := range ToCNF(j.On).Clauses {
+				if ok, _, _ := shuffleEquiKey(cl, bind); ok {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if a.Where != nil {
+		for _, cl := range ToCNF(a.Where).Clauses {
+			if ok, _, _ := shuffleEquiKey(cl, bind); ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// shuffleEquiKey recognizes `probe.col = build.col` (either operand order)
+// where the probe side is any non-build binding — unlike equiJoinKey, the
+// probe column need not belong to the fact table, which is what lifts the
+// star-schema (fact-dimension only) restriction for repartitioned joins.
+func shuffleEquiKey(cl Clause, buildBind string) (bool, sqlparser.Expr, string) {
+	if len(cl.Atoms) != 0 || len(cl.Opaque) != 1 {
+		return false, nil, ""
+	}
+	b, ok := cl.Opaque[0].(*sqlparser.BinaryExpr)
+	if !ok || b.Op != sqlparser.OpEq {
+		return false, nil, ""
+	}
+	l, lok := b.L.(*sqlparser.ColumnRef)
+	r, rok := b.R.(*sqlparser.ColumnRef)
+	if !lok || !rok {
+		return false, nil, ""
+	}
+	switch {
+	case l.Table != buildBind && r.Table == buildBind:
+		return true, l, r.Column
+	case r.Table != buildBind && l.Table == buildBind:
+		return true, r, l.Column
+	default:
+		return false, nil, ""
+	}
+}
+
+// buildShuffleJoin plans a repartitioned join with build as the build side.
+func buildShuffleJoin(a *Analyzed, opts Options, build *BoundTable) (*PhysicalPlan, error) {
+	p := &PhysicalPlan{A: a, ScanLimit: -1}
+	if a.HasAgg {
+		p.Mode = ModeAgg
+	}
+	factBind := a.Fact().Ref.Binding()
+	buildBind := build.Ref.Binding()
+	sh := &ShuffleSpec{
+		Partitions:  opts.ShufflePartitions,
+		MemoryGrant: opts.MemoryGrantBytes,
+		Build:       build,
+		JoinType:    sqlparser.JoinInner,
+	}
+	p.Shuffle = sh
+
+	// Broadcast skeletons for every non-build dimension; these ride along
+	// inside the probe-side map plan exactly as in a star plan.
+	dimOf := make(map[string]*DimPlan)
+	for _, bt := range a.Tables[1:] {
+		if bt == build {
+			continue
+		}
+		d := &DimPlan{Table: bt, Type: sqlparser.JoinInner}
+		p.Dims = append(p.Dims, d)
+		dimOf[bt.Ref.Binding()] = d
+	}
+
+	var probeKeys []sqlparser.Expr
+	var buildKeys []string
+	var buildFilter CNF
+	for _, j := range a.Stmt.Joins {
+		bind := j.Table.Binding()
+		if bind == buildBind {
+			sh.JoinType = j.Type
+			if j.Type == sqlparser.JoinCross {
+				return nil, fmt.Errorf("plan: cannot repartition a CROSS JOIN against %q", buildBind)
+			}
+			for _, cl := range ToCNF(j.On).Clauses {
+				if ok, pk, bk := shuffleEquiKey(cl, buildBind); ok {
+					probeKeys = append(probeKeys, pk)
+					buildKeys = append(buildKeys, bk)
+					continue
+				}
+				sh.Residual = append(sh.Residual, cl)
+			}
+			continue
+		}
+		d := dimOf[bind]
+		d.Type = j.Type
+		if j.Type == sqlparser.JoinRightOuter {
+			return nil, fmt.Errorf("plan: at most one RIGHT OUTER JOIN is supported")
+		}
+		if j.On == nil {
+			continue
+		}
+		for _, cl := range ToCNF(j.On).Clauses {
+			if ok, fk, dk := equiJoinKey(cl, factBind, bind); ok {
+				d.FactKeys = append(d.FactKeys, fk)
+				d.DimKeys = append(d.DimKeys, dk)
+				continue
+			}
+			if err := clauseWithin(cl, factBind, bind); err != nil {
+				return nil, fmt.Errorf("plan: JOIN ON for %q: %w", bind, err)
+			}
+			d.Residual = append(d.Residual, cl)
+		}
+	}
+
+	// WHERE routing. Pushing a clause below the join is only sound when the
+	// tables it references are on a preserved-as-scanned side: a clause over
+	// the null-extended side must see the NULLs, so it stays a reducer-side
+	// post filter.
+	var probeFilter CNF
+	var probePost []Clause
+	where := ToCNF(a.Where)
+	for _, cl := range where.Clauses {
+		refsBuild := clauseRefsTable(cl, buildBind)
+		switch {
+		case !refsBuild:
+			if sh.JoinType == sqlparser.JoinRightOuter {
+				// Probe columns are null-extended for unmatched build rows;
+				// the clause must run after that extension.
+				p.Post = append(p.Post, cl)
+				continue
+			}
+			if onlyTable(cl, factBind) {
+				probeFilter.Clauses = append(probeFilter.Clauses, cl)
+				continue
+			}
+			claimed := false
+			for _, d := range p.Dims {
+				if wasJoined(a.Stmt, d.Table.Ref) {
+					continue
+				}
+				if ok, fk, dk := equiJoinKey(cl, factBind, d.Table.Ref.Binding()); ok {
+					d.FactKeys = append(d.FactKeys, fk)
+					d.DimKeys = append(d.DimKeys, dk)
+					claimed = true
+					break
+				}
+			}
+			if !claimed {
+				probePost = append(probePost, cl)
+			}
+		case onlyTable(cl, buildBind):
+			if sh.JoinType == sqlparser.JoinLeftOuter {
+				p.Post = append(p.Post, cl)
+			} else {
+				buildFilter.Clauses = append(buildFilter.Clauses, cl)
+			}
+		default:
+			if !wasJoined(a.Stmt, build.Ref) {
+				if ok, pk, bk := shuffleEquiKey(cl, buildBind); ok {
+					probeKeys = append(probeKeys, pk)
+					buildKeys = append(buildKeys, bk)
+					continue
+				}
+			}
+			p.Post = append(p.Post, cl)
+		}
+	}
+	if len(probeKeys) == 0 {
+		return nil, fmt.Errorf("plan: repartition join against %q has no equi-join key", buildBind)
+	}
+	for _, d := range p.Dims {
+		if len(d.FactKeys) == 0 && d.Type != sqlparser.JoinCross {
+			d.Type = sqlparser.JoinCross
+		}
+		if d.Type == sqlparser.JoinLeftOuter && len(d.FactKeys) == 0 {
+			return nil, fmt.Errorf("plan: LEFT OUTER JOIN %q needs at least one equi-join key", d.Table.Ref.Binding())
+		}
+	}
+
+	if p.Mode == ModeAgg {
+		seen := make(map[string]bool)
+		for _, oi := range a.Outputs {
+			collectAggs(oi.Expr, seen, &p.Aggs)
+		}
+		p.GroupBy = a.GroupBy
+	}
+
+	// Columns the reducer evaluates over the joined row.
+	var reduceRefs []ColRef
+	for _, oi := range a.Outputs {
+		ColumnsOf(oi.Expr, &reduceRefs)
+	}
+	for _, g := range p.GroupBy {
+		ColumnsOf(g, &reduceRefs)
+	}
+	for _, cl := range p.Post {
+		clauseColumns(cl, &reduceRefs)
+	}
+	for _, cl := range sh.Residual {
+		clauseColumns(cl, &reduceRefs)
+	}
+	for _, r := range reduceRefs {
+		if r.Table == buildBind {
+			addCol(&sh.BuildCols, r)
+		} else {
+			addCol(&sh.ProbeCols, r)
+		}
+	}
+	sh.Keys = len(probeKeys)
+
+	p.SQL = a.Stmt.String()
+	p.Fingerprint, p.Literals, p.ReuseSlots = Normalize(a.Stmt)
+	p.LiteralKey = LiteralKey(p.Literals)
+
+	sh.ProbePlan = deriveMapPlan(p, probeTables(a, build), probeKeys, sh.ProbeCols, probeFilter, probePost, p.Dims, "probe")
+	buildKeyExprs := make([]sqlparser.Expr, len(buildKeys))
+	for i, bk := range buildKeys {
+		buildKeyExprs[i] = boundColRef(buildBind, bk)
+	}
+	buildBT := &BoundTable{Ref: build.Ref, Meta: build.Meta}
+	sh.BuildPlan = deriveMapPlan(p, []*BoundTable{buildBT}, buildKeyExprs, sh.BuildCols, buildFilter, nil, nil, "build")
+	// Mirror the probe scan's pruning and pushed filter at the top level so
+	// EXPLAIN and authorization see what the fact scan actually touches.
+	p.FactCols = sh.ProbePlan.FactCols
+	p.Filter = sh.ProbePlan.Filter
+	return p, nil
+}
+
+// probeTables returns the probe-side table list: fact first, then every
+// non-build dimension.
+func probeTables(a *Analyzed, build *BoundTable) []*BoundTable {
+	out := []*BoundTable{a.Fact()}
+	for _, bt := range a.Tables[1:] {
+		if bt != build {
+			out = append(out, bt)
+		}
+	}
+	return out
+}
+
+// deriveMapPlan builds one shuffle map sub-plan: a select-mode scan of
+// tables[0] (with dims attached for the probe side) whose synthetic output
+// row is [keys..., ship columns...]. Leaves execute it with the ordinary
+// task machinery; only the shuffle routing of its result rows is new.
+func deriveMapPlan(parent *PhysicalPlan, tables []*BoundTable, keys []sqlparser.Expr, ship []ColRef, filter CNF, post []Clause, dims []*DimPlan, side string) *PhysicalPlan {
+	outs := make([]OutputItem, 0, len(keys)+len(ship))
+	for i, k := range keys {
+		outs = append(outs, OutputItem{Expr: k, Name: fmt.Sprintf("__key%d", i), Type: types.Null})
+	}
+	for _, r := range ship {
+		outs = append(outs, OutputItem{
+			Expr: boundColRef(r.Table, r.Col),
+			Name: r.Col,
+			Type: tableColType(tables, r),
+		})
+	}
+	a := &Analyzed{Stmt: parent.A.Stmt, Tables: tables, Outputs: outs, Limit: -1}
+	mp := &PhysicalPlan{
+		A:           a,
+		Mode:        ModeSelect,
+		Filter:      filter,
+		Post:        post,
+		Dims:        dims,
+		ScanLimit:   -1,
+		SQL:         parent.SQL,
+		Fingerprint: parent.Fingerprint + "#shuffle-" + side,
+		LiteralKey:  parent.LiteralKey,
+	}
+	// Column pruning for the map scan.
+	var refs []ColRef
+	for _, oi := range outs {
+		ColumnsOf(oi.Expr, &refs)
+	}
+	for _, cl := range append(append([]Clause{}, filter.Clauses...), post...) {
+		clauseColumns(cl, &refs)
+	}
+	for _, d := range dims {
+		for _, fk := range d.FactKeys {
+			ColumnsOf(fk, &refs)
+		}
+		for _, dk := range d.DimKeys {
+			addCol(&refs, ColRef{Table: d.Table.Ref.Binding(), Col: dk})
+		}
+		for _, cl := range d.Residual {
+			clauseColumns(cl, &refs)
+		}
+	}
+	scanBind := tables[0].Ref.Binding()
+	dimOf := make(map[string]*DimPlan, len(dims))
+	for _, d := range dims {
+		dimOf[d.Table.Ref.Binding()] = d
+	}
+	for _, r := range refs {
+		if r.Table == scanBind {
+			mp.FactCols = appendUnique(mp.FactCols, r.Col)
+		} else if d, ok := dimOf[r.Table]; ok {
+			d.Needed = appendUnique(d.Needed, r.Col)
+		}
+	}
+	return mp
+}
+
+func boundColRef(table, col string) *sqlparser.ColumnRef {
+	return &sqlparser.ColumnRef{Parts: []string{table, col}, Table: table, Column: col}
+}
+
+func tableColType(tables []*BoundTable, r ColRef) types.Type {
+	for _, bt := range tables {
+		if bt.Ref.Binding() == r.Table {
+			if f, ok := bt.Meta.Schema.Field(r.Col); ok {
+				return f.Type
+			}
+		}
+	}
+	return types.Null
+}
+
+func clauseRefsTable(cl Clause, bind string) bool {
+	var refs []ColRef
+	clauseColumns(cl, &refs)
+	for _, r := range refs {
+		if r.Table == bind {
+			return true
+		}
+	}
+	return false
+}
+
+// hasWithinAgg reports whether the query uses WITHIN / WITHIN RECORD
+// aggregates, which evaluate over leaf-local repeated columns and cannot
+// cross a shuffle (shipped rows carry scalars only).
+func hasWithinAgg(a *Analyzed) bool {
+	for _, oi := range a.Outputs {
+		if exprHasWithin(oi.Expr) {
+			return true
+		}
+	}
+	for _, g := range a.GroupBy {
+		if exprHasWithin(g) {
+			return true
+		}
+	}
+	if a.Where != nil && exprHasWithin(a.Where) {
+		return true
+	}
+	if a.Having != nil && exprHasWithin(a.Having) {
+		return true
+	}
+	for _, j := range a.Stmt.Joins {
+		if j.On != nil && exprHasWithin(j.On) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprHasWithin(e sqlparser.Expr) bool {
+	switch x := e.(type) {
+	case *sqlparser.FuncCall:
+		if x.Within != nil || x.WithinRecord {
+			return true
+		}
+		for _, arg := range x.Args {
+			if exprHasWithin(arg) {
+				return true
+			}
+		}
+	case *sqlparser.BinaryExpr:
+		return exprHasWithin(x.L) || exprHasWithin(x.R)
+	case *sqlparser.NotExpr:
+		return exprHasWithin(x.X)
+	case *sqlparser.NegExpr:
+		return exprHasWithin(x.X)
+	case *sqlparser.IsNullExpr:
+		return exprHasWithin(x.X)
+	}
+	return false
+}

@@ -131,6 +131,8 @@ type Bill struct {
 	transferTime time.Duration
 	scanTime     time.Duration
 	otherTime    time.Duration
+	spillBytes   int64
+	spillTime    time.Duration
 }
 
 // NewBill returns an empty bill.
@@ -167,6 +169,22 @@ func (b *Bill) ChargeTransfer(m *CostModel, n int64, hops int) {
 	b.transferTime += cost
 }
 
+// ChargeSpill records an operator spilling n bytes to device d under its
+// memory grant (grace-hash partitions written out and read back). Spill I/O
+// is tracked apart from plain reads so EXPLAIN ANALYZE can attribute it, and
+// SpillBytes lets tests assert billed bytes match bytes actually written.
+func (b *Bill) ChargeSpill(m *CostModel, d DeviceClass, n int64) {
+	cost := m.ReadCost(d, n)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.bytes[d] += n
+	b.ops[d]++
+	b.time += cost
+	b.devTime[d] += cost
+	b.spillBytes += n
+	b.spillTime += cost
+}
+
 // ChargeDuration adds raw simulated time (e.g. queueing delay).
 func (b *Bill) ChargeDuration(d time.Duration) {
 	b.mu.Lock()
@@ -183,6 +201,7 @@ func (b *Bill) Add(other *Bill) {
 	other.mu.Lock()
 	bytes, ops, t := other.bytes, other.ops, other.time
 	devTime, transfer, scan, raw := other.devTime, other.transferTime, other.scanTime, other.otherTime
+	spillB, spillT := other.spillBytes, other.spillTime
 	other.mu.Unlock()
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -195,6 +214,8 @@ func (b *Bill) Add(other *Bill) {
 	b.transferTime += transfer
 	b.scanTime += scan
 	b.otherTime += raw
+	b.spillBytes += spillB
+	b.spillTime += spillT
 }
 
 // AddParallel folds bills of concurrently executed workers into b — the
@@ -215,6 +236,7 @@ func (b *Bill) AddParallel(children ...*Bill) {
 		c.mu.Lock()
 		bytes, ops, t := c.bytes, c.ops, c.time
 		devTime, transfer, scan, raw := c.devTime, c.transferTime, c.scanTime, c.otherTime
+		spillB, spillT := c.spillBytes, c.spillTime
 		c.mu.Unlock()
 		times = append(times, t)
 		b.mu.Lock()
@@ -226,6 +248,8 @@ func (b *Bill) AddParallel(children ...*Bill) {
 		b.transferTime += transfer
 		b.scanTime += scan
 		b.otherTime += raw
+		b.spillBytes += spillB
+		b.spillTime += spillT
 		b.mu.Unlock()
 	}
 	elapsed := CriticalPath(0, times...)
@@ -283,6 +307,20 @@ func (b *Bill) OtherTime() time.Duration {
 	return b.otherTime
 }
 
+// SpillBytes returns the bytes written by operator spills.
+func (b *Bill) SpillBytes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spillBytes
+}
+
+// SpillTime returns the simulated time charged to operator spill I/O.
+func (b *Bill) SpillTime() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spillTime
+}
+
 // Reset zeroes the bill.
 func (b *Bill) Reset() {
 	b.mu.Lock()
@@ -294,6 +332,8 @@ func (b *Bill) Reset() {
 	b.transferTime = 0
 	b.scanTime = 0
 	b.otherTime = 0
+	b.spillBytes = 0
+	b.spillTime = 0
 }
 
 // CriticalPath returns the simulated response time of a fan-out stage:

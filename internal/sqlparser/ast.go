@@ -163,6 +163,24 @@ func (b *BinaryExpr) String() string {
 	return "(" + b.L.String() + " " + b.Op.String() + " " + b.R.String() + ")"
 }
 
+// IsNullExpr tests an expression for SQL NULL (x IS NULL / x IS NOT NULL).
+// Unlike comparisons it never yields unknown: the result is always TRUE or
+// FALSE, which is what makes it usable for three-way TLP partitioning.
+type IsNullExpr struct {
+	X   Expr
+	Not bool // true for IS NOT NULL
+}
+
+func (*IsNullExpr) exprNode() {}
+
+// String renders with full parenthesization, like BinaryExpr.
+func (i *IsNullExpr) String() string {
+	if i.Not {
+		return "(" + i.X.String() + " IS NOT NULL)"
+	}
+	return "(" + i.X.String() + " IS NULL)"
+}
+
 // NotExpr is logical negation (NOT x or !x).
 type NotExpr struct{ X Expr }
 

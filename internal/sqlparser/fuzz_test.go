@@ -25,6 +25,11 @@ var fuzzCorpus = []string{
 	"SELECT v FROM logs WHERE !(v > 5) AND v != 3 OR v <> 4",
 	"SELECT v / 0, v * -7, v - 2.5 FROM logs WHERE b = TRUE AND n = NULL",
 	"SELECT click.pos FROM events WHERE click.pos >= 2",
+	"SELECT f.id AS a, d.name AS b FROM orders f JOIN users d ON f.k = d.k ORDER BY a, b DESC LIMIT 40",
+	"SELECT f.grp AS g, COUNT(*) AS n, SUM(f.v) AS s FROM orders f RIGHT OUTER JOIN users d ON d.k = f.k GROUP BY f.grp HAVING COUNT(*) > 3",
+	"SELECT d.cat AS g0, MIN(d.name) AS a0, AVG(f.v) AS a1 FROM orders f, users d WHERE f.k = d.k AND (f.k IS NOT NULL OR d.w > 5) GROUP BY d.cat",
+	"SELECT COUNT(d.k) FROM orders f LEFT OUTER JOIN users d ON f.k = d.k WHERE (f.v > 10 AND d.cat = 2) IS NULL",
+	"SELECT MAX(a.v) FROM t1 a JOIN t1 b ON a.k = b.k JOIN t2 c ON b.k = c.k GROUP BY a.k ORDER BY MAX(a.v) DESC",
 	"select lower, \t mixed\nFROM t1 wHeRe lower <= 9",
 	"SELECT",
 	"SELECT FROM WHERE",

@@ -342,6 +342,13 @@ func (p *parser) parseComparison() (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.acceptKw("IS") {
+		not := p.acceptKw("NOT")
+		if err := p.expectKw("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: l, Not: not}, nil
+	}
 	var op BinaryOp
 	switch t := p.peek(); {
 	case t.Kind == TokOp && t.Text == "=":

@@ -44,7 +44,7 @@ var keywords = map[string]bool{
 	"LIMIT": true, "ASC": true, "DESC": true,
 	"JOIN": true, "INNER": true, "OUTER": true, "LEFT": true,
 	"RIGHT": true, "CROSS": true, "ON": true,
-	"AND": true, "OR": true, "NOT": true,
+	"AND": true, "OR": true, "NOT": true, "IS": true,
 	"WITHIN": true, "CONTAINS": true, "RECORD": true,
 	"TRUE": true, "FALSE": true, "NULL": true,
 	"EXPLAIN": true, "ANALYZE": true,

@@ -1,0 +1,581 @@
+// Package sqltest is the correctness oracle for the differential test
+// harness: a deliberately naive single-process SQL executor that shares
+// only the expression evaluator and aggregate cells with the engine. Joins
+// are nested loops, grouping is a flat hash table, and nothing is
+// distributed, partitioned, shuffled, cached or cost-modeled — so when the
+// cluster (broadcast or repartition path, with retries and spills) and
+// this executor disagree on a query, the bug is in the machinery the
+// cluster added, which is exactly what the harness wants to catch.
+package sqltest
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/exec"
+	"repro/internal/sqlparser"
+	"repro/internal/types"
+)
+
+// Table is one input relation: a schema and its rows, fully in memory.
+type Table struct {
+	Name   string
+	Schema *types.Schema
+	Rows   []types.Row
+}
+
+// Result is the reference answer. Row order is deterministic for ordered
+// queries and insertion-ordered otherwise; differential comparisons should
+// treat unordered results as bags.
+type Result struct {
+	Columns []string
+	Rows    [][]types.Value
+}
+
+// Run parses and executes sql against the given tables.
+//
+// Supported subset (matching what the engine's analyzer accepts and the
+// query generator emits): FROM with comma cross products, INNER/CROSS/LEFT
+// OUTER/RIGHT OUTER JOIN with ON, WHERE, aggregates
+// COUNT/SUM/AVG/MIN/MAX, GROUP BY, HAVING, ORDER BY (select aliases
+// allowed), LIMIT. SELECT * and WITHIN aggregates are not supported.
+func Run(sql string, tables ...*Table) (*Result, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Explain {
+		return nil, fmt.Errorf("sqltest: EXPLAIN not supported")
+	}
+	byName := make(map[string]*Table, len(tables))
+	for _, t := range tables {
+		byName[t.Name] = t
+	}
+
+	// Resolve sources: FROM entries first (comma = cross product), then
+	// the JOIN chain, in order.
+	var sources []source
+	addRef := func(ref sqlparser.TableRef) (*Table, error) {
+		t, ok := byName[ref.Name]
+		if !ok {
+			return nil, fmt.Errorf("sqltest: unknown table %q", ref.Name)
+		}
+		b := ref.Binding()
+		for _, s := range sources {
+			if s.binding == b {
+				return nil, fmt.Errorf("sqltest: duplicate binding %q", b)
+			}
+		}
+		sources = append(sources, source{binding: b, schema: t.Schema})
+		return t, nil
+	}
+	if len(stmt.From) == 0 {
+		return nil, fmt.Errorf("sqltest: query has no FROM")
+	}
+
+	// Rewrite GROUP BY / ORDER BY select-alias references to the aliased
+	// expressions, as the engine's analyzer does, before binding columns.
+	for i, g := range stmt.GroupBy {
+		stmt.GroupBy[i] = resolveAlias(g, stmt.Items)
+	}
+	for i := range stmt.OrderBy {
+		stmt.OrderBy[i].Expr = resolveAlias(stmt.OrderBy[i].Expr, stmt.Items)
+	}
+
+	// Build the joined row set with nested loops.
+	first, err := addRef(stmt.From[0])
+	if err != nil {
+		return nil, err
+	}
+	cur := make([][]types.Row, 0, len(first.Rows))
+	for _, r := range first.Rows {
+		cur = append(cur, []types.Row{r})
+	}
+	for _, ref := range stmt.From[1:] {
+		t, err := addRef(ref)
+		if err != nil {
+			return nil, err
+		}
+		cur, err = joinStep(cur, sources, t, sqlparser.JoinCross, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, j := range stmt.Joins {
+		t, err := addRef(j.Table)
+		if err != nil {
+			return nil, err
+		}
+		if err := bindColumns(j.On, sources); err != nil {
+			return nil, err
+		}
+		cur, err = joinStep(cur, sources, t, j.Type, j.On)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Bind every remaining expression now that all sources are known.
+	for _, it := range stmt.Items {
+		if it.Star {
+			return nil, fmt.Errorf("sqltest: SELECT * not supported")
+		}
+		if err := bindColumns(it.Expr, sources); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range stmt.GroupBy {
+		if err := bindColumns(e, sources); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range stmt.OrderBy {
+		if err := bindColumns(o.Expr, sources); err != nil {
+			return nil, err
+		}
+	}
+	if err := bindColumns(stmt.Where, sources); err != nil {
+		return nil, err
+	}
+	if err := bindColumns(stmt.Having, sources); err != nil {
+		return nil, err
+	}
+
+	// WHERE.
+	if stmt.Where != nil {
+		kept := cur[:0]
+		for _, c := range cur {
+			ok, err := exec.EvalBool(stmt.Where, &rowEnv{sources: sources, rows: c})
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, c)
+			}
+		}
+		cur = kept
+	}
+
+	// Collect aggregate calls (dedup by rendered form, first-seen order).
+	var aggs []*sqlparser.FuncCall
+	seen := make(map[string]bool)
+	collect := func(e sqlparser.Expr) {
+		walkExpr(e, func(n sqlparser.Expr) {
+			if f, ok := n.(*sqlparser.FuncCall); ok && f.Within == nil && !f.WithinRecord {
+				if k := f.String(); !seen[k] {
+					seen[k] = true
+					aggs = append(aggs, f)
+				}
+			}
+		})
+	}
+	for _, it := range stmt.Items {
+		collect(it.Expr)
+	}
+	collect(stmt.Having)
+	for _, o := range stmt.OrderBy {
+		collect(o.Expr)
+	}
+
+	res := &Result{}
+	for _, it := range stmt.Items {
+		name := it.Alias
+		if name == "" {
+			name = it.Expr.String()
+		}
+		res.Columns = append(res.Columns, name)
+	}
+
+	if len(aggs) > 0 || len(stmt.GroupBy) > 0 || stmt.Having != nil {
+		return finishAgg(stmt, sources, cur, aggs, res)
+	}
+	return finishScalar(stmt, sources, cur, res)
+}
+
+// source is one resolved FROM/JOIN binding.
+type source struct {
+	binding string
+	schema  *types.Schema
+}
+
+// joinStep joins the accumulated rows against tbl (the just-appended
+// source) with nested loops. A nil entry in a combined row marks a
+// null-extended side, as produced by outer joins.
+func joinStep(cur [][]types.Row, sources []source, tbl *Table, jt sqlparser.JoinType, on sqlparser.Expr) ([][]types.Row, error) {
+	match := func(c []types.Row, r types.Row) (bool, error) {
+		if on == nil {
+			return true, nil
+		}
+		env := &rowEnv{sources: sources, rows: append(append([]types.Row{}, c...), r)}
+		return exec.EvalBool(on, env)
+	}
+	extend := func(c []types.Row, r types.Row) []types.Row {
+		out := make([]types.Row, len(c)+1)
+		copy(out, c)
+		out[len(c)] = r
+		return out
+	}
+	var next [][]types.Row
+	switch jt {
+	case sqlparser.JoinInner, sqlparser.JoinCross:
+		for _, c := range cur {
+			for _, r := range tbl.Rows {
+				ok, err := match(c, r)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					next = append(next, extend(c, r))
+				}
+			}
+		}
+	case sqlparser.JoinLeftOuter:
+		for _, c := range cur {
+			matched := false
+			for _, r := range tbl.Rows {
+				ok, err := match(c, r)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					matched = true
+					next = append(next, extend(c, r))
+				}
+			}
+			if !matched {
+				next = append(next, extend(c, nil))
+			}
+		}
+	case sqlparser.JoinRightOuter:
+		rightMatched := make([]bool, len(tbl.Rows))
+		for _, c := range cur {
+			for i, r := range tbl.Rows {
+				ok, err := match(c, r)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					rightMatched[i] = true
+					next = append(next, extend(c, r))
+				}
+			}
+		}
+		for i, r := range tbl.Rows {
+			if !rightMatched[i] {
+				next = append(next, extend(make([]types.Row, len(sources)-1), r))
+			}
+		}
+	default:
+		return nil, fmt.Errorf("sqltest: unsupported join type %v", jt)
+	}
+	return next, nil
+}
+
+// finishScalar evaluates the select list per joined row, then orders and
+// limits.
+func finishScalar(stmt *sqlparser.SelectStmt, sources []source, cur [][]types.Row, res *Result) (*Result, error) {
+	rows := make([]decoratedRow, 0, len(cur))
+	for _, c := range cur {
+		env := &rowEnv{sources: sources, rows: c}
+		d := decoratedRow{out: make([]types.Value, len(stmt.Items))}
+		for i, it := range stmt.Items {
+			v, err := exec.Eval(it.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			d.out[i] = v
+		}
+		for _, o := range stmt.OrderBy {
+			v, err := exec.Eval(o.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			d.keys = append(d.keys, v)
+		}
+		rows = append(rows, d)
+	}
+	return orderAndLimit(stmt, rows, res)
+}
+
+// finishAgg groups the joined rows, finalizes aggregate cells, applies
+// HAVING, evaluates the select list per group, then orders and limits.
+func finishAgg(stmt *sqlparser.SelectStmt, sources []source, cur [][]types.Row, aggs []*sqlparser.FuncCall, res *Result) (*Result, error) {
+	type refGroup struct {
+		keys  []types.Value
+		cells []exec.Cell
+	}
+	groups := make(map[string]*refGroup)
+	var order []string
+	for _, c := range cur {
+		env := &rowEnv{sources: sources, rows: c}
+		keys := make([]types.Value, len(stmt.GroupBy))
+		for i, g := range stmt.GroupBy {
+			v, err := exec.Eval(g, env)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		k := exec.GroupKey(keys)
+		grp, ok := groups[k]
+		if !ok {
+			grp = &refGroup{keys: keys, cells: make([]exec.Cell, len(aggs))}
+			groups[k] = grp
+			order = append(order, k)
+		}
+		for i, f := range aggs {
+			if f.Star {
+				grp.cells[i].Update(types.Value{}, true)
+				continue
+			}
+			if len(f.Args) != 1 {
+				return nil, fmt.Errorf("sqltest: aggregate %s wants one argument", f.Name)
+			}
+			v, err := exec.Eval(f.Args[0], env)
+			if err != nil {
+				return nil, err
+			}
+			grp.cells[i].Update(v, false)
+		}
+	}
+	// A global aggregation over zero rows still produces one group.
+	if len(groups) == 0 && len(stmt.GroupBy) == 0 {
+		k := exec.GroupKey(nil)
+		groups[k] = &refGroup{cells: make([]exec.Cell, len(aggs))}
+		order = append(order, k)
+	}
+
+	var rows []decoratedRow
+	for _, k := range order {
+		grp := groups[k]
+		subs := make(map[string]types.Value, len(aggs)+len(grp.keys))
+		for i, f := range aggs {
+			v, err := grp.cells[i].Final(f.Name)
+			if err != nil {
+				return nil, err
+			}
+			subs[f.String()] = v
+		}
+		for i, g := range stmt.GroupBy {
+			subs[g.String()] = grp.keys[i]
+		}
+		env := &subEnv{subs: subs}
+		if stmt.Having != nil {
+			ok, err := exec.EvalBool(stmt.Having, env)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		d := decoratedRow{out: make([]types.Value, len(stmt.Items))}
+		for i, it := range stmt.Items {
+			v, err := exec.Eval(it.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			d.out[i] = v
+		}
+		for _, o := range stmt.OrderBy {
+			v, err := exec.Eval(o.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			d.keys = append(d.keys, v)
+		}
+		rows = append(rows, d)
+	}
+	return orderAndLimit(stmt, rows, res)
+}
+
+// decoratedRow pairs an output row with its precomputed ORDER BY keys.
+type decoratedRow struct {
+	out  []types.Value
+	keys []types.Value
+}
+
+// orderAndLimit sorts decorated rows by their ORDER BY keys, applies
+// LIMIT, and fills the result.
+func orderAndLimit(stmt *sqlparser.SelectStmt, rows []decoratedRow, res *Result) (*Result, error) {
+	var sortErr error
+	if len(stmt.OrderBy) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for k, o := range stmt.OrderBy {
+				cmp, err := types.Compare(rows[i].keys[k], rows[j].keys[k])
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				if cmp == 0 {
+					continue
+				}
+				if o.Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+	if stmt.Limit >= 0 && int64(len(rows)) > stmt.Limit {
+		rows = rows[:stmt.Limit]
+	}
+	res.Rows = make([][]types.Value, len(rows))
+	for i, d := range rows {
+		res.Rows[i] = d.out
+	}
+	return res, nil
+}
+
+// rowEnv exposes one joined row to the expression evaluator. A nil
+// per-source row (outer-join null extension) yields NULL for every column
+// of that source.
+type rowEnv struct {
+	sources []source
+	rows    []types.Row
+}
+
+// Col implements exec.Env.
+func (e *rowEnv) Col(table, col string) (types.Value, error) {
+	if table != "" {
+		for i, s := range e.sources {
+			if s.binding != table {
+				continue
+			}
+			idx := s.schema.Index(col)
+			if idx < 0 {
+				return types.Value{}, fmt.Errorf("sqltest: unknown column %s.%s", table, col)
+			}
+			if i >= len(e.rows) || e.rows[i] == nil {
+				return types.NullValue(), nil
+			}
+			return e.rows[i][idx], nil
+		}
+		return types.Value{}, fmt.Errorf("sqltest: unknown binding %q", table)
+	}
+	found, fidx := -1, -1
+	for i, s := range e.sources {
+		if idx := s.schema.Index(col); idx >= 0 {
+			if found >= 0 {
+				return types.Value{}, fmt.Errorf("sqltest: ambiguous column %q", col)
+			}
+			found, fidx = i, idx
+		}
+	}
+	if found < 0 {
+		return types.Value{}, fmt.Errorf("sqltest: unknown column %q", col)
+	}
+	if found >= len(e.rows) || e.rows[found] == nil {
+		return types.NullValue(), nil
+	}
+	return e.rows[found][fidx], nil
+}
+
+// Repeated implements exec.Env; the reference subset has no repeated
+// columns.
+func (e *rowEnv) Repeated(table, col string) ([]types.Value, error) {
+	return nil, fmt.Errorf("sqltest: repeated column %s.%s unsupported", table, col)
+}
+
+// Sub implements exec.Env.
+func (e *rowEnv) Sub(sqlparser.Expr) (types.Value, bool) { return types.Value{}, false }
+
+// subEnv substitutes finalized aggregate values and group keys into
+// post-grouping expressions, mirroring the engine's master-side finalizer.
+type subEnv struct {
+	subs map[string]types.Value
+}
+
+// Col implements exec.Env: any column surviving to this point must be a
+// grouping key, which the substitution map already resolved.
+func (e *subEnv) Col(table, col string) (types.Value, error) {
+	name := col
+	if table != "" {
+		name = table + "." + col
+	}
+	return types.Value{}, fmt.Errorf("sqltest: column %s referenced outside GROUP BY", name)
+}
+
+// Repeated implements exec.Env.
+func (e *subEnv) Repeated(table, col string) ([]types.Value, error) {
+	return nil, fmt.Errorf("sqltest: repeated column %s.%s in aggregate context", table, col)
+}
+
+// Sub implements exec.Env.
+func (e *subEnv) Sub(expr sqlparser.Expr) (types.Value, bool) {
+	v, ok := e.subs[expr.String()]
+	return v, ok
+}
+
+// resolveAlias maps a bare single-part column reference that names a
+// select alias to the aliased expression (GROUP BY c / ORDER BY c).
+func resolveAlias(e sqlparser.Expr, items []sqlparser.SelectItem) sqlparser.Expr {
+	ref, ok := e.(*sqlparser.ColumnRef)
+	if !ok || len(ref.Parts) != 1 {
+		return e
+	}
+	for _, it := range items {
+		if it.Alias != "" && it.Alias == ref.Parts[0] {
+			return it.Expr
+		}
+	}
+	return e
+}
+
+// bindColumns fills ColumnRef.Table/Column from the written parts,
+// validating against the resolved sources. nil expressions are fine.
+func bindColumns(e sqlparser.Expr, sources []source) error {
+	var bindErr error
+	walkExpr(e, func(n sqlparser.Expr) {
+		ref, ok := n.(*sqlparser.ColumnRef)
+		if !ok || bindErr != nil || ref.Column != "" {
+			return
+		}
+		switch len(ref.Parts) {
+		case 1:
+			ref.Column = ref.Parts[0]
+		case 2:
+			ref.Table, ref.Column = ref.Parts[0], ref.Parts[1]
+			found := false
+			for _, s := range sources {
+				if s.binding == ref.Table {
+					found = true
+					break
+				}
+			}
+			if !found {
+				bindErr = fmt.Errorf("sqltest: unknown binding %q", ref.Table)
+			}
+		default:
+			bindErr = fmt.Errorf("sqltest: cannot bind %s", ref)
+		}
+	})
+	return bindErr
+}
+
+// walkExpr visits every node of an expression tree, parent first.
+func walkExpr(e sqlparser.Expr, fn func(sqlparser.Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *sqlparser.NegExpr:
+		walkExpr(x.X, fn)
+	case *sqlparser.NotExpr:
+		walkExpr(x.X, fn)
+	case *sqlparser.IsNullExpr:
+		walkExpr(x.X, fn)
+	case *sqlparser.BinaryExpr:
+		walkExpr(x.L, fn)
+		walkExpr(x.R, fn)
+	case *sqlparser.FuncCall:
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package sqltest
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func i(v int64) types.Value  { return types.NewInt(v) }
+func s(v string) types.Value { return types.NewString(v) }
+func null() types.Value      { return types.NullValue() }
+
+func fixture() (*Table, *Table) {
+	f := &Table{
+		Name: "f",
+		Schema: types.MustSchema(
+			types.Field{Name: "id", Type: types.Int64},
+			types.Field{Name: "k", Type: types.Int64},
+			types.Field{Name: "v", Type: types.Int64},
+		),
+		Rows: []types.Row{
+			{i(1), i(10), i(100)},
+			{i(2), i(20), i(200)},
+			{i(3), null(), i(300)},
+			{i(4), i(10), i(400)},
+			{i(5), i(99), i(500)},
+		},
+	}
+	d := &Table{
+		Name: "d",
+		Schema: types.MustSchema(
+			types.Field{Name: "k", Type: types.Int64},
+			types.Field{Name: "name", Type: types.String},
+		),
+		Rows: []types.Row{
+			{i(10), s("ten")},
+			{i(20), s("twenty")},
+			{i(30), s("thirty")},
+		},
+	}
+	return f, d
+}
+
+func render(t *testing.T, res *Result) string {
+	t.Helper()
+	lines := make([]string, len(res.Rows))
+	for ri, row := range res.Rows {
+		parts := make([]string, len(row))
+		for ci, v := range row {
+			parts[ci] = v.String()
+		}
+		lines[ri] = strings.Join(parts, "|")
+	}
+	return strings.Join(lines, "\n")
+}
+
+func mustRun(t *testing.T, sql string, tables ...*Table) *Result {
+	t.Helper()
+	res, err := Run(sql, tables...)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", sql, err)
+	}
+	return res
+}
+
+func TestInnerJoin(t *testing.T) {
+	f, d := fixture()
+	res := mustRun(t, "SELECT f.id, d.name FROM f JOIN d ON f.k = d.k ORDER BY f.id", f, d)
+	want := "1|\"ten\"\n2|\"twenty\"\n4|\"ten\""
+	if got := render(t, res); got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCommaJoinEqualsInnerJoin(t *testing.T) {
+	f, d := fixture()
+	a := mustRun(t, "SELECT f.id, d.name FROM f, d WHERE f.k = d.k ORDER BY f.id", f, d)
+	b := mustRun(t, "SELECT f.id, d.name FROM f JOIN d ON f.k = d.k ORDER BY f.id", f, d)
+	if render(t, a) != render(t, b) {
+		t.Fatalf("comma join diverged from JOIN ON:\n%s\nvs\n%s", render(t, a), render(t, b))
+	}
+}
+
+func TestLeftOuterJoinNullExtends(t *testing.T) {
+	f, d := fixture()
+	res := mustRun(t, "SELECT f.id, d.name FROM f LEFT OUTER JOIN d ON f.k = d.k ORDER BY f.id", f, d)
+	// Rows 3 (NULL key) and 5 (no dim match) null-extend.
+	want := "1|\"ten\"\n2|\"twenty\"\n3|NULL\n4|\"ten\"\n5|NULL"
+	if got := render(t, res); got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRightOuterJoinEmitsUnmatchedRight(t *testing.T) {
+	f, d := fixture()
+	res := mustRun(t, "SELECT f.id, d.name FROM f RIGHT OUTER JOIN d ON f.k = d.k ORDER BY d.name, f.id", f, d)
+	// d.k=30 never matches: null-extended fact side.
+	want := "1|\"ten\"\n4|\"ten\"\nNULL|\"thirty\"\n2|\"twenty\""
+	if got := render(t, res); got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestGroupByWithAggregates(t *testing.T) {
+	f, d := fixture()
+	res := mustRun(t,
+		"SELECT d.name, COUNT(*) AS c, SUM(f.v) AS sv FROM f JOIN d ON f.k = d.k GROUP BY d.name ORDER BY d.name",
+		f, d)
+	want := "\"ten\"|2|500\n\"twenty\"|1|200"
+	if got := render(t, res); got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHavingFiltersGroups(t *testing.T) {
+	f, d := fixture()
+	res := mustRun(t,
+		"SELECT d.name, COUNT(*) AS c FROM f JOIN d ON f.k = d.k GROUP BY d.name HAVING COUNT(*) > 1",
+		f, d)
+	want := "\"ten\"|2"
+	if got := render(t, res); got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestGlobalAggregateOverNoRows(t *testing.T) {
+	f, d := fixture()
+	res := mustRun(t, "SELECT COUNT(*), SUM(f.v) FROM f JOIN d ON f.k = d.k WHERE f.v > 99999", f, d)
+	// COUNT over zero rows is 0; SUM is NULL.
+	want := "0|NULL"
+	if got := render(t, res); got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestOrderByAliasAndLimit(t *testing.T) {
+	f, d := fixture()
+	res := mustRun(t, "SELECT f.id AS fid, f.v AS fv FROM f, d WHERE f.k = d.k ORDER BY fv DESC, fid LIMIT 2", f, d)
+	want := "4|400\n2|200"
+	if got := render(t, res); got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestAvgAndMinMax(t *testing.T) {
+	f, _ := fixture()
+	res := mustRun(t, "SELECT AVG(v), MIN(v), MAX(v) FROM f", f)
+	want := "300.000000|100|500"
+	got := render(t, res)
+	if !strings.HasPrefix(got, "300") || !strings.HasSuffix(got, "100|500") {
+		t.Fatalf("got %q, want AVG 300, MIN 100, MAX 500 (rendered %q)", got, want)
+	}
+}
+
+func TestIsNullPredicate(t *testing.T) {
+	f, _ := fixture()
+	res := mustRun(t, "SELECT id FROM f WHERE k IS NULL", f)
+	if got := render(t, res); got != "3" {
+		t.Fatalf("got %q, want row 3", got)
+	}
+	res = mustRun(t, "SELECT COUNT(*) FROM f WHERE k IS NOT NULL", f)
+	if got := render(t, res); got != "4" {
+		t.Fatalf("got %q, want 4", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	f, d := fixture()
+	for _, q := range []string{
+		"SELECT * FROM f",
+		"SELECT x.id FROM f",
+		"SELECT k FROM f JOIN d ON f.k = d.k", // ambiguous bare column
+		"SELECT id FROM nope",
+	} {
+		if _, err := Run(q, f, d); err == nil {
+			t.Errorf("Run(%q): expected error, got none", q)
+		}
+	}
+}

@@ -79,7 +79,21 @@ func AnalyzeCriticalPath(root *Span) *CriticalPath {
 	// rescaled to exactly execSeg so clamping above cannot break the
 	// partition.
 	scanRaw, transferRaw, otherRaw := splitExecute(root, cp)
-	scanSeg, transferSeg, otherSeg := scale3(scanRaw, transferRaw, otherRaw, execSeg)
+
+	// A repartitioned query records its keyed-frame transfer as its own
+	// pipeline stage; carve it out of the execute remainder so EXPLAIN
+	// ANALYZE attributes shuffle bytes separately from reply transfer.
+	// Non-shuffle queries have no such span and keep the classic segments.
+	shuffleSpan := root.Find("shuffle-transfer")
+	var shuffleRaw time.Duration
+	if shuffleSpan != nil {
+		shuffleRaw = shuffleSpan.Sim()
+		if shuffleRaw > otherRaw {
+			shuffleRaw = otherRaw
+		}
+		otherRaw -= shuffleRaw
+	}
+	scanSeg, transferSeg, shuffleSeg, otherSeg := scale4(scanRaw, transferRaw, shuffleRaw, otherRaw, execSeg)
 
 	scanName := "scan"
 	if cp.CriticalLeaf != "" {
@@ -91,9 +105,14 @@ func AnalyzeCriticalPath(root *Span) *CriticalPath {
 		{Name: "schedule+dispatch", Dur: schedSeg},
 		{Name: scanName, Dur: scanSeg},
 		{Name: "transfer", Dur: transferSeg},
-		{Name: "stem-merge", Dur: otherSeg},
-		{Name: "finalize", Dur: finalSeg},
 	}
+	if shuffleSpan != nil {
+		cp.Segments = append(cp.Segments, Segment{Name: "shuffle-transfer", Dur: shuffleSeg})
+	}
+	cp.Segments = append(cp.Segments,
+		Segment{Name: "stem-merge", Dur: otherSeg},
+		Segment{Name: "finalize", Dur: finalSeg},
+	)
 	return cp
 }
 
@@ -151,21 +170,22 @@ func taskLeaf(name string) string {
 	return ""
 }
 
-// scale3 rescales three raw components to sum exactly to budget,
+// scale4 rescales four raw components to sum exactly to budget,
 // preserving their proportions (integer nanoseconds; the rounding
 // remainder lands on the first component). All-zero raws put the whole
 // budget on the first (scan) component.
-func scale3(a, b, c, budget time.Duration) (time.Duration, time.Duration, time.Duration) {
+func scale4(a, b, c, d, budget time.Duration) (time.Duration, time.Duration, time.Duration, time.Duration) {
 	if budget <= 0 {
-		return 0, 0, 0
+		return 0, 0, 0, 0
 	}
-	sum := a + b + c
+	sum := a + b + c + d
 	if sum <= 0 {
-		return budget, 0, 0
+		return budget, 0, 0, 0
 	}
 	sb := time.Duration(int64(b) * int64(budget) / int64(sum))
 	sc := time.Duration(int64(c) * int64(budget) / int64(sum))
-	return budget - sb - sc, sb, sc
+	sd := time.Duration(int64(d) * int64(budget) / int64(sum))
+	return budget - sb - sc - sd, sb, sc, sd
 }
 
 // Render formats the critical path, one segment per line with its share

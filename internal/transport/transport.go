@@ -35,6 +35,11 @@ const (
 	Write
 	// Read carries analyzed data back to the requester.
 	Read
+	// Shuffle carries keyed repartition frames between shuffle stages. It
+	// shares the data lane with Write/Read (competes for DataSlots) but is
+	// counted separately so EXPLAIN ANALYZE can attribute transfer bytes to
+	// the shuffle segment.
+	Shuffle
 )
 
 // String names the class.
@@ -46,6 +51,8 @@ func (c Class) String() string {
 		return "write"
 	case Read:
 		return "read"
+	case Shuffle:
+		return "shuffle"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}
@@ -164,8 +171,8 @@ type Fabric struct {
 	interceptor Interceptor
 
 	// per-class counters
-	Msgs  [3]metrics.Counter
-	Bytes [3]metrics.Counter
+	Msgs  [4]metrics.Counter
+	Bytes [4]metrics.Counter
 }
 
 type endpoint struct {

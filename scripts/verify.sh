@@ -77,6 +77,22 @@ if awk "BEGIN{exit !($ecov < $events_cov_floor)}"; then
 fi
 echo "coverage: internal/events at ${ecov}%"
 
+# Coverage floor: internal/exec (expression evaluation, aggregation cells,
+# partitioned hash join/agg and the grace-hash spill path) gates at the
+# level set when the shuffle landed. Raise when coverage improves; never lower.
+exec_cov_floor=85.0
+echo "== coverage floor (internal/exec >= ${exec_cov_floor}%)"
+xcov=$(go test -cover ./internal/exec | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+if [ -z "$xcov" ]; then
+	echo "coverage: could not parse 'go test -cover ./internal/exec' output" >&2
+	exit 1
+fi
+if awk "BEGIN{exit !($xcov < $exec_cov_floor)}"; then
+	echo "coverage: internal/exec at ${xcov}%, below the ${exec_cov_floor}% floor" >&2
+	exit 1
+fi
+echo "coverage: internal/exec at ${xcov}%"
+
 echo "== fuzz smoke (FuzzParse, 10s)"
 go test -fuzz=FuzzParse -fuzztime=10s -run='^$' ./internal/sqlparser
 
@@ -100,5 +116,11 @@ go run ./cmd/feisu -smoke-flightrec -rows 256 -parts 2
 
 echo "== flightrec overhead smoke (recorder off vs on)"
 go run ./cmd/feisu-bench -exp flightrec -short -scale small
+
+echo "== shuffle smoke (repartition vs broadcast equivalence + journaled shuffle chain)"
+go run ./cmd/feisu -smoke-shuffle
+
+echo "== shuffle bench smoke (broadcast vs repartition vs spill across build scales)"
+go run ./cmd/feisu-bench -exp shuffle -short -scale small
 
 echo "verify: OK"
