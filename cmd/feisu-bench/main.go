@@ -42,6 +42,7 @@ var registry = []struct {
 	{"rescache", "semantic result cache: repeated-shape stream, cache off vs on", experiments.Rescache},
 	{"flightrec", "flight recorder overhead: identical stream, recorder off vs on", experiments.Flightrec},
 	{"shuffle", "general joins: broadcast vs hash repartition across build-side scales", experiments.Shuffle},
+	{"wire", "scale-out over real TCP sockets vs the simulated fabric", experiments.Wire},
 }
 
 func main() {
@@ -61,6 +62,7 @@ func main() {
 	experiments.RescacheShort = *short
 	experiments.FlightrecShort = *short
 	experiments.ShuffleShort = *short
+	experiments.WireShort = *short
 
 	if *list {
 		for _, e := range registry {

@@ -1,0 +1,495 @@
+// Command feisu-node runs one Feisu cluster role — master, stem or leaf — as
+// its own OS process, wired to its peers over the TCP transport. It is the
+// multi-process deployment of the same cluster stack the in-process System
+// drives over the simulated fabric: identical masters, stems, leaves and wire
+// payloads, with real sockets in between.
+//
+// Every process deterministically generates its own replica of the workload
+// dataset (same seeds, same bytes), standing in for a shared storage system:
+// a leaf reads the partitions the master's catalog names from its local
+// replica, as a real deployment reads shared HDFS.
+//
+//	feisu-node -role master -listen 127.0.0.1:7000 -peers ... -http 127.0.0.1:8080
+//	feisu-node -role stem   -name stem0 -listen 127.0.0.1:7001 -peers ...
+//	feisu-node -role leaf   -name leaf0 -listen 127.0.0.1:7002 -peers ...
+//
+// -smoke orchestrates a 1-master/2-stem/4-leaf cluster of child processes on
+// loopback, runs smoke queries (including a repartition join) over the
+// master's HTTP endpoint, and asserts each query's journaled submit→done
+// chain in the flight recorder.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/events"
+	execpkg "repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+type nodeConfig struct {
+	role      string
+	name      string
+	listen    string
+	peers     string
+	leaves    int
+	stems     int
+	racks     int
+	httpAddr  string
+	dataset   string
+	broadcast int64
+	beat      time.Duration
+	verbose   bool
+}
+
+func main() {
+	var cfg nodeConfig
+	flag.StringVar(&cfg.role, "role", "", "node role: master, stem or leaf")
+	flag.StringVar(&cfg.name, "name", "", `node name (defaults: "master", "stem0", "leaf0")`)
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:0", "cluster RPC listen address")
+	flag.StringVar(&cfg.peers, "peers", "", "comma-separated name=host:port for every other cluster member")
+	flag.IntVar(&cfg.leaves, "leaves", 4, "cluster-wide leaf count (topology + data placement)")
+	flag.IntVar(&cfg.stems, "stems", 2, "cluster-wide stem count")
+	flag.IntVar(&cfg.racks, "racks", 4, "leaves per rack in the simulated topology")
+	flag.StringVar(&cfg.httpAddr, "http", "", "master: HTTP listen address for /query, /healthz, /debug/events")
+	flag.StringVar(&cfg.dataset, "dataset", "join", "deterministic generated workload: join, t1 or none")
+	flag.Int64Var(&cfg.broadcast, "broadcast-threshold", 0, "planner broadcast threshold in bytes; 1 forces repartition joins, 0 keeps the default")
+	flag.DurationVar(&cfg.beat, "heartbeat", 2*time.Second, "worker heartbeat interval")
+	flag.BoolVar(&cfg.verbose, "v", false, "verbose logging")
+	smoke := flag.Bool("smoke", false, "orchestrate a 1-master/2-stem/4-leaf loopback cluster, run smoke queries, exit")
+	flag.Parse()
+
+	if *smoke {
+		os.Exit(runSmoke(cfg.verbose))
+	}
+	if err := runNode(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "feisu-node:", err)
+		os.Exit(1)
+	}
+}
+
+func defaultName(role string) string {
+	switch role {
+	case "master":
+		return "master"
+	case "stem":
+		return "stem0"
+	default:
+		return "leaf0"
+	}
+}
+
+// buildData generates the node's replica of the workload dataset and returns
+// the catalog entries (registered by the master only).
+func buildData(ctx context.Context, router *storage.Router, dataset string, leaves int) ([]*plan.TableMeta, error) {
+	switch dataset {
+	case "none":
+		return nil, nil
+	case "t1":
+		spec := workload.T1Spec()
+		spec.Partitions = leaves
+		spec.RowsPerPart = 512
+		meta, err := workload.Generate(ctx, router, spec)
+		if err != nil {
+			return nil, err
+		}
+		return []*plan.TableMeta{meta}, nil
+	case "join":
+		spec := workload.DefaultJoinSpec()
+		spec.FactPartitions = leaves
+		factMeta, dimMeta, _, _, err := workload.GenerateJoin(ctx, router, spec)
+		if err != nil {
+			return nil, err
+		}
+		return []*plan.TableMeta{factMeta, dimMeta}, nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+}
+
+func runNode(cfg nodeConfig) error {
+	if cfg.role != "master" && cfg.role != "stem" && cfg.role != "leaf" {
+		return fmt.Errorf("missing or invalid -role %q (want master, stem or leaf)", cfg.role)
+	}
+	if cfg.name == "" {
+		cfg.name = defaultName(cfg.role)
+	}
+	logf := func(format string, args ...any) {
+		if cfg.verbose {
+			fmt.Fprintf(os.Stderr, "[%s] "+format+"\n", append([]any{cfg.name}, args...)...)
+		}
+	}
+
+	model := sim.DefaultCostModel()
+	topo := transport.NewTopology()
+	leafName := func(i int) string { return fmt.Sprintf("leaf%d", i) }
+	for i := 0; i < cfg.leaves; i++ {
+		topo.Place(leafName(i), fmt.Sprintf("rack%d", i/cfg.racks), "dc1")
+	}
+	topo.Place("master", "rack-master", "dc1")
+
+	tcpNet, err := transport.NewTCP(topo, transport.Options{Model: model}, transport.TCPOptions{ListenAddr: cfg.listen})
+	if err != nil {
+		return err
+	}
+	defer tcpNet.Close()
+	for _, entry := range strings.Split(cfg.peers, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(entry, "=")
+		if !ok {
+			return fmt.Errorf("bad -peers entry %q (want name=host:port)", entry)
+		}
+		tcpNet.AddPeer(name, addr)
+	}
+	logf("cluster RPC on %s", tcpNet.Addr())
+
+	// Each process holds an identical deterministic replica of the dataset
+	// (same seeds → same bytes), standing in for shared storage.
+	hdfs := storage.NewHDFS("hdfs", model)
+	ffs := storage.NewFatman("ffs", model)
+	router := storage.NewRouter(storage.NewMemFS("", model))
+	router.Register(hdfs)
+	router.Register(ffs)
+	for i := 0; i < cfg.leaves; i++ {
+		rack := fmt.Sprintf("rack%d", i/cfg.racks)
+		hdfs.AddNode(leafName(i), rack)
+		ffs.AddNode(leafName(i), rack)
+	}
+	ctx := context.Background()
+	metas, err := buildData(ctx, router, cfg.dataset, cfg.leaves)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+
+	rec := events.New(4096)
+	reg := metrics.NewRegistry()
+
+	var httpSrv *http.Server
+	switch cfg.role {
+	case "master":
+		m := cluster.NewMaster(cluster.MasterConfig{
+			Name:           cfg.name,
+			Fabric:         tcpNet,
+			Router:         router,
+			Model:          model,
+			MaxQueryBytes:  1 << 20,
+			LivenessWindow: time.Minute,
+			Metrics:        reg,
+			Events:         rec,
+			Planner:        plan.Options{BroadcastThreshold: cfg.broadcast},
+		})
+		for _, meta := range metas {
+			if err := m.RegisterTable(ctx, meta); err != nil {
+				return fmt.Errorf("catalog: %w", err)
+			}
+		}
+		if cfg.httpAddr != "" {
+			srv, err := serveHTTP(cfg.httpAddr, m, rec, logf)
+			if err != nil {
+				return err
+			}
+			httpSrv = srv
+		}
+	case "stem":
+		st := &cluster.StemServer{Name: cfg.name, Fabric: tcpNet, Router: router, Model: model, Events: rec}
+		st.Register()
+		st.Start("master", cfg.beat)
+		defer st.Stop()
+	case "leaf":
+		idx := core.New(core.Options{Model: model})
+		leaf := &cluster.LeafServer{
+			Name:   cfg.name,
+			Fabric: tcpNet,
+			Reader: execpkg.NewStoreReader(router),
+			Index:  idx,
+			Router: router,
+			Model:  model,
+			Events: rec,
+			// Spill stays off across processes: each node's storage replica
+			// is local, so a spilled partial written here could not be read
+			// back by a stem in another process.
+		}
+		leaf.Register()
+		leaf.Start("master", cfg.beat)
+		defer leaf.Stop()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	logf("shutting down")
+	if httpSrv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(sctx)
+	}
+	return nil
+}
+
+// --- master HTTP surface ---------------------------------------------------
+
+type queryResponse struct {
+	QueryID string     `json:"queryID"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Wall    string     `json:"wall"`
+	Sim     string     `json:"sim"`
+	Tasks   int        `json:"tasks"`
+	// Shuffled reports whether the query ran through the repartition
+	// shuffle (hash-partitioned map tasks feeding stem reducers).
+	Shuffled bool `json:"shuffled"`
+}
+
+type healthResponse struct {
+	Alive    int      `json:"alive"`
+	Degraded int      `json:"degraded"`
+	Dead     int      `json:"dead"`
+	Nodes    []string `json:"nodes"`
+}
+
+func serveHTTP(addr string, m *cluster.Master, rec *events.Recorder, logf func(string, ...any)) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("http listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		sql := r.URL.Query().Get("sql")
+		if sql == "" {
+			http.Error(w, "missing ?sql=", http.StatusBadRequest)
+			return
+		}
+		res, stats, err := m.Submit(r.Context(), sql, cluster.QueryOptions{Trace: true})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp := queryResponse{Columns: res.Columns, Rows: make([][]string, len(res.Rows))}
+		for i, row := range res.Rows {
+			cells := make([]string, len(row))
+			for j, v := range row {
+				cells[j] = v.String()
+			}
+			resp.Rows[i] = cells
+		}
+		if stats != nil {
+			resp.QueryID = stats.QueryID
+			resp.Wall = stats.WallTime.String()
+			resp.Sim = stats.SimTime.String()
+			resp.Tasks = stats.Tasks
+			resp.Shuffled = stats.Trace != nil && len(stats.Trace.FindAll("shuffle-")) > 0
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := m.Health()
+		resp := healthResponse{Alive: h.Alive, Degraded: h.Degraded, Dead: h.Dead}
+		for _, n := range h.Nodes {
+			resp.Nodes = append(resp.Nodes, n.Name)
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, rec.Events())
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	logf("http on %s", ln.Addr())
+	return srv, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// --- smoke orchestration ---------------------------------------------------
+
+// freeAddr reserves an ephemeral loopback port and returns it. The listener
+// is closed before the child binds, which is racy in principle; on loopback
+// in CI the window is negligible and a collision fails loudly.
+func freeAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// runSmoke boots a 1-master/2-stem/4-leaf cluster of feisu-node child
+// processes on loopback, runs three queries (scan-agg, group-by and a forced
+// repartition join) over the master's HTTP endpoint, and asserts each query's
+// journaled submit→done chain. Exit code 0 on success.
+func runSmoke(verbose bool) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "smoke: FAIL: "+format+"\n", args...)
+		return 1
+	}
+	bin, err := os.Executable()
+	if err != nil {
+		return fail("executable: %v", err)
+	}
+
+	roles := map[string]string{"master": "master", "stem0": "stem", "stem1": "stem", "leaf0": "leaf", "leaf1": "leaf", "leaf2": "leaf", "leaf3": "leaf"}
+	order := []string{"master", "stem0", "stem1", "leaf0", "leaf1", "leaf2", "leaf3"}
+	addrs := make(map[string]string, len(order))
+	for _, n := range order {
+		a, err := freeAddr()
+		if err != nil {
+			return fail("port: %v", err)
+		}
+		addrs[n] = a
+	}
+	httpAddr, err := freeAddr()
+	if err != nil {
+		return fail("port: %v", err)
+	}
+	var peerList []string
+	for _, n := range order {
+		peerList = append(peerList, n+"="+addrs[n])
+	}
+	peers := strings.Join(peerList, ",")
+
+	var procs []*exec.Cmd
+	stop := func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				_ = p.Process.Signal(syscall.SIGTERM)
+			}
+		}
+		for _, p := range procs {
+			_ = p.Wait()
+		}
+	}
+	defer stop()
+	for _, n := range order {
+		args := []string{
+			"-role", roles[n], "-name", n, "-listen", addrs[n], "-peers", peers,
+			"-leaves", "4", "-stems", "2", "-dataset", "join", "-heartbeat", "500ms",
+		}
+		if n == "master" {
+			args = append(args, "-http", httpAddr, "-broadcast-threshold", "1")
+		}
+		if verbose {
+			args = append(args, "-v")
+		}
+		cmd := exec.Command(bin, args...)
+		if verbose {
+			cmd.Stdout = os.Stderr
+			cmd.Stderr = os.Stderr
+		}
+		if err := cmd.Start(); err != nil {
+			return fail("start %s: %v", n, err)
+		}
+		procs = append(procs, cmd)
+	}
+
+	// Wait for every worker (2 stems + 4 leaves) to heartbeat in.
+	base := "http://" + httpAddr
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var h healthResponse
+		if err := getJSON(base+"/healthz", &h); err == nil && h.Alive >= 6 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fail("cluster did not become healthy within 30s")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Fprintln(os.Stderr, "smoke: cluster healthy (1 master, 2 stems, 4 leaves)")
+
+	queries := []string{
+		"SELECT COUNT(*) FROM orders",
+		"SELECT grp, SUM(v) FROM orders GROUP BY grp",
+		// -broadcast-threshold 1 forces this join through the repartition
+		// shuffle: map tasks on leaves, hash frames to stem reducers.
+		"SELECT users.cat, COUNT(*) FROM orders JOIN users ON orders.k = users.k GROUP BY users.cat",
+	}
+	var ids []string
+	for i, q := range queries {
+		var resp queryResponse
+		if err := getJSON(base+"/query?sql="+urlQueryEscape(q), &resp); err != nil {
+			return fail("query %q: %v", q, err)
+		}
+		if len(resp.Rows) == 0 {
+			return fail("query %q returned no rows", q)
+		}
+		if resp.QueryID == "" {
+			return fail("query %q carried no query ID", q)
+		}
+		if i == 2 && !resp.Shuffled {
+			return fail("join query did not run through the repartition shuffle")
+		}
+		fmt.Fprintf(os.Stderr, "smoke: %s → %d row(s), %d task(s), wall %s, shuffled=%v\n", resp.QueryID, len(resp.Rows), resp.Tasks, resp.Wall, resp.Shuffled)
+		ids = append(ids, resp.QueryID)
+	}
+
+	// The flight recorder must journal each query's full lifecycle chain.
+	var evs []events.Event
+	if err := getJSON(base+"/debug/events", &evs); err != nil {
+		return fail("events: %v", err)
+	}
+	for _, id := range ids {
+		var submit, done uint64
+		for _, e := range evs {
+			if e.Query != id {
+				continue
+			}
+			switch e.Kind {
+			case events.QuerySubmit:
+				submit = e.Seq
+			case events.QueryDone:
+				done = e.Seq
+			}
+		}
+		if submit == 0 || done == 0 || submit >= done {
+			return fail("query %s: journaled chain broken (submit seq %d, done seq %d)", id, submit, done)
+		}
+	}
+
+	fmt.Fprintln(os.Stderr, "smoke: PASS — 3 queries over real sockets, journaled submit→done chains intact")
+	return 0
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg strings.Builder
+		_, _ = fmt.Fprintf(&msg, "status %s", resp.Status)
+		return fmt.Errorf("%s", msg.String())
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func urlQueryEscape(q string) string {
+	r := strings.NewReplacer(" ", "%20", "*", "%2A", "+", "%2B", "=", "%3D", ",", "%2C", "(", "%28", ")", "%29")
+	return r.Replace(q)
+}

@@ -23,6 +23,7 @@ package feisu
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -259,13 +260,23 @@ type Config struct {
 	// shuffle; past it the build table or group state grace-hash spills to
 	// global storage. <=0 uses 64 MB.
 	ShuffleMemoryBytes int64
+	// Transport selects the cluster RPC fabric: "sim" (default) keeps every
+	// node in-process behind the deterministic simulated fabric; "tcp" routes
+	// every cluster RPC over real loopback sockets through the wire codec.
+	// Empty falls back to the FEISU_TRANSPORT environment variable, then
+	// "sim". The two transports satisfy the same transport.Network seam, so
+	// chaos, schedulers and tests behave identically on either.
+	Transport string
 }
 
 // System is an in-process Feisu deployment.
 type System struct {
 	cfg    Config
 	model  *sim.CostModel
-	fabric *transport.Fabric
+	fabric transport.Network
+	// tcpNet is set when cfg.Transport resolved to "tcp"; retained so Close
+	// can tear down the listener and connection pools.
+	tcpNet *transport.TCP
 	router *storage.Router
 	hdfs   *storage.DFS
 	ffs    *storage.DFS
@@ -324,7 +335,25 @@ func New(cfg Config) (*System, error) {
 	}
 
 	topo := transport.NewTopology()
-	fabric := transport.NewFabric(topo, transport.Options{Model: model})
+	mode := cfg.Transport
+	if mode == "" {
+		mode = os.Getenv("FEISU_TRANSPORT")
+	}
+	var fabric transport.Network
+	var tcpNet *transport.TCP
+	switch mode {
+	case "", "sim":
+		fabric = transport.NewFabric(topo, transport.Options{Model: model})
+	case "tcp":
+		var err error
+		tcpNet, err = transport.NewTCP(topo, transport.Options{Model: model}, transport.TCPOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("feisu: tcp transport: %w", err)
+		}
+		fabric = tcpNet
+	default:
+		return nil, fmt.Errorf("feisu: unknown transport %q (want \"sim\" or \"tcp\")", mode)
+	}
 
 	var plane *chaos.Plane
 	if cfg.Chaos != nil {
@@ -357,7 +386,7 @@ func New(cfg Config) (*System, error) {
 	}
 
 	sys := &System{
-		cfg: cfg, model: model, fabric: fabric, router: router, hdfs: hdfs, ffs: ffs,
+		cfg: cfg, model: model, fabric: fabric, tcpNet: tcpNet, router: router, hdfs: hdfs, ffs: ffs,
 		metrics: metrics.NewRegistry(),
 	}
 	sys.latWall = sys.metrics.HistogramWith("feisu_query_wall_seconds")
@@ -688,6 +717,9 @@ func (s *System) Close() {
 		close(s.sweepStop)
 		s.sweepStop = nil
 	}
+	if s.tcpNet != nil {
+		s.tcpNet.Close()
+	}
 }
 
 // Router exposes the common storage layer (for loading data and advanced
@@ -699,6 +731,11 @@ func (s *System) Authority() *auth.Authority { return s.auth }
 
 // Master exposes the master for advanced control (HA, scheduler tuning).
 func (s *System) Master() *cluster.Master { return s.master }
+
+// WireTransport returns the TCP fabric when the system runs on real sockets
+// (Config.Transport "tcp"), else nil — for wire-level telemetry (listener
+// address, per-class encoded byte counters).
+func (s *System) WireTransport() *transport.TCP { return s.tcpNet }
 
 // Metrics exposes the deployment's central registry: master query counters
 // plus per-leaf task, SmartIndex and SSD-cache counters, under names like

@@ -1,0 +1,125 @@
+package cluster
+
+// Wire-codec registration for every cluster RPC payload and reply. The TCP
+// transport serializes payloads with gob behind an interface envelope, so
+// each concrete type that crosses transport.Network.Call — and every
+// concrete type reachable through an interface field inside one (the
+// sqlparser.Expr nodes) — must be registered identically in every process.
+// The payload round-trip conformance test (codec_test.go) walks this
+// registry, so adding a message type here is what puts it under test.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/sqlparser"
+	"repro/internal/transport"
+)
+
+func durationFromWire(n int64) time.Duration { return time.Duration(n) }
+
+func init() {
+	// Requests and replies, by value: the receivers type-assert value
+	// types (raw.(taskReply), raw.(stemReply), …).
+	transport.RegisterPayload(pingMsg{})
+	transport.RegisterPayload(pingReply{})
+	transport.RegisterPayload(heartbeatMsg{})
+	transport.RegisterPayload(taskMsg{})
+	transport.RegisterPayload(taskReply{})
+	transport.RegisterPayload(stemJobMsg{})
+	transport.RegisterPayload(stemReply{})
+	transport.RegisterPayload(catalogOp{})
+	transport.RegisterPayload(catalogSnapshot{})
+	transport.RegisterPayload(shuffleTaskMsg{})
+	transport.RegisterPayload(shuffleTaskReply{})
+	transport.RegisterPayload(shuffleFrameMsg{})
+	transport.RegisterPayload(shuffleEndMsg{})
+	transport.RegisterPayload(shuffleReduceMsg{})
+	transport.RegisterPayload(shuffleReduceReply{})
+	transport.RegisterPayload(shuffleCleanupMsg{})
+	transport.RegisterPayload(shuffleAck{})
+
+	// Expression nodes reachable through sqlparser.Expr interface fields
+	// (plans, CNF opaque leaves, aggregate args, group-by keys).
+	gob.Register(&sqlparser.ColumnRef{})
+	gob.Register(&sqlparser.Literal{})
+	gob.Register(&sqlparser.BinaryExpr{})
+	gob.Register(&sqlparser.IsNullExpr{})
+	gob.Register(&sqlparser.NotExpr{})
+	gob.Register(&sqlparser.NegExpr{})
+	gob.Register(&sqlparser.FuncCall{})
+}
+
+// wireStemJob is stemJobMsg's wire form. gob does not preserve pointer
+// aliasing, and every TaskSpec in a job points at the job's own
+// PhysicalPlan — naively encoding the struct would ship the plan (and its
+// broadcast dimension data) once per task. The wire form nils out aliased
+// task plans and relinks them after decode; a task plan that genuinely
+// differs from the job plan is shipped inline.
+type wireStemJob struct {
+	Plan        *plan.PhysicalPlan
+	Tasks       []plan.TaskSpec
+	SharedPlan  []bool // Tasks[i].Plan == Plan before encoding
+	Assign      map[int]string
+	QueryID     string
+	TaskTimeout int64 // time.Duration
+	PerTask     bool
+	Backup      map[int]string
+	HedgeDelay  int64 // time.Duration
+	LeafSlots   int
+}
+
+// GobEncode implements gob.GobEncoder.
+func (j stemJobMsg) GobEncode() ([]byte, error) {
+	w := wireStemJob{
+		Plan:        j.Plan,
+		Tasks:       make([]plan.TaskSpec, len(j.Tasks)),
+		SharedPlan:  make([]bool, len(j.Tasks)),
+		Assign:      j.Assign,
+		QueryID:     j.QueryID,
+		TaskTimeout: int64(j.TaskTimeout),
+		PerTask:     j.PerTask,
+		Backup:      j.Backup,
+		HedgeDelay:  int64(j.HedgeDelay),
+		LeafSlots:   j.LeafSlots,
+	}
+	for i, t := range j.Tasks {
+		if t.Plan == j.Plan && j.Plan != nil {
+			t.Plan = nil
+			w.SharedPlan[i] = true
+		}
+		w.Tasks[i] = t
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (j *stemJobMsg) GobDecode(b []byte) error {
+	var w wireStemJob
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	for i := range w.Tasks {
+		if i < len(w.SharedPlan) && w.SharedPlan[i] {
+			w.Tasks[i].Plan = w.Plan
+		}
+	}
+	*j = stemJobMsg{
+		Plan:        w.Plan,
+		Tasks:       w.Tasks,
+		Assign:      w.Assign,
+		QueryID:     w.QueryID,
+		TaskTimeout: durationFromWire(w.TaskTimeout),
+		PerTask:     w.PerTask,
+		Backup:      w.Backup,
+		HedgeDelay:  durationFromWire(w.HedgeDelay),
+		LeafSlots:   w.LeafSlots,
+	}
+	return nil
+}

@@ -21,7 +21,7 @@ import (
 // and reports load through heartbeats.
 type LeafServer struct {
 	Name   string
-	Fabric *transport.Fabric
+	Fabric transport.Network
 	Reader exec.PartitionReader
 	// Index is the node's SmartIndex / B-tree; nil disables indexing.
 	Index exec.IndexSource
@@ -129,8 +129,8 @@ func (l *LeafServer) runTask(ctx context.Context, msg taskMsg) (any, error) {
 		if err := l.Router.WriteFile(ctx, path, data); err != nil {
 			return nil, fmt.Errorf("cluster: spill to %s: %w", path, err)
 		}
-		l.Fabric.Msgs[transport.Write].Inc()
-		l.Fabric.Bytes[transport.Write].Add(int64(len(data)))
+		l.Fabric.Counters().Msgs[transport.Write].Inc()
+		l.Fabric.Counters().Bytes[transport.Write].Add(int64(len(data)))
 		reply.Result = nil
 		reply.SpillPath = path
 		reply.Size = int64(len(data))

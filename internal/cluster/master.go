@@ -36,7 +36,7 @@ var ErrDeadline = errors.New("cluster: time limit expired before enough tasks co
 // MasterConfig wires a master.
 type MasterConfig struct {
 	Name   string
-	Fabric *transport.Fabric
+	Fabric transport.Network
 	Router *storage.Router
 	Model  *sim.CostModel
 	// Authority enables the entry guard; nil runs the cluster open.

@@ -22,7 +22,7 @@ import (
 // storage when needed) and merges them bottom-up (paper §III-B).
 type StemServer struct {
 	Name   string
-	Fabric *transport.Fabric
+	Fabric transport.Network
 	// Router reads spilled results.
 	Router *storage.Router
 	// Model prices reply transfers into per-task sim times.
@@ -279,8 +279,8 @@ func (s *StemServer) attempt(ctx context.Context, job stemJobMsg, task plan.Task
 	}
 	// The result rides the read flow back up the tree; charge its
 	// transfer into the task's simulated time.
-	s.Fabric.Msgs[transport.Read].Inc()
-	s.Fabric.Bytes[transport.Read].Add(reply.Size)
+	s.Fabric.Counters().Msgs[transport.Read].Inc()
+	s.Fabric.Counters().Bytes[transport.Read].Add(reply.Size)
 	if s.Model != nil {
 		if hops := s.Fabric.Topology().Hops(leaf, s.Name); hops > 0 {
 			cost := s.Model.TransferCost(reply.Size, hops)

@@ -303,3 +303,32 @@ func TestShuffleShape(t *testing.T) {
 		t.Fatalf("memory-starved arm reported no spill:\n%s", rep)
 	}
 }
+
+func TestWireShape(t *testing.T) {
+	WireShort = true
+	defer func() { WireShort = false }()
+	rep, err := Wire(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 node counts x {sim, tcp}. Wire itself gates that sim predictions
+	// agree exactly between transports; here check the tcp arms actually
+	// moved encoded bytes and the sim arms did not.
+	if len(rep.Rows) != 4 {
+		t.Fatalf("want 4 arms, got %d:\n%s", len(rep.Rows), rep)
+	}
+	for i, row := range rep.Rows {
+		switch row[1] {
+		case "sim":
+			if row[4] != "-" {
+				t.Fatalf("row %d: sim fabric reported wire bytes:\n%s", i, rep)
+			}
+		case "tcp":
+			if row[4] == "-" || row[4] == "0/0/0/0" {
+				t.Fatalf("row %d: tcp arm moved no encoded bytes:\n%s", i, rep)
+			}
+		default:
+			t.Fatalf("row %d: unknown transport %q", i, row[1])
+		}
+	}
+}

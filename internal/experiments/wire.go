@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	feisu "repro"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// WireShort trims the wire experiment to a smoke-sized run (verify.sh).
+var WireShort bool
+
+// Wire measures scale-out over real TCP sockets against the simulated
+// fabric (fig-12-style axis, but the quantity under test is the transport):
+// the same cluster, data and query stream run once per transport at each
+// node count. The sim arm is the deterministic in-process fabric whose
+// transfer charges come from the cost model; the tcp arm routes every
+// cluster RPC — task dispatch, shuffle frames, result collection — through
+// the length-prefixed wire codec over loopback sockets. The reproduction
+// target: identical results and sim predictions on both arms, with the tcp
+// arm's wall time exposing real serialization+socket overhead, and
+// per-class encoded bytes growing with fan-out.
+func Wire(scale Scale) (*Report, error) {
+	rep := &Report{
+		ID:      "wire",
+		Title:   "Scale-out over real TCP sockets vs the simulated fabric",
+		Headers: []string{"Nodes", "Transport", "Stream wall", "Sim prediction", "Wire KB (ctl/wr/rd/shuf)"},
+		Notes: []string{
+			"same data and query stream per row pair; sim prediction is the cost model's response time and must agree across transports",
+			"wire KB is real encoded bytes on the socket per traffic class; the sim fabric moves no bytes",
+		},
+	}
+
+	sizes := []int{1, 2, 4, 8}
+	repeat := 3
+	if WireShort {
+		sizes = []int{2, 4}
+		repeat = 1
+	}
+	queries := []string{
+		"SELECT COUNT(*) FROM T1 WHERE clicks > 3 AND dwell < 250",
+		"SELECT region, SUM(clicks) FROM T1 GROUP BY region",
+		"SELECT COUNT(*) FROM T1 WHERE spam = false AND score > 0.25",
+	}
+
+	totalParts := scale.Partitions * 4
+	for _, n := range sizes {
+		var simPred [2]time.Duration
+		for mi, mode := range []string{"sim", "tcp"} {
+			sys, err := feisu.New(feisu.Config{Leaves: n, Index: feisu.IndexNone, Transport: mode})
+			if err != nil {
+				return nil, err
+			}
+			ctx := context.Background()
+			spec := workload.T1Spec()
+			spec.Partitions = totalParts
+			spec.RowsPerPart = scale.DataRowsPerPartition
+			meta, err := workload.Generate(ctx, sys.Router(), spec)
+			if err != nil {
+				sys.Close()
+				return nil, err
+			}
+			if err := sys.RegisterTable(ctx, meta); err != nil {
+				sys.Close()
+				return nil, err
+			}
+
+			var wall time.Duration
+			var sim time.Duration
+			for r := 0; r < repeat; r++ {
+				for _, q := range queries {
+					start := time.Now()
+					_, stats, err := sys.QueryStats(ctx, q)
+					if err != nil {
+						sys.Close()
+						return nil, fmt.Errorf("%s @ %d nodes: %q: %w", mode, n, q, err)
+					}
+					wall += time.Since(start)
+					sim += stats.SimTime
+				}
+			}
+			simPred[mi] = sim
+
+			wireCol := "-"
+			if w := sys.WireTransport(); w != nil {
+				kb := func(c transport.Class) int64 { return w.WireBytes[c].Value() / 1024 }
+				wireCol = fmt.Sprintf("%d/%d/%d/%d", kb(transport.Control), kb(transport.Write), kb(transport.Read), kb(transport.Shuffle))
+			}
+			sys.Close()
+			rep.Rows = append(rep.Rows, []string{
+				d(int64(n)), mode,
+				wall.Round(time.Microsecond).String(),
+				sim.Round(time.Microsecond).String(),
+				wireCol,
+			})
+		}
+		// The cost model must be transport-blind: the sim fabric and the
+		// wire codec bill the same declared sizes.
+		if simPred[0] != simPred[1] {
+			return rep, fmt.Errorf("sim prediction diverged at %d nodes: sim fabric %v vs tcp %v", n, simPred[0], simPred[1])
+		}
+	}
+	rep.Notes = append(rep.Notes, "gate: sim predictions agree exactly between transports at every node count")
+	return rep, nil
+}

@@ -1,0 +1,311 @@
+package transport
+
+// Wire codec for the TCP transport: length-prefixed frames with a version
+// byte, and a gob-based payload envelope. Every cluster RPC payload and
+// reply type must be registered via RegisterPayload before it can cross a
+// socket; the in-process Fabric passes values by reference and never
+// touches this file, which is exactly why the payload round-trip
+// conformance test exists — it catches types that only break once they
+// meet the wire.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// CodecVersion is the wire protocol version spoken by the TCP transport.
+// Both ends carry it in every frame header and refuse mismatches during the
+// handshake; bump it whenever the frame layout or payload encoding changes
+// incompatibly.
+const CodecVersion = 1
+
+const frameMagic = 0xFE15
+
+// Frame kinds.
+const (
+	frameHello    byte = iota + 1 // client → server, first frame on a conn
+	frameHelloAck                 // server → client: hosted node names
+	frameCall                     // gob(callHeader), then payload chunks
+	framePayload                  // one chunk of a payload/reply body
+	frameReply                    // empty body; reply chunks follow
+	frameError                    // [code byte] + error text
+)
+
+// Frame flags.
+const (
+	flagMore       byte = 1 << iota // another chunk of this body follows
+	flagNilPayload                  // the payload/reply is a nil interface
+)
+
+// maxFrameBody bounds one frame's body; larger bodies (big Read results,
+// shuffle frames) stream as a chain of flagMore frames so a bulk reply
+// never occupies the wire in one indivisible write.
+const maxFrameBody = 256 << 10
+
+// maxPayload bounds a reassembled payload, as a corrupted-length guard.
+const maxPayload = 1 << 30
+
+// frameHeaderLen is the fixed frame prefix:
+// magic(2) version(1) kind(1) class(1) flags(1) bodyLen(4).
+const frameHeaderLen = 10
+
+type frame struct {
+	kind  byte
+	class byte
+	flags byte
+	body  []byte
+}
+
+func writeFrame(w io.Writer, f frame) error {
+	if len(f.body) > maxFrameBody {
+		return fmt.Errorf("transport: frame body %d exceeds max %d", len(f.body), maxFrameBody)
+	}
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint16(hdr[0:2], frameMagic)
+	hdr[2] = CodecVersion
+	hdr[3] = f.kind
+	hdr[4] = f.class
+	hdr[5] = f.flags
+	binary.BigEndian.PutUint32(hdr[6:10], uint32(len(f.body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(f.body)
+	return err
+}
+
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	if m := binary.BigEndian.Uint16(hdr[0:2]); m != frameMagic {
+		return frame{}, fmt.Errorf("transport: bad frame magic %#x", m)
+	}
+	if hdr[2] != CodecVersion {
+		return frame{}, fmt.Errorf("transport: peer speaks codec version %d, want %d", hdr[2], CodecVersion)
+	}
+	n := binary.BigEndian.Uint32(hdr[6:10])
+	if n > maxFrameBody {
+		return frame{}, fmt.Errorf("transport: frame body %d exceeds max %d", n, maxFrameBody)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, err
+	}
+	return frame{kind: hdr[3], class: hdr[4], flags: hdr[5], body: body}, nil
+}
+
+// writeChunks streams body as a framePayload chain, flagMore on all but the
+// last frame.
+func writeChunks(w io.Writer, class byte, body []byte) error {
+	for {
+		n := len(body)
+		if n > maxFrameBody {
+			n = maxFrameBody
+		}
+		f := frame{kind: framePayload, class: class, body: body[:n]}
+		body = body[n:]
+		if len(body) > 0 {
+			f.flags = flagMore
+		}
+		if err := writeFrame(w, f); err != nil {
+			return err
+		}
+		if len(body) == 0 {
+			return nil
+		}
+	}
+}
+
+// readChunks reassembles a framePayload chain into one body.
+func readChunks(r io.Reader) ([]byte, error) {
+	var buf bytes.Buffer
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			return nil, err
+		}
+		if f.kind != framePayload {
+			return nil, fmt.Errorf("transport: unexpected frame kind %d inside payload stream", f.kind)
+		}
+		if buf.Len()+len(f.body) > maxPayload {
+			return nil, fmt.Errorf("transport: payload exceeds max %d", maxPayload)
+		}
+		buf.Write(f.body)
+		if f.flags&flagMore == 0 {
+			return buf.Bytes(), nil
+		}
+	}
+}
+
+// callHeader precedes a call's payload chunks on the wire.
+type callHeader struct {
+	From  string
+	To    string
+	Class int
+	Size  int64 // simulated payload size, billed server-side counters
+	// Baggage is the caller's in-process context relay ID (see baggage.go);
+	// meaningful only when the call loops back into the caller's own process.
+	Baggage uint64
+}
+
+// helloMsg opens every connection; helloAck answers with the node names
+// hosted behind the listener (discovery: dialing any peer address tells you
+// which cluster members answer there).
+type helloMsg struct {
+	Version int
+	From    string // dialing process's first registered node, informational
+}
+
+type helloAck struct {
+	Version int
+	Nodes   []string
+}
+
+// encodeGob / decodeGob serialize the fixed protocol structs (handshake,
+// call headers) — not payloads, which go through the envelope below.
+func encodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("transport: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeGob(b []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(v); err != nil {
+		return fmt.Errorf("transport: decode %T: %w", v, err)
+	}
+	return nil
+}
+
+// --- payload envelope ------------------------------------------------------
+
+// envelope wraps a payload so gob can carry any registered concrete type
+// (and nil) behind a single static wire type.
+type envelope struct {
+	P any
+}
+
+var payloadReg struct {
+	sync.Mutex
+	types map[string]reflect.Type
+}
+
+// RegisterPayload registers a payload or reply type with the wire codec.
+// Pass a value of the concrete type that crosses Call (the same concrete
+// type the receiver type-asserts): RegisterPayload(taskMsg{}),
+// RegisterPayload(&sqlparser.Literal{}), …  Registration is idempotent and
+// must happen identically in every process (init-time in the owning
+// package).
+func RegisterPayload(v any) {
+	gob.Register(v)
+	t := reflect.TypeOf(v)
+	payloadReg.Lock()
+	if payloadReg.types == nil {
+		payloadReg.types = make(map[string]reflect.Type)
+	}
+	payloadReg.types[t.String()] = t
+	payloadReg.Unlock()
+}
+
+// RegisteredPayloads returns every registered concrete payload type, sorted
+// by name. The payload round-trip conformance test walks this list.
+func RegisteredPayloads() []reflect.Type {
+	payloadReg.Lock()
+	defer payloadReg.Unlock()
+	names := make([]string, 0, len(payloadReg.types))
+	for n := range payloadReg.types {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]reflect.Type, 0, len(names))
+	for _, n := range names {
+		out = append(out, payloadReg.types[n])
+	}
+	return out
+}
+
+// EncodePayload serializes a payload (or reply) for the wire.
+func EncodePayload(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(envelope{P: v}); err != nil {
+		return nil, fmt.Errorf("transport: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePayload reverses EncodePayload.
+func DecodePayload(b []byte) (any, error) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("transport: decode payload: %w", err)
+	}
+	return env.P, nil
+}
+
+// --- wire errors -----------------------------------------------------------
+
+// Error codes carried in frameError. Typed sentinels must survive the wire:
+// the stem decides Unreachable from errors.Is(err, ErrUnknownNode), and
+// chaos accounting recognizes ErrInjected.
+const (
+	errCodeGeneric     byte = 0
+	errCodeUnknownNode byte = 1
+	errCodeInjected    byte = 2
+)
+
+func errorCode(err error) byte {
+	switch {
+	case errors.Is(err, ErrUnknownNode):
+		return errCodeUnknownNode
+	case errors.Is(err, ErrInjected):
+		return errCodeInjected
+	default:
+		return errCodeGeneric
+	}
+}
+
+// wireError reconstructs a remote error, preserving the remote message and
+// the typed sentinel (if any) for errors.Is.
+type wireError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *wireError) Error() string { return e.msg }
+func (e *wireError) Unwrap() error { return e.sentinel }
+
+func decodeError(code byte, msg string) error {
+	switch code {
+	case errCodeUnknownNode:
+		return &wireError{msg: msg, sentinel: ErrUnknownNode}
+	case errCodeInjected:
+		return &wireError{msg: msg, sentinel: ErrInjected}
+	default:
+		return &wireError{msg: msg}
+	}
+}
+
+func encodeErrorFrame(class byte, err error) frame {
+	body := append([]byte{errorCode(err)}, err.Error()...)
+	if len(body) > maxFrameBody {
+		body = body[:maxFrameBody]
+	}
+	return frame{kind: frameError, class: class, body: body}
+}
+
+func decodeErrorFrame(f frame) error {
+	if len(f.body) == 0 {
+		return &wireError{msg: "transport: remote error"}
+	}
+	return decodeError(f.body[0], string(f.body[1:]))
+}

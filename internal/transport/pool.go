@@ -1,0 +1,132 @@
+package transport
+
+// Per-peer connection pools with the paper's lane discipline (§V-C):
+// Control gets a dedicated, uncapped lane so cluster commands and
+// heartbeats are never queued behind bulk transfer, while Write/Read/
+// Shuffle share a bounded set of data-lane slots per peer — a saturated
+// peer backpressures new data calls at the pool instead of stacking
+// unbounded sockets.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// wireConn is one framed connection, dedicated to a single in-flight call
+// at a time (checkout → request/reply → return).
+type wireConn struct {
+	c net.Conn
+}
+
+// peerPool manages connections to one peer address.
+type peerPool struct {
+	addr string
+	dial func(ctx context.Context, addr string) (*wireConn, error)
+
+	dataSem chan struct{} // nil = unlimited; caps in-flight data-lane calls
+
+	mu      sync.Mutex
+	closed  bool
+	control []*wireConn            // idle control-lane conns
+	data    []*wireConn            // idle data-lane conns
+	live    map[*wireConn]struct{} // every open conn, for Close
+}
+
+func newPeerPool(addr string, dataConns int, dial func(ctx context.Context, addr string) (*wireConn, error)) *peerPool {
+	p := &peerPool{addr: addr, dial: dial, live: make(map[*wireConn]struct{})}
+	if dataConns > 0 {
+		p.dataSem = make(chan struct{}, dataConns)
+	}
+	return p
+}
+
+// get checks out a connection for one call of the given class. Data-lane
+// checkouts block (context-bounded) once the per-peer slot cap is reached;
+// control-lane checkouts never wait on data traffic.
+func (p *peerPool) get(ctx context.Context, class Class) (*wireConn, error) {
+	if class != Control && p.dataSem != nil {
+		select {
+		case p.dataSem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	wc, err := p.checkout(ctx, class)
+	if err != nil && class != Control && p.dataSem != nil {
+		<-p.dataSem
+	}
+	return wc, err
+}
+
+func (p *peerPool) checkout(ctx context.Context, class Class) (*wireConn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("transport: pool for %s closed", p.addr)
+	}
+	idle := &p.data
+	if class == Control {
+		idle = &p.control
+	}
+	if n := len(*idle); n > 0 {
+		wc := (*idle)[n-1]
+		*idle = (*idle)[:n-1]
+		p.mu.Unlock()
+		return wc, nil
+	}
+	p.mu.Unlock()
+
+	wc, err := p.dial(ctx, p.addr)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		wc.c.Close()
+		return nil, fmt.Errorf("transport: pool for %s closed", p.addr)
+	}
+	p.live[wc] = struct{}{}
+	p.mu.Unlock()
+	return wc, nil
+}
+
+// put returns a connection after a call. A broken conn (any framing or I/O
+// error mid-call) is closed rather than reused. The data-lane slot is
+// released either way — the cap bounds in-flight calls, not idle sockets.
+func (p *peerPool) put(wc *wireConn, class Class, broken bool) {
+	p.mu.Lock()
+	if broken || p.closed {
+		delete(p.live, wc)
+		p.mu.Unlock()
+		wc.c.Close()
+	} else {
+		if class == Control {
+			p.control = append(p.control, wc)
+		} else {
+			p.data = append(p.data, wc)
+		}
+		p.mu.Unlock()
+	}
+	if class != Control && p.dataSem != nil {
+		<-p.dataSem
+	}
+}
+
+// close tears down every connection, idle or in flight.
+func (p *peerPool) close() {
+	p.mu.Lock()
+	p.closed = true
+	conns := make([]*wireConn, 0, len(p.live))
+	for wc := range p.live {
+		conns = append(conns, wc)
+	}
+	p.live = make(map[*wireConn]struct{})
+	p.control, p.data = nil, nil
+	p.mu.Unlock()
+	for _, wc := range conns {
+		wc.c.Close()
+	}
+}

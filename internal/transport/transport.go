@@ -90,6 +90,44 @@ type Interceptor interface {
 // Handler processes one message addressed to a node.
 type Handler func(ctx context.Context, from string, payload any) (any, error)
 
+// ClassCounters tracks delivered messages and bytes per traffic class.
+// Both transports embed it so the accounting surface is identical.
+type ClassCounters struct {
+	Msgs  [4]metrics.Counter
+	Bytes [4]metrics.Counter
+}
+
+// Counters exposes the per-class counters behind the Network interface.
+func (c *ClassCounters) Counters() *ClassCounters { return c }
+
+func (c *ClassCounters) count(class Class, size int64) {
+	c.Msgs[class].Inc()
+	c.Bytes[class].Add(size)
+}
+
+// Network is the cluster messaging seam: the in-process Fabric (the
+// deterministic test double) and the TCP wire transport both satisfy it,
+// so masters, stems and leaves are transport-agnostic.
+type Network interface {
+	// Call delivers a message and waits for the reply. size is the
+	// simulated payload size in bytes, fed to the cost model and counters.
+	Call(ctx context.Context, from, to string, class Class, payload any, size int64) (any, error)
+	// Register attaches a handler to a node name.
+	Register(node string, h Handler)
+	// Deregister removes a node (server crash).
+	Deregister(node string)
+	// SetDown marks a node unreachable without removing it.
+	SetDown(node string, down bool)
+	// SetInterceptor installs (or, with nil, removes) the fault hook.
+	SetInterceptor(i Interceptor)
+	// Topology returns the placement map used for hop accounting.
+	Topology() *Topology
+	// Nodes returns the registered node names (live and down).
+	Nodes() []string
+	// Counters returns the per-class delivery counters.
+	Counters() *ClassCounters
+}
+
 // Topology records node placement for hop counts and locality decisions.
 type Topology struct {
 	mu     sync.RWMutex
@@ -161,6 +199,12 @@ type Options struct {
 	DataSlots int
 }
 
+// Both transports satisfy the seam.
+var (
+	_ Network = (*Fabric)(nil)
+	_ Network = (*TCP)(nil)
+)
+
 // Fabric connects named endpoints.
 type Fabric struct {
 	opt  Options
@@ -168,17 +212,18 @@ type Fabric struct {
 
 	mu          sync.RWMutex
 	nodes       map[string]*endpoint
+	gen         uint64 // bumped on every Register; stamps endpoints
 	interceptor Interceptor
 
 	// per-class counters
-	Msgs  [4]metrics.Counter
-	Bytes [4]metrics.Counter
+	ClassCounters
 }
 
 type endpoint struct {
 	handler Handler
 	slots   chan struct{} // nil when unlimited
 	down    bool
+	gen     uint64 // registration generation; a restart gets a new one
 }
 
 // NewFabric returns a fabric over the topology.
@@ -192,13 +237,18 @@ func NewFabric(topo *Topology, opt Options) *Fabric {
 // Topology returns the fabric's topology.
 func (f *Fabric) Topology() *Topology { return f.topo }
 
-// Register attaches a handler to a node name.
+// Register attaches a handler to a node name. Re-registering a name (a
+// restarted server) installs a fresh endpoint with a new generation; calls
+// that snapshotted the previous endpoint fail instead of reaching the dead
+// handler.
 func (f *Fabric) Register(node string, h Handler) {
 	ep := &endpoint{handler: h}
 	if f.opt.DataSlots > 0 {
 		ep.slots = make(chan struct{}, f.opt.DataSlots)
 	}
 	f.mu.Lock()
+	f.gen++
+	ep.gen = f.gen
 	f.nodes[node] = ep
 	f.mu.Unlock()
 }
@@ -272,21 +322,50 @@ func (f *Fabric) Call(ctx context.Context, from, to string, class Class, payload
 		}
 	}
 
-	f.Msgs[class].Inc()
-	f.Bytes[class].Add(size)
-	if b := storage.BillFrom(ctx); b != nil && f.opt.Model != nil {
-		if hops := f.topo.Hops(from, to); hops > 0 {
-			b.ChargeTransfer(f.opt.Model, size, hops)
-		}
-	}
+	deliveries := 1
 	if duplicate {
-		// At-least-once retransmission: the first delivery's reply is lost,
-		// the duplicate's reply is the one the caller sees.
-		f.Msgs[class].Inc()
-		f.Bytes[class].Add(size)
-		if _, err := ep.handler(ctx, from, payload); err != nil {
-			return nil, err
+		// At-least-once retransmission: both copies cross the wire, so both
+		// count against the class counters and the transfer bill.
+		deliveries = 2
+	}
+	var (
+		reply     any
+		lastErr   error
+		delivered bool
+	)
+	for i := 0; i < deliveries; i++ {
+		f.count(class, size)
+		if b := storage.BillFrom(ctx); b != nil && f.opt.Model != nil {
+			if hops := f.topo.Hops(from, to); hops > 0 {
+				b.ChargeTransfer(f.opt.Model, size, hops)
+			}
 		}
+		r, err := f.deliver(ctx, to, ep, from, payload)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		// The surviving reply is the last successful one; an earlier failed
+		// copy must not mask it (and vice versa — one success is enough).
+		reply, delivered = r, true
+	}
+	if delivered {
+		return reply, nil
+	}
+	return nil, lastErr
+}
+
+// deliver invokes the endpoint's handler after re-checking that the very
+// endpoint snapshotted at call time is still the live registration. Without
+// the generation check a concurrent Deregister+Register (leaf restart)
+// would hand the message to the dead handler.
+func (f *Fabric) deliver(ctx context.Context, to string, ep *endpoint, from string, payload any) (any, error) {
+	f.mu.RLock()
+	cur, ok := f.nodes[to]
+	stale := !ok || cur.gen != ep.gen || cur.down
+	f.mu.RUnlock()
+	if stale {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, to)
 	}
 	return ep.handler(ctx, from, payload)
 }

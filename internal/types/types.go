@@ -8,6 +8,8 @@
 package types
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"strconv"
 	"strings"
@@ -240,6 +242,32 @@ func NewSchema(fields ...Field) (*Schema, error) {
 		s.byName[f.Name] = i
 	}
 	return s, nil
+}
+
+// GobEncode serializes only the field list; the name index is derived
+// state. Without this, gob would silently drop the unexported byName map
+// and a schema shipped over the wire transport could not resolve columns.
+func (s *Schema) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s.Fields); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode rebuilds the schema, including the name index, from the field
+// list written by GobEncode.
+func (s *Schema) GobDecode(b []byte) error {
+	var fields []Field
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&fields); err != nil {
+		return err
+	}
+	ns, err := NewSchema(fields...)
+	if err != nil {
+		return err
+	}
+	*s = *ns
+	return nil
 }
 
 // MustSchema is NewSchema that panics on error; for tests and literals.

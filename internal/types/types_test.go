@@ -1,6 +1,8 @@
 package types
 
 import (
+	"bytes"
+	"encoding/gob"
 	"testing"
 	"testing/quick"
 )
@@ -258,5 +260,33 @@ func TestSchemaString(t *testing.T) {
 	want := "a BIGINT, tags STRING REPEATED"
 	if got := s.String(); got != want {
 		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestSchemaGobRoundTrip(t *testing.T) {
+	s := MustSchema(
+		Field{Name: "a", Type: Int64},
+		Field{Name: "click.pos", Type: String, Repeated: true},
+		Field{Name: "b", Type: Float64},
+	)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	var got *Schema
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Fields) != 3 || got.Fields[1].Name != "click.pos" || !got.Fields[1].Repeated {
+		t.Fatalf("fields lost: %+v", got.Fields)
+	}
+	// The derived name index must be rebuilt, not silently dropped.
+	for i, f := range s.Fields {
+		if got.Index(f.Name) != i {
+			t.Errorf("Index(%q) = %d, want %d", f.Name, got.Index(f.Name), i)
+		}
+	}
+	if got.Index("missing") != -1 {
+		t.Error("unknown column resolved")
 	}
 }

@@ -123,4 +123,20 @@ go run ./cmd/feisu -smoke-shuffle
 echo "== shuffle bench smoke (broadcast vs repartition vs spill across build scales)"
 go run ./cmd/feisu-bench -exp shuffle -short -scale small
 
+# The TCP wire transport must be semantically invisible: the transport
+# conformance battery runs against both fabrics inside the transport package,
+# and the root differential/equivalence suites rerun with every cluster RPC
+# crossing real loopback sockets.
+echo "== transport conformance (sim + tcp fabrics, race)"
+go test -race -count=1 ./internal/transport/
+
+echo "== differential + equivalence suites over TCP (FEISU_TRANSPORT=tcp)"
+FEISU_TRANSPORT=tcp go test -count=1 -run 'TestTCPTransport|TestDifferential|TestClusterMatchesSingleNode|TestEquivalenceUnderChaos|TestMetamorphic' .
+
+echo "== multi-process smoke (1 master / 2 stems / 4 leaves as OS processes on loopback)"
+go run ./cmd/feisu-node -smoke
+
+echo "== wire bench smoke (scale-out over real sockets vs sim prediction)"
+go run ./cmd/feisu-bench -exp wire -short -scale small
+
 echo "verify: OK"
