@@ -143,6 +143,17 @@ type Config struct {
 	// IndexNoDerivation disables SmartIndex's complement/range derived
 	// answers (ablation of the paper's Fig. 7 rewriting).
 	IndexNoDerivation bool
+	// IndexHeavyHitters enables skew-aware index budgeting: each leaf's
+	// SmartIndex tracks predicate-atom heat with a space-saving sketch of
+	// this many counters, auto-pins entries for guaranteed-heavy atoms in a
+	// cache-line-striped hot tier (negations pre-materialized), and shares
+	// the LRU budget in proportion to observed heat. 0 keeps the uniform
+	// LRU of the paper.
+	IndexHeavyHitters int
+	// IndexHotShare caps the hot tier's fraction of IndexMemoryBytes
+	// (further scaled by the observed heavy-hitter mass); <=0 defaults to
+	// 0.5. Only meaningful with IndexHeavyHitters > 0.
+	IndexHotShare float64
 	// CacheBytes enables the SSD column cache per leaf; 0 disables.
 	CacheBytes int64
 	// CachePrefixes are the manually preferred paths admitted to the SSD
@@ -539,6 +550,20 @@ func New(cfg Config) (*System, error) {
 			if cfg.IndexMemoryBytes > 0 {
 				sys.metrics.GaugeWith("feisu_index_budget_bytes", leafLabel).Set(float64(cfg.IndexMemoryBytes))
 			}
+			if cfg.IndexHeavyHitters > 0 {
+				sys.metrics.RegisterGaugeFunc("feisu_smartindex_hot_entries", func() float64 {
+					entries, _, _ := si.HeatLoad()
+					return float64(entries)
+				}, leafLabel)
+				sys.metrics.RegisterGaugeFunc("feisu_smartindex_hot_bytes", func() float64 {
+					_, bytes, _ := si.HeatLoad()
+					return float64(bytes)
+				}, leafLabel)
+				sys.metrics.RegisterGaugeFunc("feisu_smartindex_hot_budget_bytes", func() float64 {
+					_, _, budget := si.HeatLoad()
+					return float64(budget)
+				}, leafLabel)
+			}
 		}
 		leaf := &cluster.LeafServer{
 			Name:           leafName(i),
@@ -649,6 +674,8 @@ func (s *System) newIndex() exec.IndexSource {
 			TTL:               s.cfg.IndexTTL,
 			Compress:          s.cfg.IndexCompress,
 			DisableDerivation: s.cfg.IndexNoDerivation,
+			HeavyHitters:      s.cfg.IndexHeavyHitters,
+			HotShare:          s.cfg.IndexHotShare,
 			Model:             s.model,
 		})
 		s.smart = append(s.smart, si)
@@ -877,6 +904,14 @@ func (s *System) IndexStats() core.Stats {
 		total.EvictedTTL += st.EvictedTTL
 		total.Bytes += st.Bytes
 		total.Entries += st.Entries
+		total.HotEntries += st.HotEntries
+		total.HotBytes += st.HotBytes
+		total.HotBudget += st.HotBudget
+		total.Promoted += st.Promoted
+		total.Demoted += st.Demoted
+		total.EvictedLRUHot += st.EvictedLRUHot
+		total.EvictedLRUCold += st.EvictedLRUCold
+		total.StripedHits += st.StripedHits
 	}
 	return total
 }

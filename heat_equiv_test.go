@@ -1,0 +1,163 @@
+package feisu
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/exec"
+	"repro/internal/workload"
+)
+
+// heatStream generates the seeded Zipf workload for the heat-vs-uniform
+// equivalence battery: hot atoms drawn with Zipf popularity, a steady slice
+// of never-repeating cold atoms (the churn the hot tier exists to survive),
+// NOT forms (complement derivation and pre-materialized negations), and
+// several result shapes so rows, groups and ordered projections are all
+// compared.
+func heatStream(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	atoms := []string{
+		"clicks > 5", "clicks <= 3", "pos = 4", "pos > 7",
+		"uid < 40000", "uid > 88000", "dwell < 120.5", "score >= 0.25",
+		"query CONTAINS 'a'", "query CONTAINS 'spam'", "region = 'bj'", "spam = FALSE",
+	}
+	zipf := rand.NewZipf(rng, 1.6, 1, uint64(len(atoms)-1))
+	churn := 0
+	out := make([]string, 0, n)
+	for len(out) < n {
+		var atom string
+		if rng.Intn(3) == 0 {
+			churn++
+			atom = fmt.Sprintf("uid > %d", 37+(churn*97)%99000)
+		} else {
+			atom = atoms[zipf.Uint64()]
+			if rng.Intn(4) == 0 {
+				atom = "NOT (" + atom + ")"
+			}
+		}
+		switch rng.Intn(4) {
+		case 0:
+			out = append(out, "SELECT COUNT(*) FROM T1 WHERE "+atom)
+		case 1:
+			out = append(out, "SELECT SUM(clicks) FROM T1 WHERE "+atom)
+		case 2:
+			out = append(out, "SELECT pos, COUNT(*) FROM T1 WHERE "+atom+" GROUP BY pos")
+		default:
+			out = append(out, "SELECT url, clicks FROM T1 WHERE "+atom+" ORDER BY url, clicks LIMIT 10")
+		}
+	}
+	return out
+}
+
+// maskHitStats zeroes the counters that legitimately differ between a
+// heat-aware and a uniform-LRU run: whether a block was answered from the
+// index changes hit/miss/read accounting but must never change what was
+// selected.
+func maskHitStats(s exec.ScanStats) exec.ScanStats {
+	s.IndexHits, s.IndexMisses, s.ColumnReads, s.ShortCircuits = 0, 0, 0, 0
+	return s
+}
+
+// runHeatStream executes the stream on a fresh system (serial scans, no
+// heartbeats — fully deterministic) and returns per-query rendered rows and
+// scan stats plus the system's final promotion count.
+func runHeatStream(t *testing.T, queries []string, heavyHitters int) (rows []string, scans []exec.ScanStats, promoted int64) {
+	t.Helper()
+	sys, err := New(Config{
+		Leaves:            4,
+		HeartbeatInterval: -1,
+		ScanWorkers:       -1,
+		IndexMemoryBytes:  2500,
+		IndexHeavyHitters: heavyHitters,
+		IndexHotShare:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ctx := context.Background()
+	spec := workload.T1Spec()
+	spec.Partitions = 4
+	spec.RowsPerPart = 256
+	meta, err := workload.Generate(ctx, sys.Router(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterTable(ctx, meta); err != nil {
+		t.Fatal(err)
+	}
+	rows = make([]string, len(queries))
+	scans = make([]exec.ScanStats, len(queries))
+	for i, q := range queries {
+		res, stats, err := sys.QueryStats(ctx, q)
+		if err != nil {
+			t.Fatalf("query %q: %v", q, err)
+		}
+		rows[i] = renderRows(res)
+		scans[i] = stats.Scan
+	}
+	return rows, scans, sys.IndexStats().Promoted
+}
+
+// TestHeatAwareMatchesUniformLRU is the tentpole equivalence invariant: the
+// same seeded Zipf workload under heat-aware budgeting returns bit-identical
+// rows and identical scan statistics (modulo index hit accounting) to the
+// uniform-LRU baseline. Heat management may only change *where* answers come
+// from, never what they are.
+func TestHeatAwareMatchesUniformLRU(t *testing.T) {
+	queries := heatStream(300, 42)
+	baseRows, baseScans, _ := runHeatStream(t, queries, 0)
+	heatRows, heatScans, promoted := runHeatStream(t, queries, 8)
+	if promoted == 0 {
+		t.Fatal("heat-aware run promoted nothing; the comparison is vacuous")
+	}
+	for i := range queries {
+		if heatRows[i] != baseRows[i] {
+			t.Fatalf("rows diverged on %q:\nheat:    %s\nuniform: %s", queries[i], heatRows[i], baseRows[i])
+		}
+		if got, want := maskHitStats(heatScans[i]), maskHitStats(baseScans[i]); got != want {
+			t.Fatalf("masked scan stats diverged on %q:\nheat:    %+v\nuniform: %+v", queries[i], got, want)
+		}
+	}
+}
+
+// TestHeatAwareEquivalenceUnderChaos runs the heat-aware configuration under
+// seeded fault injection (leaf kills, drops, read errors) and requires the
+// exact rows of the fault-free heat-aware run: retries and re-executions may
+// rebuild hot entries in any order, but results must not move.
+func TestHeatAwareEquivalenceUnderChaos(t *testing.T) {
+	queries := heatStream(60, 777)
+	heatCfg := func(c *Config) {
+		c.IndexMemoryBytes = 2500
+		c.IndexHeavyHitters = 8
+		c.IndexHotShare = 1
+		c.HedgeDelay = -1
+	}
+	baseRows, _, _ := chaosStream(t, queries, heatCfg)
+
+	for _, seed := range []int64{1, 2} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rows, _, events := chaosStream(t, queries, func(c *Config) {
+				heatCfg(c)
+				c.Chaos = chaos.Default(seed)
+				c.Chaos.Lifecycle.TickInterval = 0 // ChaosTick per query
+				c.Chaos.Lifecycle.Partition = 0
+				c.TaskTimeout = 250 * time.Millisecond
+			})
+			for i := range queries {
+				if rows[i] != baseRows[i] {
+					t.Fatalf("heat-aware chaos (seed %d) diverged on %q:\nchaos: %s\nclean: %s",
+						seed, queries[i], rows[i], baseRows[i])
+				}
+			}
+			if len(events) == 0 {
+				t.Fatal("chaos fired no faults; the equivalence run proved nothing")
+			}
+		})
+	}
+}

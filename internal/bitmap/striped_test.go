@@ -1,0 +1,254 @@
+package bitmap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// stripedPatterns builds the adversarial pattern matrix for one length:
+// uniform extremes, single bits at the edges, word-boundary stripes,
+// alternating runs, and seeded random fills at skewed densities — the shapes
+// that exercise every tag kind, the trailing partial word and the partial
+// tail stripe.
+func stripedPatterns(n int) map[string]*Bitmap {
+	pats := map[string]*Bitmap{
+		"empty": New(n),
+		"full":  NewFull(n),
+	}
+	first := New(n)
+	first.Set(0)
+	pats["first-bit"] = first
+	last := New(n)
+	last.Set(n - 1)
+	pats["last-bit"] = last
+
+	alt := New(n)
+	for i := 0; i < n; i += 2 {
+		alt.Set(i)
+	}
+	pats["alternating-bits"] = alt
+
+	// Whole words alternate all-ones / all-zeros: mixed stripes made of
+	// uniform words, plus a partial trailing word.
+	altWords := New(n)
+	for i := 0; i < n; i++ {
+		if (i/wordBits)%2 == 0 {
+			altWords.Set(i)
+		}
+	}
+	pats["alternating-words"] = altWords
+
+	// Whole stripes alternate: pure all-ones and all-zero cache lines.
+	altStripes := New(n)
+	for i := 0; i < n; i++ {
+		if (i/stripeBits)%2 == 0 {
+			altStripes.Set(i)
+		}
+	}
+	pats["alternating-stripes"] = altStripes
+
+	run := New(n)
+	for i := 0; i < (2*n+2)/3; i++ {
+		run.Set(i)
+	}
+	pats["leading-ones-run"] = run
+
+	tail := New(n)
+	for i := n / 3; i < n; i++ {
+		tail.Set(i)
+	}
+	pats["trailing-ones-run"] = tail
+
+	rng := rand.New(rand.NewSource(int64(n)))
+	for _, density := range []float64{0.01, 0.5, 0.99} {
+		b := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < density {
+				b.Set(i)
+			}
+		}
+		pats[fmt.Sprintf("random-%.0f%%", density*100)] = b
+	}
+	return pats
+}
+
+// stripedLens covers word and stripe boundaries from both sides, a lone
+// partial word, and multi-stripe sizes with and without a partial tail.
+var stripedLens = []int{1, 63, 64, 65, 511, 512, 513, 1000, 1024, 4095, 4096, 4097}
+
+func forEachPattern(t *testing.T, fn func(t *testing.T, name string, n int, b *Bitmap)) {
+	t.Helper()
+	for _, n := range stripedLens {
+		for name, b := range stripedPatterns(n) {
+			fn(t, name, n, b)
+		}
+	}
+}
+
+func TestStripedRoundTrip(t *testing.T) {
+	forEachPattern(t, func(t *testing.T, name string, n int, b *Bitmap) {
+		got := Stripe(b).ToBitmap()
+		if !got.Equal(b) {
+			t.Fatalf("%s n=%d: ToBitmap(Stripe(b)) != b", name, n)
+		}
+	})
+}
+
+func TestStripedCountAndLen(t *testing.T) {
+	forEachPattern(t, func(t *testing.T, name string, n int, b *Bitmap) {
+		s := Stripe(b)
+		if s.Len() != n {
+			t.Fatalf("%s n=%d: Len = %d", name, n, s.Len())
+		}
+		if s.Count() != b.Count() {
+			t.Fatalf("%s n=%d: Count = %d, dense %d", name, n, s.Count(), b.Count())
+		}
+	})
+}
+
+func TestStripedWordIteration(t *testing.T) {
+	forEachPattern(t, func(t *testing.T, name string, n int, b *Bitmap) {
+		s := Stripe(b)
+		for wi := range b.words {
+			if got, want := s.Word(wi), b.words[wi]; got != want {
+				t.Fatalf("%s n=%d: Word(%d) = %#x, dense %#x", name, n, wi, got, want)
+			}
+		}
+	})
+}
+
+func TestStripedCombineKernels(t *testing.T) {
+	forEachPattern(t, func(t *testing.T, name string, n int, b *Bitmap) {
+		s := Stripe(b)
+		// The destination mixes densities so every stripe kind meets set,
+		// clear and partial destination words.
+		rng := rand.New(rand.NewSource(int64(n) * 31))
+		dst := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) > 0 {
+				dst.Set(i)
+			}
+		}
+
+		and := dst.Clone()
+		s.AndInto(and)
+		wantAnd := dst.Clone()
+		wantAnd.And(b)
+		if !and.Equal(wantAnd) {
+			t.Fatalf("%s n=%d: AndInto mismatch", name, n)
+		}
+
+		andNot := dst.Clone()
+		s.AndNotInto(andNot)
+		wantAndNot := dst.Clone()
+		wantAndNot.AndNot(b)
+		if !andNot.Equal(wantAndNot) {
+			t.Fatalf("%s n=%d: AndNotInto mismatch", name, n)
+		}
+
+		or := dst.Clone()
+		s.OrInto(or)
+		wantOr := dst.Clone()
+		wantOr.Or(b)
+		if !or.Equal(wantOr) {
+			t.Fatalf("%s n=%d: OrInto mismatch", name, n)
+		}
+		// Whole-line ones fills must not leak bits past Len (the tail-stripe
+		// classification rule).
+		if or.Count() > n {
+			t.Fatalf("%s n=%d: OrInto set %d bits past length", name, n, or.Count()-n)
+		}
+	})
+}
+
+// TestStripedStoragePosInjective is the stripe-index-math guard: every mixed
+// word maps to a distinct in-range arena slot holding exactly the dense word,
+// and every uniform word maps nowhere.
+func TestStripedStoragePosInjective(t *testing.T) {
+	forEachPattern(t, func(t *testing.T, name string, n int, b *Bitmap) {
+		s := Stripe(b)
+		seen := make(map[int]int)
+		for wi := range b.words {
+			pos, ok := s.storagePos(wi)
+			if s.tags[wi/stripeWords] != stripeMixed {
+				if ok {
+					t.Fatalf("%s n=%d: uniform word %d reported stored", name, n, wi)
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("%s n=%d: mixed word %d reported unstored", name, n, wi)
+			}
+			if pos < 0 || pos >= len(s.words) {
+				t.Fatalf("%s n=%d: word %d arena pos %d out of range [0,%d)", name, n, wi, pos, len(s.words))
+			}
+			if prev, dup := seen[pos]; dup {
+				t.Fatalf("%s n=%d: words %d and %d collide at arena pos %d", name, n, prev, wi, pos)
+			}
+			seen[pos] = wi
+			if s.words[pos] != b.words[wi] {
+				t.Fatalf("%s n=%d: arena[%d] = %#x, dense word %d = %#x", name, n, pos, s.words[pos], wi, b.words[wi])
+			}
+		}
+	})
+}
+
+// TestStripedTailNeverOnes: the tail stripe is classified zeros or mixed even
+// when every valid bit is set, so uniform-stripe synthesis (Word, OrInto,
+// Count) never has to consult the tail mask.
+func TestStripedTailNeverOnes(t *testing.T) {
+	for _, n := range stripedLens {
+		if n%stripeBits == 0 {
+			continue // no partial tail stripe
+		}
+		s := Stripe(NewFull(n))
+		if last := s.tags[len(s.tags)-1]; last == stripeOnes {
+			t.Fatalf("n=%d: partial tail stripe tagged all-ones", n)
+		}
+	}
+	// A full-length all-ones bitmap may (and should) tag every stripe ones.
+	s := Stripe(NewFull(4 * stripeBits))
+	for si, tag := range s.tags {
+		if tag != stripeOnes {
+			t.Fatalf("aligned full bitmap: stripe %d tag = %d, want ones", si, tag)
+		}
+	}
+	if len(s.words) != 0 {
+		t.Fatalf("aligned full bitmap should store no arena words, got %d", len(s.words))
+	}
+}
+
+func TestStripedPanics(t *testing.T) {
+	s := Stripe(NewFull(100))
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Word(-1)", func() { s.Word(-1) })
+	mustPanic("Word(past end)", func() { s.Word(2) })
+	mustPanic("AndInto length mismatch", func() { s.AndInto(New(101)) })
+}
+
+func TestStripedSizeBytesSkewedIsCompact(t *testing.T) {
+	// A heavily skewed bitmap (the hot-predicate shape) must stripe to well
+	// under its dense footprint: uniform lines cost tag+offset only.
+	n := 64 * stripeBits
+	b := New(n)
+	for i := 0; i < stripeBits; i++ {
+		b.Set(i) // first stripe all-ones
+	}
+	b.Set(n - 1) // last stripe mixed; everything between stays zeros
+	s := Stripe(b)
+	if got, dense := s.SizeBytes(), b.SizeBytes(); got >= dense/4 {
+		t.Fatalf("skewed striped size %d not compact vs dense %d", got, dense)
+	}
+	if !s.ToBitmap().Equal(b) {
+		t.Fatal("compact form round-trip failed")
+	}
+}

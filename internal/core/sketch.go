@@ -1,0 +1,146 @@
+package core
+
+// SpaceSaving is the classic space-saving heavy-hitter sketch (Metwally,
+// Agrawal, El Abbadi: "Efficient Computation of Frequent and Top-k Elements
+// in Data Streams"), used by the SmartIndex to track predicate-atom heat
+// with k counters instead of one per distinct atom.
+//
+// Guarantees with k counters over a stream of N touches:
+//   - every key whose true frequency exceeds N/k is tracked and reported by
+//     Heavy() (no false negatives);
+//   - for every tracked key, trueCount <= Count <= trueCount + Err and
+//     Err <= N/k (the estimate overshoots by at most N/k).
+//
+// Decay halves every counter (and the stream length) so a shifting workload
+// sheds stale heat instead of being dominated by history. The sketch is not
+// itself goroutine-safe; SmartIndex drives it under its own mutex.
+type SpaceSaving struct {
+	k     int
+	items map[string]*ssItem
+	total int64
+}
+
+// ssItem is one monitored key.
+type ssItem struct {
+	key   string
+	count int64
+	err   int64 // inherited overestimate at adoption time
+}
+
+// HeavyHitter is one reported heavy key with its estimate bounds.
+type HeavyHitter struct {
+	Key   string
+	Count int64 // estimated frequency (over-estimate)
+	Err   int64 // maximum overshoot: true frequency >= Count-Err
+}
+
+// NewSpaceSaving returns a sketch with k counters (min 1).
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k < 1 {
+		k = 1
+	}
+	return &SpaceSaving{k: k, items: make(map[string]*ssItem, k)}
+}
+
+// Touch records one occurrence of key and returns its updated estimate.
+func (s *SpaceSaving) Touch(key string) int64 {
+	s.total++
+	if it, ok := s.items[key]; ok {
+		it.count++
+		return it.count
+	}
+	if len(s.items) < s.k {
+		s.items[key] = &ssItem{key: key, count: 1}
+		return 1
+	}
+	// Replace the minimum counter: the newcomer adopts min+1 with error min
+	// (it may have occurred up to min times while unmonitored).
+	min := s.minItem()
+	delete(s.items, min.key)
+	min.key = key
+	min.err = min.count
+	min.count++
+	s.items[key] = min
+	return min.count
+}
+
+// minItem returns the tracked item with the smallest count. Caller ensures
+// the sketch is non-empty. k is small (tens), so a linear scan is cheap and
+// keeps the structure allocation-free on the hot path.
+func (s *SpaceSaving) minItem() *ssItem {
+	var min *ssItem
+	for _, it := range s.items {
+		if min == nil || it.count < min.count {
+			min = it
+		}
+	}
+	return min
+}
+
+// Estimate returns the key's (count, err) bounds, or ok=false when the key
+// is not monitored (its true frequency is then at most Total()/k).
+func (s *SpaceSaving) Estimate(key string) (count, err int64, ok bool) {
+	it, found := s.items[key]
+	if !found {
+		return 0, 0, false
+	}
+	return it.count, it.err, true
+}
+
+// Total returns the (decayed) stream length N.
+func (s *SpaceSaving) Total() int64 { return s.total }
+
+// Threshold returns the heavy-hitter frequency bar N/k (at least 1).
+func (s *SpaceSaving) Threshold() int64 {
+	t := s.total / int64(s.k)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Heavy reports every tracked key whose estimate reaches the N/k bar. This
+// is a superset of the true heavy hitters: any key with true frequency
+// > N/k is guaranteed present (its counter is at least its true frequency).
+func (s *SpaceSaving) Heavy() []HeavyHitter {
+	bar := s.Threshold()
+	out := make([]HeavyHitter, 0, len(s.items))
+	for _, it := range s.items {
+		if it.count >= bar {
+			out = append(out, HeavyHitter{Key: it.key, Count: it.count, Err: it.err})
+		}
+	}
+	return out
+}
+
+// GuaranteedHeavy reports the keys whose guaranteed frequency (Count-Err)
+// reaches the N/k bar — no false positives. The SmartIndex promotes on this
+// conservative set so a near-uniform workload (where every counter is mostly
+// inherited error) reserves no hot budget.
+func (s *SpaceSaving) GuaranteedHeavy() []HeavyHitter {
+	bar := s.Threshold()
+	out := make([]HeavyHitter, 0, len(s.items))
+	for _, it := range s.items {
+		if it.count-it.err >= bar {
+			out = append(out, HeavyHitter{Key: it.key, Count: it.count, Err: it.err})
+		}
+	}
+	return out
+}
+
+// Decay halves every counter, error and the stream length, dropping keys
+// that reach zero. Relative heat is preserved; absolute history fades, so a
+// workload shift rebuilds the heavy set within ~one decay interval.
+func (s *SpaceSaving) Decay() {
+	for key, it := range s.items {
+		it.count /= 2
+		it.err /= 2
+		if it.count == 0 {
+			delete(s.items, key)
+		}
+	}
+	s.total /= 2
+}
+
+// Len returns the number of monitored keys (<= k).
+func (s *SpaceSaving) Len() int { return len(s.items) }

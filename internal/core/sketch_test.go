@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// drive feeds a stream into a fresh sketch and returns it with the true
+// per-key frequencies.
+func drive(k int, stream []string) (*SpaceSaving, map[string]int64) {
+	s := NewSpaceSaving(k)
+	truth := make(map[string]int64)
+	for _, key := range stream {
+		s.Touch(key)
+		truth[key]++
+	}
+	return s, truth
+}
+
+// zipfStream draws n keys from a Zipf(s) distribution over the given key
+// space — the adversarial shape the sketch exists for.
+func zipfStream(n int, seed int64, s float64, keys int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(keys-1))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("k%d", z.Uint64())
+	}
+	return out
+}
+
+// TestSpaceSavingNoFalseNegatives is the classic space-saving guarantee:
+// every key whose true frequency exceeds N/k is tracked and reported by
+// Heavy(), for random skewed streams across seeds, sketch sizes and skews.
+func TestSpaceSavingNoFalseNegatives(t *testing.T) {
+	for _, k := range []int{4, 16, 64} {
+		for _, skew := range []float64{1.1, 1.5, 2.5} {
+			for seed := int64(1); seed <= 5; seed++ {
+				s, truth := drive(k, zipfStream(20_000, seed, skew, 4096))
+				heavy := make(map[string]HeavyHitter)
+				for _, h := range s.Heavy() {
+					heavy[h.Key] = h
+				}
+				bar := s.Total() / int64(k)
+				for key, freq := range truth {
+					if freq > bar {
+						if _, ok := heavy[key]; !ok {
+							t.Fatalf("k=%d skew=%.1f seed=%d: true heavy hitter %s (freq %d > N/k=%d) not reported",
+								k, skew, seed, key, freq, bar)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSpaceSavingErrorBounds checks the estimate sandwich for every tracked
+// key: trueFreq <= Count <= trueFreq + N/k, with Err <= N/k and
+// Count - Err <= trueFreq (the bound GuaranteedHeavy promotion relies on).
+func TestSpaceSavingErrorBounds(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		const k = 16
+		s, truth := drive(k, zipfStream(20_000, seed, 1.3, 4096))
+		maxErr := s.Total() / int64(k)
+		for _, h := range s.Heavy() {
+			freq := truth[h.Key]
+			if h.Count < freq {
+				t.Fatalf("seed %d: %s count %d underestimates true %d", seed, h.Key, h.Count, freq)
+			}
+			if h.Count > freq+maxErr {
+				t.Fatalf("seed %d: %s count %d overshoots true %d by more than N/k=%d", seed, h.Key, h.Count, freq, maxErr)
+			}
+			if h.Err > maxErr {
+				t.Fatalf("seed %d: %s err %d exceeds N/k=%d", seed, h.Key, h.Err, maxErr)
+			}
+			if h.Count-h.Err > freq {
+				t.Fatalf("seed %d: %s guaranteed count %d exceeds true %d", seed, h.Key, h.Count-h.Err, freq)
+			}
+		}
+	}
+}
+
+// TestSpaceSavingGuaranteedHeavyNoFalsePositives: every key GuaranteedHeavy
+// reports really does clear the N/k bar — the property that keeps the hot
+// tier from promoting noise.
+func TestSpaceSavingGuaranteedHeavyNoFalsePositives(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		const k = 16
+		s, truth := drive(k, zipfStream(20_000, seed, 1.3, 4096))
+		bar := s.Threshold()
+		for _, h := range s.GuaranteedHeavy() {
+			if truth[h.Key] < bar {
+				t.Fatalf("seed %d: GuaranteedHeavy reported %s (true freq %d) below bar %d",
+					seed, h.Key, truth[h.Key], bar)
+			}
+		}
+	}
+}
+
+// TestSpaceSavingUniformRoundRobin: a round-robin stream over 3k distinct
+// keys has no guaranteed-heavy keys — each adoption inherits the minimum
+// counter as error, so Count-Err stays pinned near 1.
+func TestSpaceSavingUniformRoundRobin(t *testing.T) {
+	const k = 16
+	s := NewSpaceSaving(k)
+	for i := 0; i < 4800; i++ {
+		s.Touch(fmt.Sprintf("k%d", i%(3*k)))
+	}
+	if gh := s.GuaranteedHeavy(); len(gh) != 0 {
+		t.Fatalf("uniform round-robin produced guaranteed heavy hitters: %v", gh)
+	}
+	if s.Len() > k {
+		t.Fatalf("sketch tracks %d keys, cap is %d", s.Len(), k)
+	}
+}
+
+// TestSpaceSavingDecayDeterministic pins decay's exact arithmetic: counts,
+// errors and the stream length all halve, and zeroed counters are dropped.
+func TestSpaceSavingDecayDeterministic(t *testing.T) {
+	s := NewSpaceSaving(3)
+	for i := 0; i < 8; i++ {
+		s.Touch("a")
+	}
+	for i := 0; i < 4; i++ {
+		s.Touch("b")
+	}
+	s.Touch("c") // count 1: first decay zeroes and drops it
+
+	s.Decay()
+	if s.Total() != 6 { // 13/2
+		t.Fatalf("total after decay = %d, want 6", s.Total())
+	}
+	if c, _, ok := s.Estimate("a"); !ok || c != 4 {
+		t.Fatalf("a after decay = %d,%v want 4", c, ok)
+	}
+	if c, _, ok := s.Estimate("b"); !ok || c != 2 {
+		t.Fatalf("b after decay = %d,%v want 2", c, ok)
+	}
+	if _, _, ok := s.Estimate("c"); ok {
+		t.Fatal("c should be dropped when its counter decays to zero")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len after decay = %d, want 2", s.Len())
+	}
+
+	// Error inheritance halves too: refill the sketch to capacity, then an
+	// adoption replaces the minimum counter (count 1) and inherits it as err.
+	s.Touch("x") // len back to k=3, x: count 1, err 0
+	s.Touch("d") // replaces x: count 2, err 1
+	if c, e, ok := s.Estimate("d"); !ok || c != 2 || e != 1 {
+		t.Fatalf("adopted d = count %d err %d ok %v, want 2/1", c, e, ok)
+	}
+	s.Decay()
+	if c, e, ok := s.Estimate("d"); !ok || c != 1 || e != 0 {
+		t.Fatalf("d after decay = count %d err %d ok %v, want 1/0", c, e, ok)
+	}
+}
+
+// TestSpaceSavingDecayPreservesRanking: relative heat order of well-separated
+// keys survives a decay, so the hot set rebuilt afterwards is the same.
+func TestSpaceSavingDecayPreservesRanking(t *testing.T) {
+	s, _ := drive(8, zipfStream(10_000, 7, 2.0, 1024))
+	type rank struct {
+		key   string
+		count int64
+	}
+	var before []rank
+	for _, h := range s.GuaranteedHeavy() {
+		before = append(before, rank{h.Key, h.Count})
+	}
+	if len(before) == 0 {
+		t.Fatal("skewed stream produced no guaranteed heavy hitters")
+	}
+	s.Decay()
+	for _, r := range before {
+		c, _, ok := s.Estimate(r.key)
+		if !ok {
+			t.Fatalf("heavy key %s dropped by decay", r.key)
+		}
+		if c != r.count/2 {
+			t.Fatalf("%s decayed %d -> %d, want %d", r.key, r.count, c, r.count/2)
+		}
+	}
+}
+
+// TestSpaceSavingMinK: k < 1 clamps to one counter and still works.
+func TestSpaceSavingMinK(t *testing.T) {
+	s := NewSpaceSaving(0)
+	s.Touch("a")
+	s.Touch("a")
+	s.Touch("b")
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1", s.Len())
+	}
+	if c, e, ok := s.Estimate("b"); !ok || c != 3 || e != 2 {
+		t.Fatalf("b = count %d err %d ok %v, want 3/2", c, e, ok)
+	}
+}

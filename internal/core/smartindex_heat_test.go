@@ -1,0 +1,275 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sqlparser"
+)
+
+func TestHeatPromotionAndStripedLookup(t *testing.T) {
+	// k=2: warmup is 8 touches, threshold total/2 — a hammered atom is
+	// guaranteed heavy quickly.
+	s := New(Options{HeavyHitters: 2})
+	a := atom("c2", sqlparser.OpGt, 5)
+	want := bm(1024, 3, 700, 701)
+	s.Store("b0", a, want, stats(0, 9, 0))
+
+	if _, ok := s.LookupStriped(ctxb, "b0", a, 1024); ok {
+		t.Fatal("cold entry must not answer the striped probe")
+	}
+	for i := 0; i < 12; i++ {
+		if _, ok := s.Lookup(ctxb, "b0", a, 1024); !ok {
+			t.Fatalf("lookup %d missed", i)
+		}
+	}
+	st := s.Stats()
+	if st.Promoted == 0 || st.HotEntries != 1 {
+		t.Fatalf("hammered atom not promoted: %+v", st)
+	}
+
+	sb, ok := s.LookupStriped(ctxb, "b0", a, 1024)
+	if !ok {
+		t.Fatal("hot entry should answer the striped probe")
+	}
+	if !sb.ToBitmap().Equal(want) {
+		t.Fatal("striped form diverged from the stored bitmap")
+	}
+
+	// The pre-materialized negation answers NOT(atom) without a scan.
+	na := a
+	na.Negated = true
+	nb, ok := s.LookupStriped(ctxb, "b0", na, 1024)
+	if !ok {
+		t.Fatal("hot entry should answer the negated striped probe")
+	}
+	wantNeg := want.Clone()
+	wantNeg.Not()
+	if !nb.ToBitmap().Equal(wantNeg) {
+		t.Fatal("pre-materialized negation diverged from bit-NOT")
+	}
+	if st := s.Stats(); st.StripedHits < 2 {
+		t.Fatalf("striped hits = %d, want >= 2: %+v", st.StripedHits, st)
+	}
+
+	// Dense lookups still work against the hot (striped-only) entry.
+	got, ok := s.Lookup(ctxb, "b0", a, 1024)
+	if !ok || !got.Equal(want) {
+		t.Fatal("dense lookup against hot entry diverged")
+	}
+}
+
+func TestHeatNegationUnsoundWithNulls(t *testing.T) {
+	s := New(Options{HeavyHitters: 2})
+	a := atom("c2", sqlparser.OpGt, 5)
+	s.Store("b0", a, bm(1024, 3), stats(0, 9, 7)) // column has NULLs
+	for i := 0; i < 12; i++ {
+		s.Lookup(ctxb, "b0", a, 1024)
+	}
+	if s.Stats().HotEntries != 1 {
+		t.Fatalf("positive entry should still promote: %+v", s.Stats())
+	}
+	na := a
+	na.Negated = true
+	if _, ok := s.LookupStriped(ctxb, "b0", na, 1024); ok {
+		t.Fatal("negation over a NULL-bearing column must not be pre-materialized")
+	}
+	if _, ok := s.Lookup(ctxb, "b0", na, 1024); ok {
+		t.Fatal("negated dense lookup must miss with NULLs present")
+	}
+	if _, ok := s.LookupStriped(ctxb, "b0", a, 1024); !ok {
+		t.Fatal("positive striped probe should still answer")
+	}
+}
+
+func TestHeatHotEntriesTTLExempt(t *testing.T) {
+	clk := newClock()
+	s := New(Options{HeavyHitters: 2, TTL: time.Hour, Now: clk.now})
+	hot := atom("c2", sqlparser.OpGt, 5)
+	cold := atom("c9", sqlparser.OpGt, 1)
+	s.Store("b0", hot, bm(64, 1), stats(0, 9, 0))
+	s.Store("b0", cold, bm(64, 2), stats(0, 9, 0))
+	for i := 0; i < 12; i++ {
+		s.Lookup(ctxb, "b0", hot, 64)
+	}
+	if s.Stats().HotEntries != 1 {
+		t.Fatalf("setup failed to promote: %+v", s.Stats())
+	}
+	clk.advance(3 * time.Hour)
+	if _, ok := s.Lookup(ctxb, "b0", cold, 64); ok {
+		t.Error("cold entry should expire")
+	}
+	if _, ok := s.Lookup(ctxb, "b0", hot, 64); !ok {
+		t.Error("hot entry must be TTL-exempt while its atom stays heavy")
+	}
+}
+
+func TestHeatDecayRebalanceDemotesCooledAtoms(t *testing.T) {
+	// DecayInterval 16 with k=2: a hammered atom promotes, then a workload
+	// shift (two new atoms sharing all traffic) replaces it in the sketch and
+	// the next rebalance demotes its entry back to the cold LRU.
+	s := New(Options{HeavyHitters: 2, DecayInterval: 16})
+	a := atom("c2", sqlparser.OpGt, 5)
+	want := bm(256, 7, 99)
+	s.Store("b0", a, want, stats(0, 9, 0))
+	for i := 0; i < 12; i++ {
+		s.Lookup(ctxb, "b0", a, 256)
+	}
+	if s.Stats().HotEntries != 1 {
+		t.Fatalf("setup failed to promote: %+v", s.Stats())
+	}
+
+	b1 := atom("c3", sqlparser.OpGt, 1)
+	b2 := atom("c3", sqlparser.OpGt, 2)
+	for i := 0; i < 64; i++ {
+		s.Lookup(ctxb, "b0", b1, 256)
+		s.Lookup(ctxb, "b0", b2, 256)
+	}
+	st := s.Stats()
+	if st.Demoted == 0 || st.HotEntries != 0 {
+		t.Fatalf("cooled atom not demoted after decay/rebalance: %+v", st)
+	}
+	// Content survives the striped->dense restoration.
+	got, ok := s.Lookup(ctxb, "b0", a, 256)
+	if !ok || !got.Equal(want) {
+		t.Fatal("demoted entry lost its bitmap")
+	}
+	if _, ok := s.LookupStriped(ctxb, "b0", a, 256); ok {
+		t.Fatal("demoted entry must not answer the striped probe")
+	}
+}
+
+func TestHeatWarmupSuppressesEarlyPromotion(t *testing.T) {
+	// Before the sketch has seen heatWarmupMultiple*k touches, nothing
+	// promotes — a tiny observed total would classify the first k atoms as
+	// heavy regardless of the real distribution.
+	s := New(Options{HeavyHitters: 8})
+	a := atom("c2", sqlparser.OpGt, 5)
+	s.Store("b0", a, bm(64, 1), stats(0, 9, 0))
+	for i := 0; i < heatWarmupMultiple*8-2; i++ {
+		s.Lookup(ctxb, "b0", a, 64)
+	}
+	if st := s.Stats(); st.Promoted != 0 || st.HotEntries != 0 {
+		t.Fatalf("promotion before sketch warmup: %+v", st)
+	}
+	for i := 0; i < 4; i++ {
+		s.Lookup(ctxb, "b0", a, 64)
+	}
+	if st := s.Stats(); st.Promoted == 0 {
+		t.Fatalf("no promotion after warmup: %+v", st)
+	}
+}
+
+func TestHeatStoreDirectToHot(t *testing.T) {
+	// Once an atom is classified hot, a Store for a new block goes straight
+	// into the hot tier in striped form.
+	s := New(Options{HeavyHitters: 2})
+	a := atom("c2", sqlparser.OpGt, 5)
+	s.Store("b0", a, bm(64, 1), stats(0, 9, 0))
+	for i := 0; i < 12; i++ {
+		s.Lookup(ctxb, "b0", a, 64)
+	}
+	before := s.Stats().Promoted
+	s.Store("b1", a, bm(64, 2), stats(0, 9, 0))
+	if got := s.Stats(); got.Promoted != before+1 || got.HotEntries != 2 {
+		t.Fatalf("store of a hot atom should land hot: %+v", got)
+	}
+	if _, ok := s.LookupStriped(ctxb, "b1", a, 64); !ok {
+		t.Fatal("direct-to-hot entry should answer the striped probe")
+	}
+}
+
+// TestEnforceBudgetIncomingSurvives is the regression for the two-pass
+// eviction bug: storing into a full budget must evict older entries — even
+// pinned ones — before the entry being stored, never churning it out ahead
+// of its first lookup.
+func TestEnforceBudgetIncomingSurvives(t *testing.T) {
+	s := New(Options{MemoryBudget: 600}) // fits two ~260-byte dense entries
+	a0 := atom("c", sqlparser.OpGt, 0)
+	a1 := atom("c", sqlparser.OpGt, 1)
+	a2 := atom("c", sqlparser.OpGt, 2)
+	s.Pin("b0|") // everything resident is pinned: the old first pass found
+	// no unpinned victim and the second evicted the just-stored entry
+	s.Store("b0", a0, bm(1024, 0), stats(0, 9, 0))
+	s.Store("b0", a1, bm(1024, 1), stats(0, 9, 0))
+	s.Store("b1", a2, bm(1024, 2), stats(0, 9, 0)) // unpinned incoming
+	if _, ok := s.Lookup(ctxb, "b1", a2, 1024); !ok {
+		t.Fatal("just-stored entry was evicted while older candidates existed")
+	}
+	st := s.Stats()
+	if st.EvictedLRU == 0 {
+		t.Fatalf("expected pinned victims to be shed: %+v", st)
+	}
+	if st.Bytes > 600 {
+		t.Fatalf("budget violated: %+v", st)
+	}
+	if st.EvictedLRU != st.EvictedLRUHot+st.EvictedLRUCold {
+		t.Fatalf("eviction attribution out of balance: %+v", st)
+	}
+}
+
+// TestEvictionAttributionPerTier forces evictions out of both tiers and
+// checks EvictedLRU always equals the per-tier split.
+func TestEvictionAttributionPerTier(t *testing.T) {
+	s := New(Options{HeavyHitters: 2, HotShare: 1, MemoryBudget: 1500})
+	hot := atom("c2", sqlparser.OpGt, 5)
+	// Alternating bits: both the striped form and its negation are fully
+	// mixed, so the hot entry is large enough that the final oversized store
+	// below cannot fit beside it.
+	alt := bm(1024)
+	for i := 0; i < 1024; i += 2 {
+		alt.Set(i)
+	}
+	s.Store("b0", hot, alt, stats(0, 9, 0))
+	for i := 0; i < 12; i++ {
+		s.Lookup(ctxb, "b0", hot, 1024)
+	}
+	if s.Stats().HotEntries != 1 {
+		t.Fatalf("setup failed to promote: %+v", s.Stats())
+	}
+	// Fill the cold tier past the budget: cold-attributed evictions.
+	for i := 0; i < 6; i++ {
+		s.Store("b0", atom("c9", sqlparser.OpGt, int64(i)), bm(1024, i), stats(0, 99, 0))
+	}
+	st := s.Stats()
+	if st.EvictedLRUCold == 0 {
+		t.Fatalf("cold churn produced no cold-attributed evictions: %+v", st)
+	}
+	if st.EvictedLRUHot != 0 {
+		t.Fatalf("cold churn must not evict the hot tier: %+v", st)
+	}
+	// A store too large for cold alone pushes into the hot tier:
+	// hot-attributed eviction.
+	s.Store("b9", atom("c9", sqlparser.OpGt, 99), bm(8192, 1), stats(0, 99, 0))
+	st = s.Stats()
+	if st.EvictedLRUHot == 0 {
+		t.Fatalf("oversized store did not reach the hot tier: %+v", st)
+	}
+	if st.EvictedLRU != st.EvictedLRUHot+st.EvictedLRUCold {
+		t.Fatalf("eviction attribution out of balance: %+v", st)
+	}
+	if st.Bytes > 1500 {
+		t.Fatalf("budget violated: %+v", st)
+	}
+}
+
+func TestHeatLoadGauges(t *testing.T) {
+	s := New(Options{HeavyHitters: 2, HotShare: 1, MemoryBudget: 4096})
+	a := atom("c2", sqlparser.OpGt, 5)
+	s.Store("b0", a, bm(1024, 3), stats(0, 9, 0))
+	entries, bytes, budget := s.HeatLoad()
+	if entries != 0 || bytes != 0 {
+		t.Fatalf("cold index reported hot load %d/%d", entries, bytes)
+	}
+	for i := 0; i < 12; i++ {
+		s.Lookup(ctxb, "b0", a, 1024)
+	}
+	entries, bytes, budget = s.HeatLoad()
+	if entries != 1 || bytes <= 0 || budget <= 0 {
+		t.Fatalf("HeatLoad = %d entries, %d bytes, %d budget", entries, bytes, budget)
+	}
+	st := s.Stats()
+	if st.HotEntries != entries || st.HotBytes != bytes || st.HotBudget != budget {
+		t.Fatalf("HeatLoad diverges from Stats: %+v vs %d/%d/%d", st, entries, bytes, budget)
+	}
+}

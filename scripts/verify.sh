@@ -26,8 +26,8 @@ go test ./...
 echo "== go test -race ./..."
 go test -race ./...
 
-echo "== go test -race -count=2 (chaos + cluster recovery + concurrency harness, repeated)"
-go test -race -count=2 ./internal/cluster/... ./internal/chaos/... ./internal/clustertest/...
+echo "== go test -race -count=2 (chaos + cluster recovery + concurrency harness + heat-tier index, repeated)"
+go test -race -count=2 ./internal/cluster/... ./internal/chaos/... ./internal/clustertest/... ./internal/core/... ./internal/bitmap/...
 
 # Coverage floor: internal/cluster (admission, scheduling, recovery) must not
 # fall below the gate set when admission control landed. Raise the floor when
@@ -93,6 +93,22 @@ if awk "BEGIN{exit !($xcov < $exec_cov_floor)}"; then
 fi
 echo "coverage: internal/exec at ${xcov}%"
 
+# Coverage floor: internal/core (SmartIndex — heat sketch, hot/cold tiers,
+# striped promotion, derivation, budget eviction) gates at the level set when
+# heat-aware budgeting landed. Raise when coverage improves; never lower.
+core_cov_floor=85.0
+echo "== coverage floor (internal/core >= ${core_cov_floor}%)"
+ccov=$(go test -cover ./internal/core | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+if [ -z "$ccov" ]; then
+	echo "coverage: could not parse 'go test -cover ./internal/core' output" >&2
+	exit 1
+fi
+if awk "BEGIN{exit !($ccov < $core_cov_floor)}"; then
+	echo "coverage: internal/core at ${ccov}%, below the ${core_cov_floor}% floor" >&2
+	exit 1
+fi
+echo "coverage: internal/core at ${ccov}%"
+
 echo "== fuzz smoke (FuzzParse, 10s)"
 go test -fuzz=FuzzParse -fuzztime=10s -run='^$' ./internal/sqlparser
 
@@ -138,5 +154,8 @@ go run ./cmd/feisu-node -smoke
 
 echo "== wire bench smoke (scale-out over real sockets vs sim prediction)"
 go run ./cmd/feisu-bench -exp wire -short -scale small
+
+echo "== zipfidx smoke (skew-aware SmartIndex, heat-aware vs uniform LRU)"
+go run ./cmd/feisu-bench -exp zipfidx -short -scale small
 
 echo "verify: OK"
